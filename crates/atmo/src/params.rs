@@ -1,0 +1,184 @@
+//! Atmosphere parameters: layer structure, physical constants, physics
+//! time scales.
+
+/// Gravitational acceleration (m/s^2).
+pub const GRAVITY: f64 = 9.80665;
+
+/// Latent heat of vaporization (J/kg).
+pub const LATENT_HEAT: f64 = 2.5e6;
+
+/// Specific heat of air at constant pressure (J/kg/K).
+pub const CP_AIR: f64 = 1004.64;
+
+/// Reference surface temperature (K) for the layer temperature ladder.
+pub const T_SURFACE_REF: f64 = 288.0;
+
+/// Parameters of one atmosphere instance.
+#[derive(Debug, Clone)]
+pub struct AtmParams {
+    /// Number of layers (90 in the paper's configurations; tests use
+    /// fewer).
+    pub nlev: usize,
+    /// Dynamics time step (s).
+    pub dt: f64,
+    /// Nominal temperature of each layer (K), index 0 = top. Fixed per
+    /// layer (isentropic-like coordinate); heating moves mass, not
+    /// temperature.
+    pub layer_temp: Vec<f64>,
+    /// Density ratio of each layer relative to the bottom layer,
+    /// strictly increasing downward for static stability.
+    pub rho: Vec<f64>,
+    /// Reference (radiative-equilibrium) layer thickness at the equator
+    /// (m); the total column is `sum(ref_thickness)`.
+    pub ref_thickness: Vec<f64>,
+    /// Pole-to-equator amplitude of the equilibrium thickness variation
+    /// (fraction). Drives jets and baroclinic eddies.
+    pub meridional_forcing: f64,
+    /// Radiative relaxation time scale (s), Held–Suarez-like.
+    pub tau_rad: f64,
+    /// Rayleigh friction time scale in the lowest layer (s).
+    pub tau_friction: f64,
+    /// Rayleigh damping time scale in the top (sponge) layer (s).
+    pub tau_sponge: f64,
+    /// Horizontal hyperdiffusion-like damping applied via one Laplacian
+    /// smoothing pass (m^2/s).
+    pub kh_diffusion: f64,
+    /// Vertical diffusivity for velocity and tracers (layer^2/s units in
+    /// index space; small).
+    pub kv_diffusion: f64,
+    /// Surface exchange coefficient for evaporation/drag (dimensionless).
+    pub c_exchange: f64,
+    /// Fraction of condensed water converted to precipitation per step.
+    pub precip_efficiency: f64,
+}
+
+impl AtmParams {
+    /// Default parameter set for `nlev` layers and time step `dt`.
+    ///
+    /// Layers are built so the column holds ~8000 m of mass-equivalent
+    /// depth with thickness growing toward the surface and density ratios
+    /// giving a reduced gravity of ~1-3 % between adjacent layers.
+    pub fn new(nlev: usize, dt: f64) -> AtmParams {
+        assert!(nlev >= 2);
+        let total_depth = 8000.0;
+        // Thickness ~ uniform; temperature ladder decreasing with height.
+        let ref_thickness = vec![total_depth / nlev as f64; nlev];
+        let mut rho = Vec::with_capacity(nlev);
+        let mut layer_temp = Vec::with_capacity(nlev);
+        for k in 0..nlev {
+            // Index 0 = top: lightest, coldest.
+            let frac = (k as f64 + 0.5) / nlev as f64; // 0 top .. 1 bottom
+            rho.push(0.7 + 0.3 * frac);
+            layer_temp.push(T_SURFACE_REF - 60.0 * (1.0 - frac));
+        }
+        AtmParams {
+            nlev,
+            dt,
+            layer_temp,
+            rho,
+            ref_thickness,
+            meridional_forcing: 0.25,
+            tau_rad: 15.0 * 86_400.0,
+            tau_friction: 1.0 * 86_400.0,
+            tau_sponge: 0.5 * 86_400.0,
+            kh_diffusion: 1.0e5,
+            kv_diffusion: 1.0e-6,
+            c_exchange: 1.2e-3,
+            precip_efficiency: 0.5,
+        }
+    }
+
+    /// Total reference column depth (m).
+    pub fn total_depth(&self) -> f64 {
+        self.ref_thickness.iter().sum()
+    }
+
+    /// Equilibrium thickness of layer `k` at sine-latitude `sinlat`:
+    /// warm columns (equator) are "thicker" in upper layers, cold ones
+    /// (poles) in lower layers, creating the baroclinic gradient.
+    pub fn equilibrium_thickness(&self, k: usize, sinlat: f64) -> f64 {
+        let nlev = self.nlev as f64;
+        // +1 at the top layer, -1 at the bottom layer.
+        let vertical = 1.0 - 2.0 * (k as f64 + 0.5) / nlev;
+        let merid = 1.0 - self.meridional_forcing * vertical * (sinlat * sinlat - 1.0 / 3.0) * 3.0 / 2.0;
+        self.ref_thickness[k] * merid
+    }
+
+    /// Saturation specific humidity (kg/kg) at temperature `t` (K), from
+    /// a Clausius–Clapeyron fit over a reference pressure.
+    pub fn q_saturation(t: f64) -> f64 {
+        // Tetens formula, e_s in Pa over p ~ 1e5 Pa.
+        let t_c = t - 273.15;
+        let e_s = 610.78 * (17.27 * t_c / (t_c + 237.3)).exp();
+        0.622 * e_s / 1.0e5
+    }
+
+    /// Gravity-wave speed of the barotropic mode, for CFL checks.
+    pub fn gravity_wave_speed(&self) -> f64 {
+        (GRAVITY * self.total_depth()).sqrt()
+    }
+
+    /// Largest stable time step on a grid with shortest dual edge
+    /// `min_edge_m` (advective + gravity-wave CFL with safety 0.5).
+    pub fn max_stable_dt(&self, min_edge_m: f64) -> f64 {
+        0.5 * min_edge_m / self.gravity_wave_speed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layer_structure_is_stable() {
+        let p = AtmParams::new(8, 300.0);
+        for k in 1..8 {
+            assert!(p.rho[k] > p.rho[k - 1], "density must increase downward");
+            assert!(p.layer_temp[k] > p.layer_temp[k - 1], "temp rises downward");
+        }
+        assert!((p.total_depth() - 8000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn equilibrium_forcing_tilts_the_column() {
+        let p = AtmParams::new(4, 300.0);
+        // Top layer: thicker at the equator than the pole.
+        assert!(p.equilibrium_thickness(0, 0.0) > p.equilibrium_thickness(0, 1.0));
+        // Bottom layer: opposite.
+        assert!(p.equilibrium_thickness(3, 0.0) < p.equilibrium_thickness(3, 1.0));
+        // Global mean is preserved layer by layer: integral of
+        // (sin^2(lat) - 1/3) over the sphere vanishes.
+        let n = 20_000;
+        for k in [0, 3] {
+            let mut acc = 0.0;
+            for i in 0..n {
+                // Uniform sampling in sin(lat) is area-uniform.
+                let s = -1.0 + 2.0 * (i as f64 + 0.5) / n as f64;
+                acc += p.equilibrium_thickness(k, s);
+            }
+            let mean = acc / n as f64;
+            assert!(
+                (mean / p.ref_thickness[k] - 1.0).abs() < 1e-6,
+                "layer {k} mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn saturation_humidity_increases_with_temperature() {
+        let a = AtmParams::q_saturation(270.0);
+        let b = AtmParams::q_saturation(290.0);
+        let c = AtmParams::q_saturation(310.0);
+        assert!(a < b && b < c);
+        // ~0.011 kg/kg at 288 K, the textbook value at the surface.
+        let q288 = AtmParams::q_saturation(288.0);
+        assert!((0.008..0.014).contains(&q288), "q_sat(288K) = {q288}");
+    }
+
+    #[test]
+    fn cfl_scales_with_resolution() {
+        let p = AtmParams::new(8, 300.0);
+        assert!((p.gravity_wave_speed() - 280.0).abs() < 5.0);
+        assert!(p.max_stable_dt(100_000.0) > p.max_stable_dt(10_000.0));
+    }
+}

@@ -1,0 +1,75 @@
+//! Property tests of the atmosphere's conservation and stability
+//! invariants over randomized initial perturbations and parameters.
+
+use atmo::{AtmParams, Atmosphere};
+use icongrid::{Field2, Grid, NoExchange};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn atmosphere_with(seed: u64, nlev: usize, dt: f64) -> Atmosphere<Grid> {
+    let g = Arc::new(Grid::build(1, icongrid::EARTH_RADIUS_M)); // 320 cells
+    let params = AtmParams::new(nlev, dt);
+    let zs = Field2::zeros(g.n_cells);
+    let water = vec![true; g.n_cells];
+    let mut atm = Atmosphere::new(g.clone(), params, zs, water);
+    // Seeded perturbation of the mass field (up to +-2 %).
+    let mut state = seed | 1;
+    for c in 0..g.n_cells {
+        for k in 0..nlev {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let r = (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+            *atm.state.delta.at_mut(c, k) *= 1.0 + 0.04 * r;
+        }
+    }
+    atm
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Dry mass and water are conserved for arbitrary perturbed starts.
+    #[test]
+    fn conservation_under_random_perturbations(
+        seed in 0u64..100_000,
+        nlev in 3usize..7,
+    ) {
+        let mut atm = atmosphere_with(seed, nlev, 400.0);
+        let g = atm.grid.clone();
+        let m0 = atm.state.total_mass(g.as_ref(), g.n_cells);
+        let w0 = atm.state.water_inventory(g.as_ref(), g.n_cells);
+        for _ in 0..8 {
+            atm.step(&NoExchange);
+        }
+        let m1 = atm.state.total_mass(g.as_ref(), g.n_cells);
+        let w1 = atm.state.water_inventory(g.as_ref(), g.n_cells);
+        prop_assert!(((m1 - m0) / m0).abs() < 1e-11, "mass {} -> {}", m0, m1);
+        prop_assert!(((w1 - w0) / w0).abs() < 1e-9, "water {} -> {}", w0, w1);
+        // Layers stay positive; fields stay finite.
+        prop_assert!(atm.state.delta.min() > 0.0);
+        prop_assert!(atm.state.vn.as_slice().iter().all(|v| v.is_finite()));
+        prop_assert!(atm.state.qv.min() >= -1e-12);
+    }
+
+    /// Tracer mixing ratios never develop new extrema beyond the initial
+    /// range (upwind monotonicity through the full step).
+    #[test]
+    fn co2_bounded_by_initial_range(seed in 0u64..100_000) {
+        let mut atm = atmosphere_with(seed, 4, 400.0);
+        let g = atm.grid.clone();
+        // Give CO2 a spatial pattern.
+        for c in 0..g.n_cells {
+            for k in 0..4 {
+                let v = 6e-4 * (1.0 + 0.3 * g.cell_center[c].x);
+                atm.state.co2.set(c, k, v);
+            }
+        }
+        let (lo, hi) = (atm.state.co2.min(), atm.state.co2.max());
+        for _ in 0..6 {
+            atm.step(&NoExchange);
+        }
+        prop_assert!(atm.state.co2.min() >= lo - 1e-12 * hi);
+        prop_assert!(atm.state.co2.max() <= hi + 1e-12 * hi);
+    }
+}

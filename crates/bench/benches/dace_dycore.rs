@@ -1,0 +1,30 @@
+//! The §5.2 headline measurement: the OpenACC-style baseline vs the
+//! DaCe-style compiled executor on the mini dynamical core (real work on
+//! a real icosahedral topology).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dace_mini::{exec, sdfg::Sdfg, suite, transforms};
+use std::hint::black_box;
+
+fn bench_backends(c: &mut Criterion) {
+    let prog = suite::dycore_program();
+    let topo = suite::synthetic_topology(10_000);
+    let nlev = 20;
+    let (opt, _) = transforms::gh200_pipeline(&Sdfg::from_program("dycore", &prog));
+    let compiled = exec::compile(&opt);
+
+    let mut group = c.benchmark_group("dace_dycore");
+    group.sample_size(10);
+    group.bench_function("naive_openacc_style", |b| {
+        let mut data = suite::synthetic_data(&topo, nlev, 11);
+        b.iter(|| black_box(exec::run_naive(&prog, &topo, &mut data)));
+    });
+    group.bench_function("compiled_dace_style", |b| {
+        let mut data = suite::synthetic_data(&topo, nlev, 11);
+        b.iter(|| black_box(compiled.run(&topo, &mut data)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_backends);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! The C-grid operator kernels that dominate the atmosphere's memory
+//! traffic: divergence, gradient, kinetic energy (z_ekinh), vorticity —
+//! the measured bytes/dof of these kernels grounds the machine model's
+//! workload profile.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use icongrid::{ops, Field3, Grid};
+use std::hint::black_box;
+
+fn bench_ops(c: &mut Criterion) {
+    let g = Grid::build(4, icongrid::EARTH_RADIUS_M); // 5120 cells
+    let nlev = 30;
+    let vn = Field3::from_fn(g.n_edges, nlev, |e, k| ((e + k) % 17) as f64 - 8.0);
+    let s = Field3::from_fn(g.n_cells, nlev, |cc, k| ((cc * 3 + k) % 13) as f64);
+
+    let mut group = c.benchmark_group("grid_ops");
+    group.throughput(Throughput::Elements((g.n_cells * nlev) as u64));
+    group.bench_function("divergence", |b| {
+        let mut out = Field3::zeros(g.n_cells, nlev);
+        b.iter(|| ops::divergence(&g, black_box(&vn), &mut out));
+    });
+    group.bench_function("kinetic_energy_z_ekinh", |b| {
+        let mut out = Field3::zeros(g.n_cells, nlev);
+        b.iter(|| ops::kinetic_energy(&g, black_box(&vn), &mut out));
+    });
+    group.bench_function("gradient", |b| {
+        let mut out = Field3::zeros(g.n_edges, nlev);
+        b.iter(|| ops::gradient(&g, black_box(&s), &mut out));
+    });
+    group.bench_function("vorticity", |b| {
+        let mut out = Field3::zeros(g.n_vertices, nlev);
+        b.iter(|| ops::vorticity(&g, black_box(&vn), &mut out));
+    });
+    group.bench_function("upwind_flux_divergence", |b| {
+        let mut out = Field3::zeros(g.n_cells, nlev);
+        b.iter(|| ops::flux_divergence_upwind(&g, black_box(&vn), black_box(&s), &mut out));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ops);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Land-model stepping with and without the CUDA-graph launch structure
+//! (§5.1): measures the real mini-JSBach step and reports the recorded
+//! kernel counts the machine model's graph analysis consumes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use icongrid::Grid;
+use land::{kernels::LaunchMode, LandModel, LandParams};
+use std::sync::Arc;
+
+fn build(mode: LaunchMode) -> LandModel<Grid> {
+    let g = Arc::new(Grid::build(3, icongrid::EARTH_RADIUS_M));
+    let cells: Vec<u32> = (0..g.n_cells as u32)
+        .filter(|&c| g.cell_center[c as usize].x > 0.0)
+        .collect();
+    let elev: Vec<f64> = (0..g.n_cells)
+        .map(|c| g.cell_center[c].x.max(0.0) * 1500.0)
+        .collect();
+    let mut m = LandModel::new(g, LandParams::new(600.0), cells, &elev, mode);
+    m.state.sw_down.iter_mut().for_each(|s| *s = 250.0);
+    m.state.t_air.iter_mut().for_each(|t| *t = 20.0);
+    m.state.precip_rate.iter_mut().for_each(|r| *r = 1e-8);
+    m
+}
+
+fn bench_land(c: &mut Criterion) {
+    let mut group = c.benchmark_group("land_step");
+    group.sample_size(20);
+    for (label, mode) in [
+        ("individual_launches", LaunchMode::Individual),
+        ("graph_replay", LaunchMode::Graph),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            let mut m = build(mode);
+            m.step(); // recording pass
+            b.iter(|| m.step());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_land);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! The barotropic conjugate-gradient solver (§5.1's global-communication
+//! bottleneck): solve cost vs grid size, and the full ocean step.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use icongrid::{Field2, Grid, NoExchange};
+use ocean::{BarotropicSolver, Ocean, OceanParams};
+use std::sync::Arc;
+
+fn bench_cg(c: &mut Criterion) {
+    let mut group = c.benchmark_group("barotropic_cg");
+    group.sample_size(10);
+    for bisections in [3u32, 4] {
+        let g = Grid::build(bisections, icongrid::EARTH_RADIUS_M);
+        let depths = vec![4000.0; g.n_cells];
+        let wet = vec![true; g.n_cells];
+        let rhs = Field2::from_fn(g.n_cells, |c| g.cell_area[c] * g.cell_center[c].x);
+        group.bench_function(BenchmarkId::new("cells", g.n_cells), |b| {
+            let mut solver = BarotropicSolver::new(&g, 600.0, &depths, wet.clone(), 1e-9, 500);
+            b.iter(|| {
+                let mut eta = Field2::zeros(g.n_cells);
+                let stats = solver.solve(&g, &NoExchange, &rhs, &mut eta, g.n_cells);
+                assert!(stats.converged);
+                stats.iterations
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_ocean_step(c: &mut Criterion) {
+    let g = Arc::new(Grid::build(4, icongrid::EARTH_RADIUS_M));
+    let bathy = vec![3500.0; g.n_cells];
+    let mut group = c.benchmark_group("ocean_step");
+    group.sample_size(10);
+    group.bench_function("r2b3_8lev", |b| {
+        let mut o = Ocean::new(g.clone(), OceanParams::new(8, 600.0), &bathy);
+        b.iter(|| o.step(&NoExchange, o.grid.n_cells));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cg, bench_ocean_step);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Checkpoint/restart throughput (§6.4/§7): multi-file write and staggered
+//! read of a realistic snapshot, at several writer counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use iosys::{read_checkpoint, restart::scratch_dir, write_checkpoint, Snapshot};
+
+fn snapshot() -> Snapshot {
+    let mut s = Snapshot::new();
+    for i in 0..32 {
+        s.push(format!("field{i:02}"), vec![i as f64 * 0.5; 100_000]);
+    }
+    s
+}
+
+fn bench_restart(c: &mut Criterion) {
+    let snap = snapshot();
+    let bytes = snap.payload_bytes() as u64;
+
+    let mut group = c.benchmark_group("restart");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(bytes));
+    for n_files in [1usize, 4, 8] {
+        group.bench_function(BenchmarkId::new("write", n_files), |b| {
+            let dir = scratch_dir("bench_w");
+            b.iter(|| write_checkpoint(&dir, "restart", &snap, n_files).unwrap());
+            std::fs::remove_dir_all(&dir).ok();
+        });
+    }
+    for readers in [1usize, 4] {
+        group.bench_function(BenchmarkId::new("staggered_read", readers), |b| {
+            let dir = scratch_dir("bench_r");
+            write_checkpoint(&dir, "restart", &snap, 4).unwrap();
+            b.iter(|| read_checkpoint(&dir, "restart", readers).unwrap());
+            std::fs::remove_dir_all(&dir).ok();
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_restart);
+criterion_main!(benches);

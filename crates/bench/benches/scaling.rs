@@ -1,0 +1,37 @@
+//! Criterion bench over the machine model's scaling evaluation (Fig 2 and
+//! Fig 4 series generation) plus the real coupled mini-model's window
+//! throughput, which grounds the model's workload profile.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use esm_core::{CoupledEsm, EsmConfig};
+use machine::config::GridConfig;
+use machine::cost::{Mapping, ThroughputModel};
+use machine::systems;
+use std::hint::black_box;
+
+fn bench_scaling_curves(c: &mut Criterion) {
+    let model = ThroughputModel::new(systems::JUPITER, GridConfig::km1p25(), Mapping::paper());
+    c.bench_function("fig4_strong_scaling_curve", |b| {
+        b.iter(|| {
+            let pts = model.strong_scaling(black_box(&[
+                2048, 4096, 8192, 12288, 16384, 20480,
+            ]));
+            black_box(pts)
+        })
+    });
+}
+
+fn bench_coupled_window(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coupled_window");
+    group.sample_size(10);
+    for (label, concurrent) in [("sequential", false), ("concurrent_ocean", true)] {
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            let mut esm = CoupledEsm::new(EsmConfig::tiny());
+            b.iter(|| esm.run_windows(1, concurrent));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling_curves, bench_coupled_window);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! cargo run --release -p esm-bench --bin figures          # everything
+//! cargo run --release -p esm-bench --bin figures table1   # one artifact
+//! ```
+//!
+//! Artifacts: table1 table2 table3 fig2 fig4 dace loc cudagraphs io
+//! tau_limits mapping. Output is printed and written to `results/*.json`.
+
+use esm_bench::figures;
+use std::fs;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    fs::create_dir_all("results").expect("create results dir");
+
+    let run = |name: &str| -> Option<serde_json::Value> {
+        match name {
+            "table1" => Some(figures::table1()),
+            "table2" => Some(figures::table2()),
+            "table3" => Some(figures::table3()),
+            "fig2" => Some(figures::fig2()),
+            "fig4" => Some(figures::fig4()),
+            "dace" => Some(figures::dace()),
+            "loc" => Some(figures::loc_inventory()),
+            "cudagraphs" => Some(figures::cudagraphs()),
+            "io" => Some(figures::io()),
+            "tau_limits" => Some(figures::tau_limits()),
+            "mapping" => Some(figures::mapping()),
+            other => {
+                eprintln!("unknown artifact '{other}'");
+                None
+            }
+        }
+    };
+
+    let mut results = Vec::new();
+    if args.is_empty() || args.iter().any(|a| a == "all") {
+        results = figures::all();
+    } else {
+        for a in &args {
+            if let Some(v) = run(a) {
+                results.push((Box::leak(a.clone().into_boxed_str()) as &'static str, v));
+            }
+        }
+    }
+
+    for (name, value) in &results {
+        let path = format!("results/{name}.json");
+        fs::write(&path, serde_json::to_string_pretty(value).unwrap())
+            .unwrap_or_else(|e| panic!("write {path}: {e}"));
+    }
+    println!("\nwrote {} JSON artifact(s) to results/", results.len());
+}

@@ -1,0 +1,8 @@
+//! Benchmark harness: regenerates every table and figure of the paper's
+//! evaluation (see DESIGN.md §3 for the experiment index).
+//!
+//! The `figures` binary prints each artifact as text and writes the series
+//! to `results/*.json`; the criterion benches measure the real mini-kernel
+//! performance that grounds the machine model's workload profile.
+
+pub mod figures;

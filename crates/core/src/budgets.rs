@@ -1,0 +1,81 @@
+//! Cross-component conservation ledgers.
+//!
+//! The point of the full Earth system (§3 of the paper) is the *closed*
+//! coupling of the energy, water, and carbon cycles. These ledgers add up
+//! each cycle's stocks across components; the coupled integration must
+//! keep the totals constant up to the in-flight fluxes of one coupling
+//! lag.
+
+/// Carbon currency conversion used identically on both sides of every
+/// exchange (so conversions cancel exactly in the ledger).
+pub const KG_CO2_PER_KG_C: f64 = 44.0095 / 12.0107;
+
+/// Carbon mass per kmol (kg C / kmol C), matching `hamocc::carbonate`.
+pub const KG_C_PER_KMOL: f64 = 12.011;
+
+/// Carbon stocks by component (kg C).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CarbonBudget {
+    /// Atmospheric CO2 (converted to kg C).
+    pub atmosphere: f64,
+    /// Land pools + carbon already exported to the atmosphere ledgered by
+    /// the land model itself.
+    pub land: f64,
+    /// Ocean dissolved/organic/buried carbon + outgassed accumulator.
+    pub ocean: f64,
+}
+
+impl CarbonBudget {
+    pub fn total(&self) -> f64 {
+        self.atmosphere + self.land + self.ocean
+    }
+}
+
+/// Water stocks by component (kg).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct WaterBudget {
+    /// Atmospheric column water (vapor + condensate).
+    pub atmosphere: f64,
+    /// Soil water + river storage.
+    pub land: f64,
+    /// Net freshwater delivered to the ocean since start (the ocean
+    /// tracks volume through the surface height; the ledger uses the
+    /// delivered accumulator).
+    pub ocean_received: f64,
+}
+
+impl WaterBudget {
+    pub fn total(&self) -> f64 {
+        self.atmosphere + self.land + self.ocean_received
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_sum_components() {
+        let c = CarbonBudget {
+            atmosphere: 1.0,
+            land: 2.0,
+            ocean: 3.0,
+        };
+        assert_eq!(c.total(), 6.0);
+        let w = WaterBudget {
+            atmosphere: 5.0,
+            land: 1.0,
+            ocean_received: -2.0,
+        };
+        assert_eq!(w.total(), 4.0);
+    }
+
+    #[test]
+    fn conversion_constants_are_consistent() {
+        // 1 kg C converts to ~3.664 kg CO2 and back exactly.
+        let c = 1.0;
+        let co2 = c * KG_CO2_PER_KG_C;
+        assert!((co2 / KG_CO2_PER_KG_C - c).abs() < 1e-15);
+        assert!((KG_CO2_PER_KG_C - 3.664).abs() < 0.01);
+    }
+}

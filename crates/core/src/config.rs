@@ -1,0 +1,93 @@
+//! Laptop-scale coupled-run configurations.
+//!
+//! Paper-scale configurations (Table 2) are described by
+//! [`machine::config::GridConfig`]; this type describes what we actually
+//! integrate on a workstation: the same component structure on a coarser
+//! `R2B(k)` grid with proportionally scaled time steps.
+
+use coupler::CouplingClock;
+
+#[derive(Debug, Clone)]
+pub struct EsmConfig {
+    /// Bisections of the icosahedron (R2B(k) has `bisections = k + 1`).
+    pub bisections: u32,
+    /// Atmosphere layers (90 at paper scale).
+    pub atm_levels: usize,
+    /// Ocean levels (72 at paper scale).
+    pub oce_levels: usize,
+    /// Atmosphere/land time step (s).
+    pub dt_atm: f64,
+    /// Ocean/BGC time step (s).
+    pub dt_oce: f64,
+    /// Coupling interval (s).
+    pub coupling_s: f64,
+    /// Land-sea mask seed.
+    pub seed: u64,
+    /// Target land fraction (Earth ~0.29).
+    pub land_fraction: f64,
+}
+
+impl EsmConfig {
+    /// A fast test configuration (~320 cells).
+    pub fn tiny() -> EsmConfig {
+        EsmConfig {
+            bisections: 2,
+            atm_levels: 5,
+            oce_levels: 6,
+            dt_atm: 300.0,
+            dt_oce: 1200.0,
+            coupling_s: 3600.0,
+            seed: 2020,
+            land_fraction: 0.29,
+        }
+    }
+
+    /// The default demonstration configuration (~5120 cells, R2B3-like,
+    /// ~313 km nominal).
+    pub fn demo() -> EsmConfig {
+        EsmConfig {
+            bisections: 4,
+            atm_levels: 8,
+            oce_levels: 10,
+            dt_atm: 150.0,
+            dt_oce: 600.0,
+            coupling_s: 600.0,
+            seed: 2020,
+            land_fraction: 0.29,
+        }
+    }
+
+    pub fn clock(&self) -> CouplingClock {
+        CouplingClock::new(self.dt_atm, self.dt_oce, self.coupling_s)
+    }
+
+    /// Atmosphere steps per coupling window.
+    pub fn atm_steps_per_window(&self) -> usize {
+        self.clock().fast_steps()
+    }
+
+    /// Ocean steps per coupling window.
+    pub fn oce_steps_per_window(&self) -> usize {
+        self.clock().slow_steps()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn configurations_are_clock_consistent() {
+        for cfg in [EsmConfig::tiny(), EsmConfig::demo()] {
+            let c = cfg.clock();
+            assert!(c.fast_steps() >= 1);
+            assert!(c.slow_steps() >= 1);
+            assert!(cfg.dt_atm <= cfg.dt_oce);
+        }
+    }
+
+    #[test]
+    fn demo_is_larger_than_tiny() {
+        assert!(EsmConfig::demo().bisections > EsmConfig::tiny().bisections);
+    }
+}

@@ -1,0 +1,181 @@
+//! Climate diagnostics over the coupled state: global and zonal-mean
+//! summaries of the kind the paper's production runs output through the
+//! asynchronous I/O servers (§6.4).
+
+use crate::esm::CoupledEsm;
+
+/// Area-weighted global mean of a per-cell quantity.
+pub fn global_mean(esm: &CoupledEsm, f: impl Fn(usize) -> f64) -> f64 {
+    let g = esm.grid.as_ref();
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for c in 0..g.n_cells {
+        num += f(c) * g.cell_area[c];
+        den += g.cell_area[c];
+    }
+    num / den
+}
+
+/// Area-weighted zonal means in `bands` equal-width sine-latitude bands
+/// (equal-area banding), south to north. Cells where `f` returns `None`
+/// are excluded (e.g. land-only or ocean-only diagnostics).
+pub fn zonal_mean(
+    esm: &CoupledEsm,
+    bands: usize,
+    f: impl Fn(usize) -> Option<f64>,
+) -> Vec<f64> {
+    let g = esm.grid.as_ref();
+    let mut num = vec![0.0; bands];
+    let mut den = vec![0.0; bands];
+    for c in 0..g.n_cells {
+        if let Some(v) = f(c) {
+            let s = g.cell_center[c].z; // sin(latitude)
+            let b = (((s + 1.0) / 2.0) * bands as f64) as usize;
+            let b = b.min(bands - 1);
+            num[b] += v * g.cell_area[c];
+            den[b] += g.cell_area[c];
+        }
+    }
+    num.iter()
+        .zip(&den)
+        .map(|(n, d)| if *d > 0.0 { n / d } else { f64::NAN })
+        .collect()
+}
+
+/// A compact climate summary for monitoring long runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClimateSummary {
+    /// Global-mean sea-surface temperature (deg C, ocean only).
+    pub mean_sst: f64,
+    /// Global-mean precipitable water (column vapor, kg/m^2).
+    pub mean_pw: f64,
+    /// Global-mean accumulated precipitation (kg/m^2).
+    pub mean_precip_acc: f64,
+    /// Maximum wind speed in the lowest layer (m/s).
+    pub max_surface_wind: f64,
+    /// Total sea-ice volume (m^3).
+    pub ice_volume_m3: f64,
+    /// Global-mean atmospheric CO2 (ppmv).
+    pub mean_co2_ppmv: f64,
+    /// Global land LAI mean (land cells only).
+    pub mean_lai: f64,
+    /// Ocean net primary production integral (kmol P/s).
+    pub total_npp: f64,
+}
+
+/// Compute the summary from the current state.
+pub fn summarize(esm: &CoupledEsm) -> ClimateSummary {
+    let g = esm.grid.as_ref();
+    let kb = esm.cfg.atm_levels - 1;
+
+    let mut sst_num = 0.0;
+    let mut sst_den = 0.0;
+    let mut ice_vol = 0.0;
+    let mut total_npp = 0.0;
+    for c in 0..g.n_cells {
+        if esm.ocean.mask.wet_cell[c] {
+            sst_num += esm.ocean.sst(c) * g.cell_area[c];
+            sst_den += g.cell_area[c];
+            ice_vol += esm.ocean.state.ice_thick[c] * g.cell_area[c];
+            total_npp += esm.hamocc.npp[c] * g.cell_area[c];
+        }
+    }
+
+    let mean_pw = global_mean(esm, |c| esm.atm.precipitable_water(c));
+    let mean_precip_acc = global_mean(esm, |c| esm.atm.state.precip_acc[c]);
+    let max_surface_wind = (0..g.n_cells)
+        .map(|c| esm.atm.wind_lowest[c])
+        .fold(0.0f64, f64::max);
+    let mean_co2_kgkg = global_mean(esm, |c| esm.atm.state.co2.at(c, kb));
+    let mean_lai = if esm.land.n_land_cells() > 0 {
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for (i, &gc) in esm.land.cells.iter().enumerate() {
+            let a = g.cell_area[gc as usize];
+            let lai: f64 = (0..land::params::N_PFT)
+                .map(|p| esm.land.state.lai[i * land::params::N_PFT + p])
+                .sum();
+            num += lai * a;
+            den += a;
+        }
+        num / den
+    } else {
+        0.0
+    };
+
+    ClimateSummary {
+        mean_sst: sst_num / sst_den.max(1e-300),
+        mean_pw,
+        mean_precip_acc,
+        max_surface_wind,
+        ice_volume_m3: ice_vol,
+        mean_co2_ppmv: mean_co2_kgkg * (28.97 / 44.0095) * 1e6,
+        mean_lai,
+        total_npp,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EsmConfig;
+
+    fn esm() -> CoupledEsm {
+        let mut e = CoupledEsm::new(EsmConfig::tiny());
+        e.run_windows(2, false);
+        e
+    }
+
+    #[test]
+    fn global_mean_of_constant_is_constant() {
+        let e = esm();
+        let m = global_mean(&e, |_| 3.5);
+        assert!((m - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zonal_means_partition_the_sphere() {
+        let e = esm();
+        // Sine-latitude banding is equal-area: constant field -> constant
+        // zonal means in every band.
+        let z = zonal_mean(&e, 8, |_| Some(2.0));
+        for v in &z {
+            assert!((v - 2.0).abs() < 1e-12);
+        }
+        // SST: tropics warmer than the polar bands.
+        let sst = zonal_mean(&e, 6, |c| {
+            if e.ocean.mask.wet_cell[c] {
+                Some(e.ocean.sst(c))
+            } else {
+                None
+            }
+        });
+        let tropical = sst[2].max(sst[3]);
+        let polar = sst[0].min(sst[5]);
+        assert!(
+            tropical > polar || polar.is_nan(),
+            "tropics {tropical} vs poles {polar}"
+        );
+    }
+
+    #[test]
+    fn summary_is_physical() {
+        let e = esm();
+        let s = summarize(&e);
+        assert!((-5.0..40.0).contains(&s.mean_sst), "SST {}", s.mean_sst);
+        assert!(s.mean_pw > 0.0);
+        assert!(s.max_surface_wind >= 0.0 && s.max_surface_wind < 200.0);
+        assert!((200.0..800.0).contains(&s.mean_co2_ppmv), "CO2 {}", s.mean_co2_ppmv);
+        assert!(s.mean_lai >= 0.0);
+        assert!(s.ice_volume_m3 >= 0.0);
+        assert!(s.total_npp.is_finite());
+    }
+
+    #[test]
+    fn empty_bands_are_nan_not_zero() {
+        let e = esm();
+        // A diagnostic that excludes everything yields NaN bands.
+        let z = zonal_mean(&e, 4, |_| None);
+        assert!(z.iter().all(|v| v.is_nan()));
+    }
+}

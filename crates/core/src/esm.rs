@@ -1,0 +1,805 @@
+//! The coupled Earth system (Figure 1 of the paper): atmosphere, land +
+//! vegetation, ocean + sea ice, and ocean biogeochemistry on one
+//! icosahedral grid, exchanging energy, water, and carbon every coupling
+//! window.
+//!
+//! Two execution modes with **identical physics** (bitwise — tested):
+//!
+//! * sequential — both component groups step on the caller's thread;
+//! * concurrent — ocean+BGC run on their own thread
+//!   ([`coupler::run_concurrent_windows`]), the structure that lets the
+//!   paper execute the ocean on otherwise-idle Grace CPUs "for free".
+//!
+//! Both modes use the same one-window flux lag (each side consumes the
+//! fluxes its peer produced in the previous window), so conservation
+//! ledgers close up to the bounded in-flight fluxes of one lag.
+
+use crate::budgets::{CarbonBudget, WaterBudget, KG_CO2_PER_KG_C, KG_C_PER_KMOL};
+use crate::config::EsmConfig;
+use crate::solar;
+use crate::timers::Timers;
+use atmo::{AtmParams, Atmosphere};
+use coupler::exchange::{run_concurrent_windows, FluxSet};
+use hamocc::Hamocc;
+use icongrid::{Field2, Grid, LandSeaMask, NoExchange};
+use land::{kernels::LaunchMode, LandModel, LandParams};
+use ocean::{Ocean, OceanParams};
+use std::sync::Arc;
+
+/// Air density of the wind-stress bulk formula (kg/m^3).
+const RHO_AIR: f64 = 1.2;
+/// Drag coefficient.
+const C_DRAG: f64 = 1.5e-3;
+/// Longwave cooling: OLR = A + B * SST (W/m^2, SST in deg C).
+const OLR_A: f64 = 200.0;
+const OLR_B: f64 = 10.0;
+/// Sensible heat exchange coefficient (W/m^2/K).
+const SENSIBLE: f64 = 15.0;
+/// Ocean shortwave co-albedo.
+const OCEAN_CO_ALBEDO: f64 = 0.93;
+/// Latent heat (J/kg), matching the atmosphere's constant.
+const LATENT: f64 = 2.5e6;
+
+/// The assembled coupled system.
+pub struct CoupledEsm {
+    pub cfg: EsmConfig,
+    pub grid: Arc<Grid>,
+    pub mask: LandSeaMask,
+    pub atm: Atmosphere<Grid>,
+    pub land: LandModel<Grid>,
+    pub ocean: Ocean<Grid>,
+    pub hamocc: Hamocc<Grid>,
+    pub timers: Timers,
+    /// Net freshwater delivered to the ocean since start (kg).
+    pub ocean_water_received_kg: f64,
+    /// Pending fluxes each side will consume in its next window.
+    pending_to_fast: FluxSet,
+    pending_to_slow: FluxSet,
+    /// grid cell -> land-local index (-1 over ocean).
+    land_pos: Vec<i64>,
+    windows_run: u64,
+}
+
+impl CoupledEsm {
+    pub fn new(cfg: EsmConfig) -> CoupledEsm {
+        let grid = Arc::new(Grid::build(cfg.bisections, icongrid::EARTH_RADIUS_M));
+        let mask = LandSeaMask::synthetic_earth(&grid, cfg.seed, cfg.land_fraction);
+
+        // Atmosphere over the full sphere; evaporates over open ocean.
+        let atm_params = AtmParams::new(cfg.atm_levels, cfg.dt_atm);
+        let z_surface = Field2::from_vec(mask.elevation.clone());
+        let is_water: Vec<bool> = mask.is_land.iter().map(|&l| !l).collect();
+        let atm = Atmosphere::new(grid.clone(), atm_params, z_surface, is_water);
+
+        // Land over the land cells.
+        let land_cells = mask.land_cells();
+        let land = LandModel::new(
+            grid.clone(),
+            LandParams::new(cfg.dt_atm),
+            land_cells.clone(),
+            &mask.elevation,
+            LaunchMode::Graph,
+        );
+        let mut land_pos = vec![-1i64; grid.n_cells];
+        for (i, &c) in land_cells.iter().enumerate() {
+            land_pos[c as usize] = i as i64;
+        }
+
+        // Ocean + BGC over the wet cells.
+        let ocean = Ocean::new(
+            grid.clone(),
+            OceanParams::new(cfg.oce_levels, cfg.dt_oce),
+            &mask.bathymetry,
+        );
+        let hamocc = Hamocc::new(&ocean);
+
+        let mut esm = CoupledEsm {
+            cfg,
+            grid,
+            mask,
+            atm,
+            land,
+            ocean,
+            hamocc,
+            timers: Timers::new(),
+            ocean_water_received_kg: 0.0,
+            pending_to_fast: FluxSet::new(),
+            pending_to_slow: FluxSet::new(),
+            land_pos,
+            windows_run: 0,
+        };
+        esm.pending_to_fast = initial_to_fast(&esm.ocean, &esm.hamocc);
+        esm.pending_to_slow = initial_to_slow(esm.grid.as_ref());
+        esm
+    }
+
+    /// Run `n` coupling windows. `concurrent` moves ocean+BGC to their
+    /// own thread; the physics is bitwise identical either way.
+    pub fn run_windows(&mut self, n: usize, concurrent: bool) {
+        let t0 = std::time::Instant::now();
+        let cfg = self.cfg.clone();
+        let grid = self.grid.clone();
+        let window0 = self.windows_run;
+
+        if concurrent {
+            let CoupledEsm {
+                atm,
+                land,
+                ocean,
+                hamocc,
+                land_pos,
+                pending_to_fast,
+                pending_to_slow,
+                ocean_water_received_kg,
+                timers,
+                ..
+            } = self;
+            let mut last_fast_out = FluxSet::new();
+            let mut last_slow_out = FluxSet::new();
+            let cfg_slow = cfg.clone();
+            let (fast_stats, slow_stats) = {
+                let g = grid.as_ref();
+                let last_fast_out = &mut last_fast_out;
+                let last_slow_out = &mut last_slow_out;
+                run_concurrent_windows(
+                    n,
+                    pending_to_fast.clone(),
+                    pending_to_slow.clone(),
+                    move |w, incoming| {
+                        let out = fast_window(
+                            atm,
+                            land,
+                            g,
+                            land_pos,
+                            &cfg,
+                            window0 + w as u64,
+                            incoming,
+                            ocean_water_received_kg,
+                        );
+                        *last_fast_out = out.clone();
+                        out
+                    },
+                    move |_w, incoming| {
+                        let out = slow_window(ocean, hamocc, g, cfg_slow.oce_steps_per_window(), incoming);
+                        *last_slow_out = out.clone();
+                        out
+                    },
+                )
+            };
+            timers.atm_wait_s += fast_stats.wait_s;
+            timers.oce_wait_s += slow_stats.wait_s;
+            self.pending_to_slow = last_fast_out;
+            self.pending_to_fast = last_slow_out;
+        } else {
+            for w in 0..n {
+                let incoming_fast = self.pending_to_fast.clone();
+                let incoming_slow = self.pending_to_slow.clone();
+                let fast_out = Timers::time(&mut self.timers.atm_land_s, || {
+                    fast_window(
+                        &mut self.atm,
+                        &mut self.land,
+                        grid.as_ref(),
+                        &self.land_pos,
+                        &cfg,
+                        window0 + w as u64,
+                        &incoming_fast,
+                        &mut self.ocean_water_received_kg,
+                    )
+                });
+                let slow_out = Timers::time(&mut self.timers.ocean_bgc_s, || {
+                    slow_window(
+                        &mut self.ocean,
+                        &mut self.hamocc,
+                        grid.as_ref(),
+                        cfg.oce_steps_per_window(),
+                        &incoming_slow,
+                    )
+                });
+                self.pending_to_slow = fast_out;
+                self.pending_to_fast = slow_out;
+            }
+        }
+        self.windows_run += n as u64;
+        self.timers.total_s += t0.elapsed().as_secs_f64();
+        self.timers.simulated_s += n as f64 * self.cfg.coupling_s;
+    }
+
+    /// Simulated seconds since initialization.
+    pub fn time_s(&self) -> f64 {
+        self.windows_run as f64 * self.cfg.coupling_s
+    }
+
+    pub fn windows_run(&self) -> u64 {
+        self.windows_run
+    }
+
+    /// Cross-component carbon stocks (kg C). Stocks only — exported
+    /// fluxes live in the receiving component, so the total is conserved.
+    pub fn carbon_budget(&self) -> CarbonBudget {
+        let g = self.grid.as_ref();
+        let atm_kg_co2 = self.atm.state.co2_mass(g, g.n_cells);
+        let land_kgc: f64 = (0..self.land.n_land_cells())
+            .map(|i| {
+                g.cell_area[self.land.cells[i] as usize] * self.land.state.cell_carbon(i)
+            })
+            .sum();
+        let ocean_kmol = self.hamocc.carbon_inventory(&self.ocean, g.n_cells);
+        let outgassed_kmol: f64 = (0..g.n_cells)
+            .filter(|&c| self.ocean.mask.wet_cell[c])
+            .map(|c| g.cell_area[c] * self.hamocc.co2_flux_acc[c])
+            .sum();
+        CarbonBudget {
+            atmosphere: atm_kg_co2 / KG_CO2_PER_KG_C,
+            land: land_kgc,
+            ocean: (ocean_kmol - outgassed_kmol) * KG_C_PER_KMOL,
+        }
+    }
+
+    /// Cross-component water stocks (kg).
+    pub fn water_budget(&self) -> WaterBudget {
+        let g = self.grid.as_ref();
+        let mut atm_kg = 0.0;
+        for c in 0..g.n_cells {
+            let mut col = 0.0;
+            for k in 0..self.cfg.atm_levels {
+                col += self.atm.state.delta.at(c, k)
+                    * (self.atm.state.qv.at(c, k) + self.atm.state.qc.at(c, k));
+            }
+            atm_kg += g.cell_area[c] * col;
+        }
+        let mut land_kg = 0.0;
+        for i in 0..self.land.n_land_cells() {
+            let a = g.cell_area[self.land.cells[i] as usize];
+            let soil_m: f64 = self
+                .land
+                .state
+                .w_liquid
+                .col(i)
+                .iter()
+                .chain(self.land.state.w_ice.col(i))
+                .sum();
+            land_kg += 1000.0 * (a * soil_m + self.land.state.river_storage[i]);
+        }
+        WaterBudget {
+            atmosphere: atm_kg,
+            land: land_kg,
+            ocean_received: self.ocean_water_received_kg,
+        }
+    }
+
+    /// Full model state as a checkpoint snapshot (bit-exact restart).
+    pub fn snapshot(&self) -> iosys::Snapshot {
+        let mut s = iosys::Snapshot::new();
+        let a = &self.atm.state;
+        for (n, f) in [
+            ("atm.delta", &a.delta),
+            ("atm.vn", &a.vn),
+            ("atm.qv", &a.qv),
+            ("atm.qc", &a.qc),
+            ("atm.co2", &a.co2),
+            ("atm.o3", &a.o3),
+        ] {
+            s.push(n, f.as_slice().to_vec());
+        }
+        for (n, f) in [
+            ("atm.precip_acc", &a.precip_acc),
+            ("atm.evap_acc", &a.evap_acc),
+            ("atm.precip_rate", &a.precip_rate),
+            ("atm.evap_rate", &a.evap_rate),
+            ("atm.t_surface", &a.t_surface),
+            ("atm.co2_flux", &a.co2_surface_flux),
+            ("atm.lmf", &a.land_moisture_flux),
+        ] {
+            s.push(n, f.as_slice().to_vec());
+        }
+        s.push(
+            "atm.is_water",
+            a.is_water.iter().map(|&b| b as u8 as f64).collect(),
+        );
+
+        let l = &self.land.state;
+        for (n, f) in [
+            ("land.t_soil", &l.t_soil),
+            ("land.w_liquid", &l.w_liquid),
+            ("land.w_ice", &l.w_ice),
+            ("land.q_organic", &l.q_organic),
+        ] {
+            s.push(n, f.as_slice().to_vec());
+        }
+        s.push("land.pools", l.pools.clone());
+        s.push("land.lai", l.lai.clone());
+        s.push("land.river_storage", l.river_storage.clone());
+        s.push("land.nee", l.nee.clone());
+        s.push("land.et", l.evapotranspiration.clone());
+        s.push("land.nee_acc", l.nee_acc.clone());
+        s.push("land.et_acc", l.et_acc.clone());
+        s.push("land.precip_acc", l.precip_acc.clone());
+        s.push("land.runoff_acc", l.runoff_acc.clone());
+
+        let o = &self.ocean.state;
+        for (n, f) in [
+            ("oce.vn", &o.vn),
+            ("oce.temp", &o.temp),
+            ("oce.salt", &o.salt),
+            ("oce.w", &o.w),
+        ] {
+            s.push(n, f.as_slice().to_vec());
+        }
+        for (n, f) in [
+            ("oce.eta", &o.eta),
+            ("oce.ice", &o.ice_thick),
+            ("oce.wind_stress", &o.wind_stress_n),
+            ("oce.heat_flux", &o.heat_flux),
+            ("oce.fw_flux", &o.fw_flux),
+            ("oce.pco2", &o.pco2_atm),
+            ("oce.heat_acc", &o.heat_acc),
+            ("oce.salt_acc", &o.salt_acc),
+            ("oce.ice_fw_acc", &o.ice_fw_acc),
+        ] {
+            s.push(n, f.as_slice().to_vec());
+        }
+
+        for (i, tr) in self.hamocc.tracers.iter().enumerate() {
+            s.push(format!("bgc.tr{i:02}"), tr.as_slice().to_vec());
+        }
+        for (n, f) in [
+            ("bgc.sed_p", &self.hamocc.sediment_p),
+            ("bgc.sed_c", &self.hamocc.sediment_c),
+            ("bgc.sed_si", &self.hamocc.sediment_si),
+            ("bgc.co2_flux", &self.hamocc.co2_flux_up),
+            ("bgc.co2_acc", &self.hamocc.co2_flux_acc),
+            ("bgc.sw", &self.hamocc.sw_down),
+            ("bgc.wind", &self.hamocc.wind),
+            ("bgc.pco2", &self.hamocc.pco2_atm),
+        ] {
+            s.push(n, f.as_slice().to_vec());
+        }
+
+        // Coupler lag state.
+        for (prefix, fx) in [
+            ("pend_fast", &self.pending_to_fast),
+            ("pend_slow", &self.pending_to_slow),
+        ] {
+            for (name, data) in &fx.fields {
+                s.push(format!("{prefix}.{name}"), data.clone());
+            }
+        }
+        s.push(
+            "esm.scalars",
+            vec![
+                self.windows_run as f64,
+                self.ocean_water_received_kg,
+                self.atm.state.time_s,
+                self.land.state.time_s,
+                self.ocean.state.time_s,
+            ],
+        );
+        s
+    }
+
+    /// Restore from a snapshot produced by [`CoupledEsm::snapshot`] on an
+    /// identically configured instance.
+    pub fn restore(&mut self, s: &iosys::Snapshot) {
+        let copy3 = |f: &mut icongrid::Field3, v: &[f64]| f.as_mut_slice().copy_from_slice(v);
+        let copy2 = |f: &mut Field2, v: &[f64]| f.as_mut_slice().copy_from_slice(v);
+
+        let a = &mut self.atm.state;
+        copy3(&mut a.delta, s.expect("atm.delta"));
+        copy3(&mut a.vn, s.expect("atm.vn"));
+        copy3(&mut a.qv, s.expect("atm.qv"));
+        copy3(&mut a.qc, s.expect("atm.qc"));
+        copy3(&mut a.co2, s.expect("atm.co2"));
+        copy3(&mut a.o3, s.expect("atm.o3"));
+        copy2(&mut a.precip_acc, s.expect("atm.precip_acc"));
+        copy2(&mut a.evap_acc, s.expect("atm.evap_acc"));
+        copy2(&mut a.precip_rate, s.expect("atm.precip_rate"));
+        copy2(&mut a.evap_rate, s.expect("atm.evap_rate"));
+        copy2(&mut a.t_surface, s.expect("atm.t_surface"));
+        copy2(&mut a.co2_surface_flux, s.expect("atm.co2_flux"));
+        copy2(&mut a.land_moisture_flux, s.expect("atm.lmf"));
+        for (b, v) in a.is_water.iter_mut().zip(s.expect("atm.is_water")) {
+            *b = *v != 0.0;
+        }
+
+        let l = &mut self.land.state;
+        copy3(&mut l.t_soil, s.expect("land.t_soil"));
+        copy3(&mut l.w_liquid, s.expect("land.w_liquid"));
+        copy3(&mut l.w_ice, s.expect("land.w_ice"));
+        copy3(&mut l.q_organic, s.expect("land.q_organic"));
+        l.pools.copy_from_slice(s.expect("land.pools"));
+        l.lai.copy_from_slice(s.expect("land.lai"));
+        l.river_storage.copy_from_slice(s.expect("land.river_storage"));
+        l.nee.copy_from_slice(s.expect("land.nee"));
+        l.evapotranspiration.copy_from_slice(s.expect("land.et"));
+        l.nee_acc.copy_from_slice(s.expect("land.nee_acc"));
+        l.et_acc.copy_from_slice(s.expect("land.et_acc"));
+        l.precip_acc.copy_from_slice(s.expect("land.precip_acc"));
+        l.runoff_acc.copy_from_slice(s.expect("land.runoff_acc"));
+
+        let o = &mut self.ocean.state;
+        copy3(&mut o.vn, s.expect("oce.vn"));
+        copy3(&mut o.temp, s.expect("oce.temp"));
+        copy3(&mut o.salt, s.expect("oce.salt"));
+        copy3(&mut o.w, s.expect("oce.w"));
+        copy2(&mut o.eta, s.expect("oce.eta"));
+        copy2(&mut o.ice_thick, s.expect("oce.ice"));
+        copy2(&mut o.wind_stress_n, s.expect("oce.wind_stress"));
+        copy2(&mut o.heat_flux, s.expect("oce.heat_flux"));
+        copy2(&mut o.fw_flux, s.expect("oce.fw_flux"));
+        copy2(&mut o.pco2_atm, s.expect("oce.pco2"));
+        copy2(&mut o.heat_acc, s.expect("oce.heat_acc"));
+        copy2(&mut o.salt_acc, s.expect("oce.salt_acc"));
+        copy2(&mut o.ice_fw_acc, s.expect("oce.ice_fw_acc"));
+
+        for (i, tr) in self.hamocc.tracers.iter_mut().enumerate() {
+            copy3(tr, s.expect(&format!("bgc.tr{i:02}")));
+        }
+        copy2(&mut self.hamocc.sediment_p, s.expect("bgc.sed_p"));
+        copy2(&mut self.hamocc.sediment_c, s.expect("bgc.sed_c"));
+        copy2(&mut self.hamocc.sediment_si, s.expect("bgc.sed_si"));
+        copy2(&mut self.hamocc.co2_flux_up, s.expect("bgc.co2_flux"));
+        copy2(&mut self.hamocc.co2_flux_acc, s.expect("bgc.co2_acc"));
+        copy2(&mut self.hamocc.sw_down, s.expect("bgc.sw"));
+        copy2(&mut self.hamocc.wind, s.expect("bgc.wind"));
+        copy2(&mut self.hamocc.pco2_atm, s.expect("bgc.pco2"));
+
+        for (prefix, fx) in [
+            ("pend_fast", &mut self.pending_to_fast),
+            ("pend_slow", &mut self.pending_to_slow),
+        ] {
+            for (name, data) in fx.fields.iter_mut() {
+                data.copy_from_slice(s.expect(&format!("{prefix}.{name}")));
+            }
+        }
+        let scalars = s.expect("esm.scalars");
+        self.windows_run = scalars[0] as u64;
+        self.ocean_water_received_kg = scalars[1];
+        self.atm.state.time_s = scalars[2];
+        self.land.state.time_s = scalars[3];
+        self.ocean.state.time_s = scalars[4];
+    }
+}
+
+/// Near-surface air temperature diagnostic (K): the fixed bottom-layer
+/// temperature plus latitude structure plus the thermal signal carried by
+/// the column-mass anomaly.
+fn t_air_k(atm: &Atmosphere<Grid>, g: &Grid, c: usize) -> f64 {
+    let sinlat = g.cell_center[c].z;
+    let kb = atm.params.nlev - 1;
+    let col: f64 = atm.state.delta.col(c).iter().sum();
+    let anomaly = col / atm.params.total_depth() - 1.0;
+    atm.params.layer_temp[kb] + 14.0 - 38.0 * sinlat * sinlat + 60.0 * anomaly
+}
+
+fn initial_to_fast(ocean: &Ocean<Grid>, hamocc: &Hamocc<Grid>) -> FluxSet {
+    let n = ocean.grid.n_cells;
+    let mut f = FluxSet::new();
+    f.insert("sst", (0..n).map(|c| ocean.sst(c)).collect());
+    f.insert("ice_conc", (0..n).map(|c| ocean.ice_concentration(c)).collect());
+    f.insert("co2_flux_up", vec![0.0; n]);
+    let _ = hamocc;
+    f
+}
+
+fn initial_to_slow(g: &Grid) -> FluxSet {
+    let mut f = FluxSet::new();
+    f.insert("wind_stress_n", vec![0.0; g.n_edges]);
+    f.insert("heat_flux", vec![0.0; g.n_cells]);
+    f.insert("fw_flux", vec![0.0; g.n_cells]);
+    f.insert("pco2_atm", vec![420.0; g.n_cells]);
+    f.insert("sw_down", vec![200.0; g.n_cells]);
+    f.insert("wind", vec![5.0; g.n_cells]);
+    f
+}
+
+/// One atmosphere+land coupling window.
+#[allow(clippy::too_many_arguments)]
+fn fast_window(
+    atm: &mut Atmosphere<Grid>,
+    land: &mut LandModel<Grid>,
+    g: &Grid,
+    land_pos: &[i64],
+    cfg: &EsmConfig,
+    window: u64,
+    incoming: &FluxSet,
+    ocean_water_received_kg: &mut f64,
+) -> FluxSet {
+    let n = g.n_cells;
+    let steps = cfg.atm_steps_per_window();
+    let dt = cfg.dt_atm;
+    let window_t0 = window as f64 * cfg.coupling_s;
+
+    // --- unpack ocean fluxes into the atmosphere's boundary state.
+    let sst = incoming.expect("sst");
+    let ice = incoming.expect("ice_conc");
+    let oce_co2 = incoming.expect("co2_flux_up");
+    for c in 0..n {
+        if land_pos[c] < 0 {
+            let frozen = ice[c] >= 0.5;
+            atm.state.is_water[c] = !frozen;
+            atm.state.t_surface[c] = if frozen {
+                271.35
+            } else {
+                sst[c] + 273.15
+            };
+            // Ocean outgassing (kg C) arrives as CO2 mass flux.
+            atm.state.co2_surface_flux[c] = oce_co2[c] * KG_CO2_PER_KG_C;
+        }
+    }
+
+    // --- step atmosphere + land together; accumulate window fluxes.
+    let mut precip_ocean_m = vec![0.0; n];
+    let mut evap_ocean_m = vec![0.0; n];
+    let mut discharge_m3 = vec![0.0; n];
+    let mut sw_sum = vec![0.0; n];
+    for s in 0..steps {
+        let t = window_t0 + s as f64 * dt;
+        // Land forcing from the current atmosphere state and the sun.
+        for (i, &gc) in land.cells.iter().enumerate() {
+            let gc = gc as usize;
+            land.state.sw_down[i] = solar::sw_down(&g.cell_center[gc], t);
+            land.state.precip_rate[i] = atm.state.precip_rate[gc] * 1e-3; // kg/m^2/s -> m/s
+            land.state.t_air[i] = t_air_k(atm, g, gc) - 273.15;
+        }
+        land.step();
+        // Land fluxes enter the atmosphere in the same wall step.
+        for (i, &gc) in land.cells.iter().enumerate() {
+            let gc = gc as usize;
+            atm.state.land_moisture_flux[gc] = land.state.evapotranspiration[i] * 1000.0;
+            atm.state.co2_surface_flux[gc] = land.state.nee[i] * KG_CO2_PER_KG_C;
+        }
+        for c in 0..n {
+            discharge_m3[c] += land.discharge_m3[c];
+        }
+        atm.step(&NoExchange);
+        for c in 0..n {
+            if land_pos[c] < 0 {
+                precip_ocean_m[c] += atm.state.precip_rate[c] * dt * 1e-3;
+                evap_ocean_m[c] += atm.state.evap_rate[c] * dt * 1e-3;
+            }
+            sw_sum[c] += solar::sw_down(&g.cell_center[c], t);
+        }
+    }
+
+    // --- pack fluxes for the ocean window.
+    let kb = atm.params.nlev - 1;
+    let mut wind_stress = vec![0.0; g.n_edges];
+    for e in 0..g.n_edges {
+        let [c0, c1] = g.edge_cells[e];
+        let speed = 0.5 * (atm.wind_lowest[c0 as usize] + atm.wind_lowest[c1 as usize]);
+        wind_stress[e] = RHO_AIR * C_DRAG * speed * atm.state.vn.at(e, kb);
+    }
+    let mut heat = vec![0.0; n];
+    let mut fw = vec![0.0; n];
+    let mut pco2 = vec![420.0; n];
+    let mut wind = vec![0.0; n];
+    let mut sw_mean = vec![0.0; n];
+    let mut received = 0.0;
+    for c in 0..n {
+        sw_mean[c] = sw_sum[c] / steps as f64;
+        wind[c] = atm.wind_lowest[c];
+        pco2[c] = atm.state.co2.at(c, kb) * (28.97 / 44.0095) * 1e6;
+        if land_pos[c] < 0 {
+            let latent = atm.state.evap_rate[c] * LATENT;
+            let sensible = SENSIBLE * ((t_air_k(atm, g, c) - 273.15) - sst[c]);
+            heat[c] = OCEAN_CO_ALBEDO * sw_mean[c] - (OLR_A + OLR_B * sst[c]) - latent
+                + sensible;
+            fw[c] = (precip_ocean_m[c] - evap_ocean_m[c] + discharge_m3[c] / g.cell_area[c])
+                / cfg.coupling_s;
+            received += fw[c] * g.cell_area[c] * cfg.coupling_s * 1000.0;
+        }
+    }
+    *ocean_water_received_kg += received;
+
+    let mut out = FluxSet::new();
+    out.insert("wind_stress_n", wind_stress);
+    out.insert("heat_flux", heat);
+    out.insert("fw_flux", fw);
+    out.insert("pco2_atm", pco2);
+    out.insert("sw_down", sw_mean);
+    out.insert("wind", wind);
+    out
+}
+
+/// One ocean+BGC coupling window of `steps` ocean steps.
+fn slow_window(
+    ocean: &mut Ocean<Grid>,
+    hamocc: &mut Hamocc<Grid>,
+    g: &Grid,
+    steps: usize,
+    incoming: &FluxSet,
+) -> FluxSet {
+    let n = g.n_cells;
+    ocean
+        .state
+        .wind_stress_n
+        .as_mut_slice()
+        .copy_from_slice(incoming.expect("wind_stress_n"));
+    ocean
+        .state
+        .heat_flux
+        .as_mut_slice()
+        .copy_from_slice(incoming.expect("heat_flux"));
+    ocean
+        .state
+        .fw_flux
+        .as_mut_slice()
+        .copy_from_slice(incoming.expect("fw_flux"));
+    ocean
+        .state
+        .pco2_atm
+        .as_mut_slice()
+        .copy_from_slice(incoming.expect("pco2_atm"));
+    hamocc
+        .sw_down
+        .as_mut_slice()
+        .copy_from_slice(incoming.expect("sw_down"));
+    hamocc
+        .wind
+        .as_mut_slice()
+        .copy_from_slice(incoming.expect("wind"));
+    hamocc
+        .pco2_atm
+        .as_mut_slice()
+        .copy_from_slice(incoming.expect("pco2_atm"));
+
+    // Zero fluxes on dry cells (defensive: the masks agree by construction).
+    for c in 0..n {
+        if !ocean.mask.wet_cell[c] {
+            ocean.state.heat_flux[c] = 0.0;
+            ocean.state.fw_flux[c] = 0.0;
+        }
+    }
+
+    for _ in 0..steps {
+        ocean.step(&NoExchange, n);
+        hamocc.step(&NoExchange, ocean);
+    }
+
+    let mut out = FluxSet::new();
+    out.insert("sst", (0..n).map(|c| ocean.sst(c)).collect());
+    out.insert(
+        "ice_conc",
+        (0..n).map(|c| ocean.ice_concentration(c)).collect(),
+    );
+    out.insert("co2_flux_up", hamocc.co2_flux_up.as_slice().to_vec());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> CoupledEsm {
+        CoupledEsm::new(EsmConfig::tiny())
+    }
+
+    #[test]
+    fn builds_all_components_consistently() {
+        let esm = tiny();
+        let g = esm.grid.as_ref();
+        assert_eq!(esm.land.n_land_cells() + esm.ocean.mask.n_wet_cells(), g.n_cells);
+        // Component masks agree with the land-sea mask.
+        for c in 0..g.n_cells {
+            assert_eq!(esm.mask.is_land[c], !esm.ocean.mask.wet_cell[c]);
+            assert_eq!(esm.mask.is_land[c], esm.land_pos[c] >= 0);
+        }
+    }
+
+    #[test]
+    fn carbon_is_conserved_across_components() {
+        let mut esm = tiny();
+        let before = esm.carbon_budget();
+        esm.run_windows(3, false);
+        let after = esm.carbon_budget();
+        let rel = (after.total() - before.total()).abs() / before.total();
+        assert!(
+            rel < 1e-5,
+            "carbon drift {rel:e}: {before:?} -> {after:?}"
+        );
+        // And carbon actually moved between components.
+        assert!(
+            (after.atmosphere - before.atmosphere).abs() > 0.0
+                || (after.land - before.land).abs() > 0.0
+        );
+    }
+
+    #[test]
+    fn water_is_conserved_across_components() {
+        let mut esm = tiny();
+        let before = esm.water_budget();
+        esm.run_windows(3, false);
+        let after = esm.water_budget();
+        let rel = (after.total() - before.total()).abs() / before.total();
+        assert!(rel < 1e-3, "water drift {rel:e}: {before:?} -> {after:?}");
+    }
+
+    #[test]
+    fn serial_and_concurrent_runs_agree_bitwise() {
+        let mut a = tiny();
+        let mut b = tiny();
+        a.run_windows(2, false);
+        b.run_windows(2, true);
+        assert_eq!(a.atm.state, b.atm.state, "atmosphere state diverged");
+        assert_eq!(a.ocean.state, b.ocean.state, "ocean state diverged");
+        assert_eq!(a.land.state, b.land.state, "land state diverged");
+        for (x, y) in a.hamocc.tracers.iter().zip(&b.hamocc.tracers) {
+            assert_eq!(x, y, "BGC tracers diverged");
+        }
+    }
+
+    #[test]
+    fn restart_is_bit_exact() {
+        let mut reference = tiny();
+        reference.run_windows(2, false);
+        let snap = reference.snapshot();
+        reference.run_windows(2, false);
+
+        let mut restored = tiny();
+        restored.restore(&snap);
+        restored.run_windows(2, false);
+
+        assert_eq!(reference.atm.state, restored.atm.state);
+        assert_eq!(reference.ocean.state, restored.ocean.state);
+        assert_eq!(reference.land.state, restored.land.state);
+        for (x, y) in reference.hamocc.tracers.iter().zip(&restored.hamocc.tracers) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn coupled_climate_is_active() {
+        let mut esm = tiny();
+        esm.run_windows(6, false);
+        // Wind spun up.
+        let wind: f64 = esm.atm.state.vn.as_slice().iter().map(|v| v.abs()).sum();
+        assert!(wind > 0.0, "atmosphere at rest");
+        // The ocean felt the wind.
+        let stress: f64 = (0..esm.grid.n_edges)
+            .map(|e| esm.ocean.state.wind_stress_n[e].abs())
+            .sum();
+        assert!(stress > 0.0, "no wind stress delivered");
+        // Vegetation photosynthesized somewhere in the sunlight.
+        assert!(
+            esm.land.state.nee_acc.iter().any(|&x| x != 0.0),
+            "carbon cycle inactive"
+        );
+        // Biogeochemistry produced.
+        assert!(esm.hamocc.npp.max() > 0.0, "no ocean productivity");
+        // CO2 crossed the air-sea interface somewhere.
+        assert!(
+            esm.hamocc.co2_flux_acc.as_slice().iter().any(|&x| x != 0.0),
+            "no air-sea carbon exchange"
+        );
+        assert_eq!(esm.time_s(), 6.0 * esm.cfg.coupling_s);
+    }
+
+    #[test]
+    fn timers_and_tau_are_recorded() {
+        let mut esm = tiny();
+        esm.run_windows(2, false);
+        assert!(esm.timers.total_s > 0.0);
+        assert!(esm.timers.atm_land_s > 0.0);
+        assert!(esm.timers.ocean_bgc_s > 0.0);
+        assert_eq!(esm.timers.simulated_s, 2.0 * esm.cfg.coupling_s);
+        assert!(esm.timers.tau() > 0.0);
+    }
+
+    #[test]
+    fn everything_stays_finite_over_a_simulated_day() {
+        let mut esm = tiny();
+        let windows = (86_400.0 / esm.cfg.coupling_s) as usize;
+        esm.run_windows(windows, false);
+        assert!(esm.atm.state.vn.as_slice().iter().all(|v| v.is_finite()));
+        assert!(esm.atm.state.delta.min() > 0.0);
+        assert!(esm.ocean.state.temp.as_slice().iter().all(|v| v.is_finite()));
+        assert!(esm
+            .hamocc
+            .tracers
+            .iter()
+            .all(|t| t.as_slice().iter().all(|v| v.is_finite())));
+        assert!(esm.land.state.pools.iter().all(|v| *v >= 0.0));
+        // The sun drove a hydrological cycle.
+        assert!(esm.atm.state.precip_acc.max() > 0.0 || esm.atm.state.evap_acc.max() > 0.0);
+    }
+}

@@ -1,0 +1,26 @@
+//! The coupled Earth-system driver: atmosphere + land/vegetation +
+//! ocean/sea-ice + biogeochemistry exchanging energy, water, and carbon
+//! through the coupler — the full system of Figure 1 of the paper.
+//!
+//! * [`config`] — laptop-scale run configurations (paper-scale
+//!   configurations live in `machine::config`);
+//! * [`solar`] — diurnal insolation forcing;
+//! * [`esm`] — the [`CoupledEsm`](esm::CoupledEsm): builds every
+//!   component on a shared icosahedral grid and runs coupling windows
+//!   either sequentially or **concurrently** (ocean+BGC on their own
+//!   thread — the structure that lets the paper run the ocean "for free"
+//!   on the Grace CPUs);
+//! * [`budgets`] — cross-component conservation ledgers (carbon, water);
+//! * [`timers`] — per-component wall-clock timing and the temporal
+//!   compression tau.
+
+pub mod budgets;
+pub mod diagnostics;
+pub mod config;
+pub mod esm;
+pub mod solar;
+pub mod timers;
+
+pub use config::EsmConfig;
+pub use esm::CoupledEsm;
+pub use timers::Timers;

@@ -1,0 +1,101 @@
+//! Component wall-clock timers and the temporal-compression metric.
+//!
+//! §6.3 of the paper: "The most relevant performance metric for climate
+//! simulations is the temporal compression tau, which describes the model
+//! throughput in units of simulated time versus actual time. … The
+//! simulation time is measured independently for the atmosphere/land and
+//! ocean/sea-ice/biogeochemistry components. Included in timings is the
+//! coupling time."
+
+use std::time::Instant;
+
+/// Accumulating wall-clock timers for a coupled run.
+#[derive(Debug, Clone, Default)]
+pub struct Timers {
+    /// Atmosphere + land compute time (s).
+    pub atm_land_s: f64,
+    /// Ocean + sea-ice + BGC compute time (s).
+    pub ocean_bgc_s: f64,
+    /// Coupler pack/unpack/exchange time (s).
+    pub coupling_s: f64,
+    /// Time the atmosphere side waited for the ocean side (s).
+    pub atm_wait_s: f64,
+    /// Time the ocean side waited for the atmosphere side (s).
+    pub oce_wait_s: f64,
+    /// Total wall time of the measured span (s).
+    pub total_s: f64,
+    /// Simulated seconds covered by the measured span.
+    pub simulated_s: f64,
+}
+
+impl Timers {
+    pub fn new() -> Timers {
+        Timers::default()
+    }
+
+    /// Time a closure into one of the buckets.
+    pub fn time<T>(bucket: &mut f64, f: impl FnOnce() -> T) -> T {
+        let t0 = Instant::now();
+        let r = f();
+        *bucket += t0.elapsed().as_secs_f64();
+        r
+    }
+
+    /// Temporal compression tau = simulated time / wall time.
+    pub fn tau(&self) -> f64 {
+        if self.total_s > 0.0 {
+            self.simulated_s / self.total_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Simulated days per (wall-clock) day — the unit of Table 1.
+    pub fn sdpd(&self) -> f64 {
+        self.tau()
+    }
+
+    /// Fraction of wall time spent in each bucket (atm, oce, coupling).
+    pub fn profile(&self) -> (f64, f64, f64) {
+        let t = self.total_s.max(1e-12);
+        (
+            self.atm_land_s / t,
+            self.ocean_bgc_s / t,
+            self.coupling_s / t,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tau_is_simulated_over_wall() {
+        let t = Timers {
+            simulated_s: 86_400.0,
+            total_s: 600.0,
+            ..Timers::default()
+        };
+        assert!((t.tau() - 144.0).abs() < 1e-12);
+        assert_eq!(t.sdpd(), t.tau());
+    }
+
+    #[test]
+    fn zero_wall_time_is_safe() {
+        assert_eq!(Timers::new().tau(), 0.0);
+    }
+
+    #[test]
+    fn time_accumulates() {
+        let mut bucket = 0.0;
+        let v = Timers::time(&mut bucket, || {
+            std::thread::sleep(std::time::Duration::from_millis(12));
+            42
+        });
+        assert_eq!(v, 42);
+        assert!(bucket >= 0.010, "bucket {bucket}");
+        Timers::time(&mut bucket, || {});
+        assert!(bucket >= 0.010);
+    }
+}

@@ -1,0 +1,89 @@
+//! Coupling schedule arithmetic.
+//!
+//! The atmosphere/land group steps with `dt_fast`, the ocean/BGC group
+//! with `dt_slow`; fluxes are exchanged every `coupling_s` (600 s in the
+//! paper's configurations). Both step counts must divide the window.
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CouplingClock {
+    pub dt_fast: f64,
+    pub dt_slow: f64,
+    pub coupling_s: f64,
+}
+
+impl CouplingClock {
+    pub fn new(dt_fast: f64, dt_slow: f64, coupling_s: f64) -> CouplingClock {
+        let c = CouplingClock {
+            dt_fast,
+            dt_slow,
+            coupling_s,
+        };
+        assert!(
+            c.is_consistent(),
+            "time steps must divide the coupling interval: {c:?}"
+        );
+        c
+    }
+
+    /// Do the steps divide the coupling window exactly?
+    pub fn is_consistent(&self) -> bool {
+        let divides = |dt: f64| {
+            let n = self.coupling_s / dt;
+            (n - n.round()).abs() < 1e-9 && n >= 1.0 - 1e-9
+        };
+        divides(self.dt_fast) && divides(self.dt_slow) && self.dt_fast <= self.dt_slow
+    }
+
+    /// Fast (atmosphere+land) steps per coupling window.
+    pub fn fast_steps(&self) -> usize {
+        (self.coupling_s / self.dt_fast).round() as usize
+    }
+
+    /// Slow (ocean+BGC) steps per coupling window.
+    pub fn slow_steps(&self) -> usize {
+        (self.coupling_s / self.dt_slow).round() as usize
+    }
+
+    /// Coupling windows per simulated day.
+    pub fn windows_per_day(&self) -> usize {
+        (86_400.0 / self.coupling_s).round() as usize
+    }
+
+    /// The paper's 1.25 km clock: dt 10 s / 60 s, coupling 600 s.
+    pub fn km1p25() -> CouplingClock {
+        CouplingClock::new(10.0, 60.0, 600.0)
+    }
+
+    /// The paper's 10 km clock: dt 75 s / 600 s, coupling 600 s.
+    pub fn km10() -> CouplingClock {
+        CouplingClock::new(75.0, 600.0, 600.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_clocks() {
+        let c1 = CouplingClock::km1p25();
+        assert_eq!(c1.fast_steps(), 60);
+        assert_eq!(c1.slow_steps(), 10);
+        assert_eq!(c1.windows_per_day(), 144);
+        let c10 = CouplingClock::km10();
+        assert_eq!(c10.fast_steps(), 8);
+        assert_eq!(c10.slow_steps(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "divide the coupling interval")]
+    fn rejects_non_dividing_steps() {
+        CouplingClock::new(7.0, 60.0, 600.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "divide the coupling interval")]
+    fn rejects_slow_faster_than_fast() {
+        CouplingClock::new(60.0, 10.0, 600.0);
+    }
+}

@@ -1,0 +1,236 @@
+//! Flux bundles and the concurrent window runner.
+//!
+//! The heterogeneous mapping of §5.1 runs {atmosphere, land} and {ocean,
+//! sea ice, BGC} *concurrently* — on GPUs and CPUs of the same superchips
+//! in the paper, on separate threads here — synchronizing only at coupling
+//! windows. The runner measures each side's **coupling wait**, the §6.3
+//! metric that must stay near zero for the expensive side when the load
+//! balance is right.
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use std::time::Instant;
+
+/// A named bundle of per-cell fields exchanged at a coupling event.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FluxSet {
+    pub fields: Vec<(&'static str, Vec<f64>)>,
+}
+
+impl FluxSet {
+    pub fn new() -> FluxSet {
+        FluxSet::default()
+    }
+
+    pub fn insert(&mut self, name: &'static str, data: Vec<f64>) {
+        debug_assert!(
+            self.get(name).is_none(),
+            "duplicate coupling field {name}"
+        );
+        self.fields.push((name, data));
+    }
+
+    pub fn get(&self, name: &str) -> Option<&[f64]> {
+        self.fields
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, d)| d.as_slice())
+    }
+
+    /// Field lookup that panics with a useful message (coupling contracts
+    /// are static).
+    pub fn expect(&self, name: &str) -> &[f64] {
+        self.get(name)
+            .unwrap_or_else(|| panic!("missing coupling field '{name}'"))
+    }
+}
+
+/// Wait-time accounting of one side of the coupling.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CouplerStats {
+    /// Seconds this side spent blocked waiting for its peer.
+    pub wait_s: f64,
+    /// Completed coupling exchanges.
+    pub exchanges: u64,
+}
+
+/// Bidirectional coupling endpoint.
+pub struct Endpoint {
+    tx: Sender<FluxSet>,
+    rx: Receiver<FluxSet>,
+    pub stats: CouplerStats,
+}
+
+impl Endpoint {
+    /// Send this side's fluxes (non-blocking; capacity 1 pipeline).
+    pub fn send(&mut self, fluxes: FluxSet) {
+        self.tx.send(fluxes).expect("peer alive");
+    }
+
+    /// Receive the peer's fluxes, accounting blocked time as coupling
+    /// wait.
+    pub fn recv(&mut self) -> FluxSet {
+        let t0 = Instant::now();
+        let f = self.rx.recv().expect("peer alive");
+        self.stats.wait_s += t0.elapsed().as_secs_f64();
+        self.stats.exchanges += 1;
+        f
+    }
+}
+
+/// Create a connected pair of coupling endpoints.
+pub fn endpoint_pair() -> (Endpoint, Endpoint) {
+    let (tx_a, rx_b) = bounded(1);
+    let (tx_b, rx_a) = bounded(1);
+    (
+        Endpoint {
+            tx: tx_a,
+            rx: rx_a,
+            stats: CouplerStats::default(),
+        },
+        Endpoint {
+            tx: tx_b,
+            rx: rx_b,
+            stats: CouplerStats::default(),
+        },
+    )
+}
+
+/// Run `windows` coupling windows with the two component groups executing
+/// concurrently (scoped threads, so the closures may mutably borrow the
+/// component models). Each closure receives the peer's fluxes for its
+/// window and returns its own fluxes for the next exchange. Returns the
+/// wait statistics `(fast_side, slow_side)`.
+pub fn run_concurrent_windows<Fa, Fo>(
+    windows: usize,
+    initial_to_fast: FluxSet,
+    initial_to_slow: FluxSet,
+    mut fast_window: Fa,
+    mut slow_window: Fo,
+) -> (CouplerStats, CouplerStats)
+where
+    Fa: FnMut(usize, &FluxSet) -> FluxSet + Send,
+    Fo: FnMut(usize, &FluxSet) -> FluxSet + Send,
+{
+    let (mut end_fast, mut end_slow) = endpoint_pair();
+    std::thread::scope(|s| {
+        let slow_handle = s.spawn(move || {
+            let mut incoming = initial_to_slow;
+            for w in 0..windows {
+                let out = slow_window(w, &incoming);
+                // The last window's output has no consumer (the peer may
+                // already have exited) — the caller keeps it via its
+                // closure state.
+                if w + 1 < windows {
+                    end_slow.send(out);
+                    incoming = end_slow.recv();
+                }
+            }
+            end_slow.stats
+        });
+        let mut incoming = initial_to_fast;
+        for w in 0..windows {
+            let out = fast_window(w, &incoming);
+            if w + 1 < windows {
+                end_fast.send(out);
+                incoming = end_fast.recv();
+            }
+        }
+        let slow_stats = slow_handle.join().expect("slow side panicked");
+        (end_fast.stats, slow_stats)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn fluxset_roundtrip() {
+        let mut f = FluxSet::new();
+        f.insert("sst", vec![1.0, 2.0]);
+        f.insert("co2", vec![3.0]);
+        assert_eq!(f.expect("sst"), &[1.0, 2.0]);
+        assert_eq!(f.get("nope"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing coupling field")]
+    fn expect_panics_on_missing() {
+        FluxSet::new().expect("sst");
+    }
+
+    #[test]
+    fn endpoints_exchange_both_ways() {
+        let (mut a, mut b) = endpoint_pair();
+        let mut fa = FluxSet::new();
+        fa.insert("x", vec![1.0]);
+        a.send(fa.clone());
+        let got = b.recv();
+        assert_eq!(got, fa);
+        let mut fb = FluxSet::new();
+        fb.insert("y", vec![2.0]);
+        b.send(fb.clone());
+        assert_eq!(a.recv(), fb);
+        assert_eq!(a.stats.exchanges, 1);
+        assert_eq!(b.stats.exchanges, 1);
+    }
+
+    #[test]
+    fn concurrent_windows_pipeline_and_measure_waits() {
+        // Slow side sleeps; the fast side's wait should absorb most of the
+        // imbalance while the slow side barely waits.
+        let windows = 4;
+        let (fast_stats, slow_stats) = run_concurrent_windows(
+            windows,
+            FluxSet::new(),
+            FluxSet::new(),
+            |w, incoming| {
+                if w > 0 {
+                    assert_eq!(incoming.expect("slow")[0], (w - 1) as f64);
+                }
+                let mut out = FluxSet::new();
+                out.insert("fast", vec![w as f64]);
+                out
+            },
+            |w, incoming| {
+                if w > 0 {
+                    assert_eq!(incoming.expect("fast")[0], (w - 1) as f64);
+                }
+                std::thread::sleep(Duration::from_millis(30));
+                let mut out = FluxSet::new();
+                out.insert("slow", vec![w as f64]);
+                out
+            },
+        );
+        assert_eq!(fast_stats.exchanges, (windows - 1) as u64);
+        assert_eq!(slow_stats.exchanges, (windows - 1) as u64);
+        assert!(
+            fast_stats.wait_s > 0.05,
+            "fast side should wait for the sleeper: {fast_stats:?}"
+        );
+        assert!(
+            slow_stats.wait_s < 0.02,
+            "slow side should barely wait: {slow_stats:?}"
+        );
+    }
+
+    #[test]
+    fn balanced_sides_wait_little() {
+        let (fast, slow) = run_concurrent_windows(
+            5,
+            FluxSet::new(),
+            FluxSet::new(),
+            |_, _| {
+                std::thread::sleep(Duration::from_millis(5));
+                FluxSet::new()
+            },
+            |_, _| {
+                std::thread::sleep(Duration::from_millis(5));
+                FluxSet::new()
+            },
+        );
+        assert!(fast.wait_s < 0.05);
+        assert!(slow.wait_s < 0.05);
+    }
+}

@@ -1,0 +1,25 @@
+//! YAC-style coupler: conservative remapping between icosahedral grids,
+//! the coupling schedule, and the concurrent component-execution harness
+//! with coupling-wait accounting.
+//!
+//! §5.1 of the paper: "Only energy, water and carbon are exchanged between
+//! the atmosphere and the ocean at a coupling timestep every 10 simulated
+//! minutes through the coupler YAC"; §6.3: "Included in timings is the
+//! coupling time, i.e., the amount of time atmosphere/land have to wait
+//! for ocean/sea-ice/biogeochemistry components and vice versa."
+//!
+//! Pieces:
+//! * [`remap`] — first-order conservative remapping between `R2B(k)` grids
+//!   of different refinement (exact, using the subdivision-tree child
+//!   ordering);
+//! * [`clock`] — coupling schedule arithmetic for the two time steps;
+//! * [`exchange`] — named flux bundles plus a channel-based concurrent
+//!   window runner that measures each side's coupling wait.
+
+pub mod clock;
+pub mod exchange;
+pub mod remap;
+
+pub use clock::CouplingClock;
+pub use exchange::{run_concurrent_windows, CouplerStats, FluxSet};
+pub use remap::Remapper;

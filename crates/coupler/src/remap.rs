@@ -1,0 +1,175 @@
+//! First-order conservative remapping between icosahedral grids of
+//! different refinement level.
+//!
+//! Because refinement emits the four children of cell `p` at indices
+//! `4p .. 4p+3` ([`icongrid::refine`]), the parent of fine cell `c` under
+//! `j` extra bisections is simply `c / 4^j` — remapping weights follow
+//! from cell areas alone, and both directions conserve area integrals
+//! exactly. This replaces YAC's general weight-computation machinery for
+//! the (common) case of nested ICON grids; identical grids remap by
+//! identity.
+
+use icongrid::{Field2, Grid};
+
+/// A conservative remapper between a fine and a coarse grid of the same
+/// family (`fine.bisections >= coarse.bisections`).
+pub struct Remapper {
+    /// Bisection-level difference.
+    level_diff: u32,
+    /// Fine-cell areas (m^2).
+    fine_area: Vec<f64>,
+    /// Coarse-cell areas (m^2).
+    coarse_area: Vec<f64>,
+}
+
+impl Remapper {
+    pub fn new(fine: &Grid, coarse: &Grid) -> Remapper {
+        assert!(
+            fine.bisections >= coarse.bisections,
+            "fine grid must be at least as refined"
+        );
+        let level_diff = fine.bisections - coarse.bisections;
+        assert_eq!(
+            fine.n_cells,
+            coarse.n_cells << (2 * level_diff),
+            "grids must belong to the same refinement family"
+        );
+        Remapper {
+            level_diff,
+            fine_area: fine.cell_area.clone(),
+            coarse_area: coarse.cell_area.clone(),
+        }
+    }
+
+    /// Children per coarse cell.
+    pub fn children_per_cell(&self) -> usize {
+        1usize << (2 * self.level_diff)
+    }
+
+    /// Coarse parent of a fine cell.
+    #[inline]
+    pub fn parent_of(&self, fine_cell: usize) -> usize {
+        fine_cell >> (2 * self.level_diff)
+    }
+
+    /// Fine -> coarse: area-weighted average (conserves the area integral
+    /// exactly).
+    pub fn fine_to_coarse(&self, fine: &Field2, coarse: &mut Field2) {
+        debug_assert_eq!(fine.len(), self.fine_area.len());
+        debug_assert_eq!(coarse.len(), self.coarse_area.len());
+        let n = self.children_per_cell();
+        for p in 0..coarse.len() {
+            let mut acc = 0.0;
+            for c in p * n..(p + 1) * n {
+                acc += fine[c] * self.fine_area[c];
+            }
+            coarse[p] = acc / self.coarse_area[p];
+        }
+    }
+
+    /// Coarse -> fine: injection (children inherit the parent value);
+    /// conserves the area integral because child areas sum to the parent
+    /// area on the sphere.
+    pub fn coarse_to_fine(&self, coarse: &Field2, fine: &mut Field2) {
+        for c in 0..fine.len() {
+            fine[c] = coarse[self.parent_of(c)];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grids() -> (Grid, Grid) {
+        (
+            Grid::build(3, icongrid::EARTH_RADIUS_M), // 1280 cells
+            Grid::build(2, icongrid::EARTH_RADIUS_M), // 320 cells... (level diff 1)
+        )
+    }
+
+    #[test]
+    fn parent_child_relation_is_geometric() {
+        let (fine, coarse) = grids();
+        let r = Remapper::new(&fine, &coarse);
+        assert_eq!(r.children_per_cell(), 4);
+        for c in 0..fine.n_cells {
+            let p = r.parent_of(c);
+            // Child center lies close to the parent center.
+            let d = fine.cell_center[c].arc_distance(&coarse.cell_center[p]);
+            let parent_radius = (coarse.cell_area[p] / std::f64::consts::PI).sqrt()
+                / icongrid::EARTH_RADIUS_M;
+            assert!(
+                d < 2.0 * parent_radius,
+                "fine {c} far from its parent {p}: {d}"
+            );
+        }
+    }
+
+    #[test]
+    fn child_areas_sum_to_parent_area() {
+        let (fine, coarse) = grids();
+        let _r = Remapper::new(&fine, &coarse); // must build consistently
+        for p in 0..coarse.n_cells {
+            let sum: f64 = (p * 4..(p + 1) * 4).map(|c| fine.cell_area[c]).sum();
+            assert!(
+                (sum / coarse.cell_area[p] - 1.0).abs() < 1e-12,
+                "parent {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn both_directions_conserve_integrals() {
+        let (fine, coarse) = grids();
+        let r = Remapper::new(&fine, &coarse);
+        let f = Field2::from_fn(fine.n_cells, |c| fine.cell_center[c].x + 2.0);
+        let mut cvals = Field2::zeros(coarse.n_cells);
+        r.fine_to_coarse(&f, &mut cvals);
+        let fi = f.weighted_sum(&fine.cell_area);
+        let ci = cvals.weighted_sum(&coarse.cell_area);
+        assert!(((fi - ci) / fi).abs() < 1e-12, "{fi} vs {ci}");
+
+        let mut back = Field2::zeros(fine.n_cells);
+        r.coarse_to_fine(&cvals, &mut back);
+        let bi = back.weighted_sum(&fine.cell_area);
+        assert!(((bi - ci) / ci).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_fields_are_fixed_points() {
+        let (fine, coarse) = grids();
+        let r = Remapper::new(&fine, &coarse);
+        let f = Field2::from_fn(fine.n_cells, |_| 7.25);
+        let mut c = Field2::zeros(coarse.n_cells);
+        r.fine_to_coarse(&f, &mut c);
+        for p in 0..coarse.n_cells {
+            assert!((c[p] - 7.25).abs() < 1e-12);
+        }
+        let mut back = Field2::zeros(fine.n_cells);
+        r.coarse_to_fine(&c, &mut back);
+        for v in back.as_slice() {
+            assert!((v - 7.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn identity_remap_for_equal_grids() {
+        let g = Grid::build(2, icongrid::EARTH_RADIUS_M);
+        let r = Remapper::new(&g, &g);
+        assert_eq!(r.children_per_cell(), 1);
+        let f = Field2::from_fn(g.n_cells, |c| c as f64);
+        let mut out = Field2::zeros(g.n_cells);
+        r.fine_to_coarse(&f, &mut out);
+        for c in 0..g.n_cells {
+            assert!((out[c] - c as f64).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "fine grid must be at least as refined")]
+    fn rejects_wrong_order() {
+        let (fine, coarse) = grids();
+        let _ = Remapper::new(&coarse, &fine);
+    }
+}

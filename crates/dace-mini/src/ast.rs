@@ -1,0 +1,230 @@
+//! Abstract syntax of the clean sequential kernel source.
+//!
+//! A [`Program`] is a list of kernels; each kernel loops over one grid
+//! entity domain (and implicitly over vertical levels where 3-D fields
+//! appear) executing its statements **sequentially per point** — exactly
+//! the semantics of the original Fortran loop nests the paper parses.
+
+/// A whole source file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    pub kernels: Vec<Kernel>,
+}
+
+/// One kernel: `kernel NAME over DOMAIN ... end`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Kernel {
+    pub name: String,
+    /// Entity domain name (`cells`, `edges`, `vertices`, ...), resolved
+    /// against the topology context at execution time.
+    pub domain: String,
+    pub statements: Vec<Statement>,
+}
+
+/// `target = expr;`
+#[derive(Debug, Clone, PartialEq)]
+pub struct Statement {
+    pub target: FieldAccess,
+    pub expr: Expr,
+}
+
+/// A field reference with a point index and a vertical index.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FieldAccess {
+    pub field: String,
+    pub point: PointIndex,
+    pub level: LevelIndex,
+}
+
+/// Horizontal index: the loop point itself, or a neighbor looked up
+/// through a topology relation (`edge(p, 2)` etc.) — each such lookup is
+/// an integer index load, the quantity §5.2's transformation reduces 8x.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum PointIndex {
+    Own,
+    Lookup { relation: String, slot: usize },
+}
+
+/// Vertical index of an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LevelIndex {
+    /// 2-D field (no vertical dimension).
+    Surface,
+    /// The loop level `k`.
+    K,
+    /// `k + offset`, clamped at the column ends.
+    KOffset(i32),
+    /// A fixed level.
+    Fixed(usize),
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    Num(f64),
+    Access(FieldAccess),
+    Neg(Box<Expr>),
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+impl Expr {
+    /// All field accesses in evaluation order (the statement's memlets).
+    pub fn accesses(&self) -> Vec<&FieldAccess> {
+        let mut out = Vec::new();
+        self.collect_accesses(&mut out);
+        out
+    }
+
+    fn collect_accesses<'a>(&'a self, out: &mut Vec<&'a FieldAccess>) {
+        match self {
+            Expr::Num(_) => {}
+            Expr::Access(a) => out.push(a),
+            Expr::Neg(e) => e.collect_accesses(out),
+            Expr::Bin(_, a, b) => {
+                a.collect_accesses(out);
+                b.collect_accesses(out);
+            }
+        }
+    }
+
+    /// Does the expression use any 3-D (level-indexed) access?
+    pub fn uses_levels(&self) -> bool {
+        self.accesses()
+            .iter()
+            .any(|a| a.level != LevelIndex::Surface)
+    }
+}
+
+impl Statement {
+    /// Integer index lookups this statement performs per (point, level):
+    /// one per neighbor-relation access (the target never needs one — it
+    /// is written at the loop point).
+    pub fn index_lookups(&self) -> usize {
+        self.expr
+            .accesses()
+            .iter()
+            .filter(|a| matches!(a.point, PointIndex::Lookup { .. }))
+            .count()
+    }
+}
+
+impl Kernel {
+    /// Is any statement 3-D?
+    pub fn uses_levels(&self) -> bool {
+        self.statements
+            .iter()
+            .any(|s| s.expr.uses_levels() || s.target.level != LevelIndex::Surface)
+    }
+
+    /// Total per-point index lookups of the sequential (unfused) form.
+    pub fn index_lookups(&self) -> usize {
+        self.statements.iter().map(|s| s.index_lookups()).sum()
+    }
+}
+
+impl Program {
+    /// Fields written anywhere in the program.
+    pub fn written_fields(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self
+            .kernels
+            .iter()
+            .flat_map(|k| k.statements.iter().map(|s| s.target.field.as_str()))
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Fields read anywhere (excluding ones only written).
+    pub fn read_fields(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self
+            .kernels
+            .iter()
+            .flat_map(|k| {
+                k.statements
+                    .iter()
+                    .flat_map(|s| s.expr.accesses().into_iter().map(|a| a.field.as_str()))
+            })
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn acc(field: &str, point: PointIndex, level: LevelIndex) -> FieldAccess {
+        FieldAccess {
+            field: field.into(),
+            point,
+            level,
+        }
+    }
+
+    #[test]
+    fn accesses_enumerate_in_order() {
+        let e = Expr::Bin(
+            BinOp::Add,
+            Box::new(Expr::Access(acc("a", PointIndex::Own, LevelIndex::K))),
+            Box::new(Expr::Neg(Box::new(Expr::Access(acc(
+                "b",
+                PointIndex::Lookup {
+                    relation: "edge".into(),
+                    slot: 1,
+                },
+                LevelIndex::K,
+            ))))),
+        );
+        let list = e.accesses();
+        assert_eq!(list.len(), 2);
+        assert_eq!(list[0].field, "a");
+        assert_eq!(list[1].field, "b");
+        assert!(e.uses_levels());
+    }
+
+    #[test]
+    fn index_lookup_counting() {
+        let s = Statement {
+            target: acc("out", PointIndex::Own, LevelIndex::K),
+            expr: Expr::Bin(
+                BinOp::Mul,
+                Box::new(Expr::Access(acc(
+                    "vn",
+                    PointIndex::Lookup {
+                        relation: "edge".into(),
+                        slot: 0,
+                    },
+                    LevelIndex::K,
+                ))),
+                Box::new(Expr::Access(acc("w", PointIndex::Own, LevelIndex::Surface))),
+            ),
+        };
+        assert_eq!(s.index_lookups(), 1);
+    }
+
+    #[test]
+    fn program_field_sets() {
+        let k = Kernel {
+            name: "t".into(),
+            domain: "cells".into(),
+            statements: vec![Statement {
+                target: acc("out", PointIndex::Own, LevelIndex::K),
+                expr: Expr::Access(acc("inp", PointIndex::Own, LevelIndex::K)),
+            }],
+        };
+        let p = Program { kernels: vec![k] };
+        assert_eq!(p.written_fields(), vec!["out"]);
+        assert_eq!(p.read_fields(), vec!["inp"]);
+    }
+}

@@ -1,0 +1,731 @@
+//! The two execution backends.
+//!
+//! * [`run_naive`] — the OpenACC-style baseline: **one pass (kernel
+//!   launch) per statement**, re-resolving every neighbor index lookup at
+//!   every (point, level) evaluation, re-reading every operand from
+//!   memory.
+//! * [`compile`] + [`CompiledSdfg::run`] — the DaCe-style backend: the
+//!   transformed SDFG is lowered to register bytecode per state; neighbor
+//!   indices are resolved **once per point** (hoisted out of the level
+//!   loop), repeated loads collapse into registers, pointwise
+//!   reads-of-written values are forwarded without touching memory, and
+//!   fused states stream each point's data once.
+//!
+//! Both backends produce bitwise-identical results on the same inputs —
+//! the semantic-equivalence property the paper's separation of concerns
+//! rests on (tested here and by proptest in `tests/`).
+
+use crate::ast::{BinOp, Expr, FieldAccess, LevelIndex, PointIndex, Program};
+use crate::sdfg::{Schedule, Sdfg};
+use std::collections::HashMap;
+
+/// Topology tables: named entity domains and named neighbor relations.
+#[derive(Debug, Clone, Default)]
+pub struct TopologyContext {
+    domains: HashMap<String, usize>,
+    relations: HashMap<String, Relation>,
+}
+
+#[derive(Debug, Clone)]
+pub struct Relation {
+    pub arity: usize,
+    /// `table[entity * arity + slot]` = neighbor id.
+    pub table: Vec<u32>,
+}
+
+impl TopologyContext {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn add_domain(&mut self, name: impl Into<String>, size: usize) {
+        self.domains.insert(name.into(), size);
+    }
+
+    pub fn add_relation(&mut self, name: impl Into<String>, arity: usize, table: Vec<u32>) {
+        assert_eq!(table.len() % arity, 0);
+        self.relations.insert(name.into(), Relation { arity, table });
+    }
+
+    pub fn domain_size(&self, name: &str) -> usize {
+        *self
+            .domains
+            .get(name)
+            .unwrap_or_else(|| panic!("unknown domain '{name}'"))
+    }
+
+    fn relation(&self, name: &str) -> &Relation {
+        self.relations
+            .get(name)
+            .unwrap_or_else(|| panic!("unknown relation '{name}'"))
+    }
+
+    #[inline]
+    fn lookup(&self, name: &str, entity: usize, slot: usize) -> usize {
+        let r = self.relation(name);
+        debug_assert!(slot < r.arity, "slot {slot} out of range for '{name}'");
+        r.table[entity * r.arity + slot] as usize
+    }
+}
+
+/// A named field buffer: `nlev == 1` encodes a 2-D field.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FieldBuf {
+    pub data: Vec<f64>,
+    pub n: usize,
+    pub nlev: usize,
+}
+
+impl FieldBuf {
+    pub fn zeros(n: usize, nlev: usize) -> FieldBuf {
+        FieldBuf {
+            data: vec![0.0; n * nlev],
+            n,
+            nlev,
+        }
+    }
+
+    #[inline]
+    fn idx(&self, e: usize, k: usize) -> usize {
+        debug_assert!(e < self.n && k < self.nlev);
+        e * self.nlev + k
+    }
+}
+
+/// All field data of one execution.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DataContext {
+    pub fields: HashMap<String, FieldBuf>,
+    /// Vertical extent of 3-D fields.
+    pub nlev: usize,
+}
+
+impl DataContext {
+    pub fn new(nlev: usize) -> DataContext {
+        DataContext {
+            fields: HashMap::new(),
+            nlev,
+        }
+    }
+
+    pub fn add(&mut self, name: impl Into<String>, buf: FieldBuf) {
+        self.fields.insert(name.into(), buf);
+    }
+
+    pub fn field(&self, name: &str) -> &FieldBuf {
+        self.fields
+            .get(name)
+            .unwrap_or_else(|| panic!("unknown field '{name}'"))
+    }
+
+    fn field_mut(&mut self, name: &str) -> &mut FieldBuf {
+        self.fields
+            .get_mut(name)
+            .unwrap_or_else(|| panic!("unknown field '{name}'"))
+    }
+
+    /// Resolve a level index against the clamped column.
+    #[inline]
+    fn level(&self, li: LevelIndex, k: usize, nlev: usize) -> usize {
+        match li {
+            LevelIndex::Surface => 0,
+            // Clamp so 3-D statements can legally read 2-D fields.
+            LevelIndex::K => k.min(nlev - 1),
+            LevelIndex::KOffset(o) => (k as i64 + o as i64).clamp(0, nlev as i64 - 1) as usize,
+            LevelIndex::Fixed(f) => f.min(nlev - 1),
+        }
+    }
+}
+
+/// Execution counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Map (kernel) launches.
+    pub map_launches: u64,
+    /// Integer neighbor-index lookups performed.
+    pub index_lookups: u64,
+    /// Field element loads from memory.
+    pub field_reads: u64,
+    /// Field element stores to memory.
+    pub field_stores: u64,
+}
+
+// ------------------------------------------------------------------
+// Naive (OpenACC-style) interpreter
+// ------------------------------------------------------------------
+
+/// Run the *source program* directly: one map launch per statement,
+/// full re-resolution everywhere.
+pub fn run_naive(prog: &Program, topo: &TopologyContext, data: &mut DataContext) -> ExecStats {
+    let mut stats = ExecStats::default();
+    for kernel in &prog.kernels {
+        let n = topo.domain_size(&kernel.domain);
+        for st in &kernel.statements {
+            stats.map_launches += 1;
+            let levels = if st.expr.uses_levels() || st.target.level != LevelIndex::Surface {
+                data.nlev
+            } else {
+                1
+            };
+            for e in 0..n {
+                for k in 0..levels {
+                    let v = eval_naive(&st.expr, e, k, topo, data, &mut stats);
+                    let tgt_k = data.level(st.target.level, k, levels.max(1));
+                    let fb = data.field_mut(&st.target.field);
+                    let idx = fb.idx(e, tgt_k.min(fb.nlev - 1));
+                    fb.data[idx] = v;
+                    stats.field_stores += 1;
+                }
+            }
+        }
+    }
+    stats
+}
+
+fn eval_naive(
+    expr: &Expr,
+    e: usize,
+    k: usize,
+    topo: &TopologyContext,
+    data: &DataContext,
+    stats: &mut ExecStats,
+) -> f64 {
+    match expr {
+        Expr::Num(v) => *v,
+        Expr::Neg(x) => -eval_naive(x, e, k, topo, data, stats),
+        Expr::Bin(op, a, b) => {
+            let x = eval_naive(a, e, k, topo, data, stats);
+            let y = eval_naive(b, e, k, topo, data, stats);
+            match op {
+                BinOp::Add => x + y,
+                BinOp::Sub => x - y,
+                BinOp::Mul => x * y,
+                BinOp::Div => x / y,
+            }
+        }
+        Expr::Access(a) => {
+            let point = match &a.point {
+                PointIndex::Own => e,
+                PointIndex::Lookup { relation, slot } => {
+                    stats.index_lookups += 1;
+                    topo.lookup(relation, e, *slot)
+                }
+            };
+            let fb = data.field(&a.field);
+            let kk = data.level(a.level, k, fb.nlev);
+            stats.field_reads += 1;
+            fb.data[fb.idx(point, kk)]
+        }
+    }
+}
+
+// ------------------------------------------------------------------
+// Compiled (DaCe-style) executor
+// ------------------------------------------------------------------
+
+/// Register-bytecode of one tasklet.
+#[derive(Debug, Clone, PartialEq)]
+enum Op {
+    PushConst(f64),
+    /// Push a preloaded value register.
+    PushReg(u16),
+    Neg,
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+/// A preloaded value: where the point index comes from and which level.
+#[derive(Debug, Clone, PartialEq)]
+enum LoadSrc {
+    /// The loop point.
+    Own,
+    /// A resolved index register.
+    IdxReg(u16),
+    /// Forwarded from an earlier tasklet's result register in the same
+    /// state (no memory traffic).
+    Forward(u16),
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct LoadSlot {
+    field: String,
+    src: LoadSrc,
+    level: LevelIndex,
+    /// Does this load depend on `k` (inside the level loop) or can it be
+    /// hoisted out?
+    level_dependent: bool,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct CompiledTasklet {
+    ops: Vec<Op>,
+    write_field: String,
+    write_level: LevelIndex,
+    /// Result register holding the computed value (for forwarding).
+    result_reg: u16,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct CompiledState {
+    domain: String,
+    over_levels: bool,
+    schedule: Schedule,
+    /// Unique (relation, slot) pairs resolved once per point.
+    idx_lookups: Vec<(String, usize)>,
+    loads: Vec<LoadSlot>,
+    tasklets: Vec<CompiledTasklet>,
+}
+
+/// A compiled SDFG, ready to run repeatedly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledSdfg {
+    pub name: String,
+    states: Vec<CompiledState>,
+}
+
+/// Compile a (transformed) SDFG: hoist and deduplicate index lookups,
+/// collapse repeated loads, forward pointwise reads of freshly written
+/// values.
+pub fn compile(sdfg: &Sdfg) -> CompiledSdfg {
+    let states = sdfg
+        .states
+        .iter()
+        .map(|st| {
+            let mut idx_lookups: Vec<(String, usize)> = Vec::new();
+            let mut loads: Vec<LoadSlot> = Vec::new();
+            let mut tasklets = Vec::new();
+            // (field, level) -> result register of a previous write.
+            let mut written: HashMap<(String, LevelIndex), u16> = HashMap::new();
+            // Value registers: loads first, then one result per tasklet.
+            for t in &st.map.tasklets {
+                let mut ops = Vec::new();
+                compile_expr(
+                    &t.code,
+                    &mut ops,
+                    &mut idx_lookups,
+                    &mut loads,
+                    &written,
+                );
+                let result_reg = (loads.len() + st.map.tasklets.len()) as u16; // placeholder, fixed below
+                tasklets.push(CompiledTasklet {
+                    ops,
+                    write_field: t.write.field.clone(),
+                    write_level: t.write.level,
+                    result_reg,
+                });
+                written.insert(
+                    (t.write.field.clone(), t.write.level),
+                    (tasklets.len() - 1) as u16, // tasklet ordinal; fixed below
+                );
+            }
+            // Fix register numbering: loads occupy 0..L, tasklet results
+            // L..L+T. Forward references recorded tasklet ordinals; shift.
+            let l = loads.len() as u16;
+            for (i, t) in tasklets.iter_mut().enumerate() {
+                t.result_reg = l + i as u16;
+            }
+            for load in &mut loads {
+                if let LoadSrc::Forward(ord) = load.src {
+                    load.src = LoadSrc::Forward(l + ord);
+                }
+            }
+            for t in &mut tasklets {
+                for op in &mut t.ops {
+                    if let Op::PushReg(r) = op {
+                        if *r >= 0x8000 {
+                            // Forwarded tasklet ordinal (tagged).
+                            *r = l + (*r - 0x8000);
+                        }
+                    }
+                }
+            }
+            CompiledState {
+                domain: st.map.domain.clone(),
+                over_levels: st.map.over_levels,
+                schedule: st.map.schedule,
+                idx_lookups,
+                loads,
+                tasklets,
+            }
+        })
+        .collect();
+    CompiledSdfg {
+        name: sdfg.name.clone(),
+        states,
+    }
+}
+
+fn compile_expr(
+    expr: &Expr,
+    ops: &mut Vec<Op>,
+    idx_lookups: &mut Vec<(String, usize)>,
+    loads: &mut Vec<LoadSlot>,
+    written: &HashMap<(String, LevelIndex), u16>,
+) {
+    match expr {
+        Expr::Num(v) => ops.push(Op::PushConst(*v)),
+        Expr::Neg(x) => {
+            compile_expr(x, ops, idx_lookups, loads, written);
+            ops.push(Op::Neg);
+        }
+        Expr::Bin(op, a, b) => {
+            compile_expr(a, ops, idx_lookups, loads, written);
+            compile_expr(b, ops, idx_lookups, loads, written);
+            ops.push(match op {
+                BinOp::Add => Op::Add,
+                BinOp::Sub => Op::Sub,
+                BinOp::Mul => Op::Mul,
+                BinOp::Div => Op::Div,
+            });
+        }
+        Expr::Access(a) => {
+            ops.push(Op::PushReg(access_register(a, idx_lookups, loads, written)));
+        }
+    }
+}
+
+fn access_register(
+    a: &FieldAccess,
+    idx_lookups: &mut Vec<(String, usize)>,
+    loads: &mut Vec<LoadSlot>,
+    written: &HashMap<(String, LevelIndex), u16>,
+) -> u16 {
+    // Forwarding: pointwise read of a value written earlier in the state.
+    if a.point == PointIndex::Own {
+        if let Some(&ord) = written.get(&(a.field.clone(), a.level)) {
+            // Tag with 0x8000: resolved to a result register in `compile`.
+            return 0x8000 + ord;
+        }
+    }
+    let src = match &a.point {
+        PointIndex::Own => LoadSrc::Own,
+        PointIndex::Lookup { relation, slot } => {
+            let pos = idx_lookups
+                .iter()
+                .position(|(r, s)| r == relation && *s == *slot)
+                .unwrap_or_else(|| {
+                    idx_lookups.push((relation.clone(), *slot));
+                    idx_lookups.len() - 1
+                });
+            LoadSrc::IdxReg(pos as u16)
+        }
+    };
+    let level_dependent = matches!(a.level, LevelIndex::K | LevelIndex::KOffset(_));
+    let slot = LoadSlot {
+        field: a.field.clone(),
+        src,
+        level: a.level,
+        level_dependent,
+    };
+    if let Some(pos) = loads.iter().position(|l| *l == slot) {
+        pos as u16
+    } else {
+        loads.push(slot);
+        (loads.len() - 1) as u16
+    }
+}
+
+impl CompiledSdfg {
+    /// Execute over the given data, counting actual memory traffic.
+    pub fn run(&self, topo: &TopologyContext, data: &mut DataContext) -> ExecStats {
+        let mut stats = ExecStats::default();
+        for st in &self.states {
+            stats.map_launches += 1;
+            run_state(st, topo, data, &mut stats);
+        }
+        stats
+    }
+
+    pub fn n_states(&self) -> usize {
+        self.states.len()
+    }
+}
+
+fn run_state(st: &CompiledState, topo: &TopologyContext, data: &mut DataContext, stats: &mut ExecStats) {
+    let n = topo.domain_size(&st.domain);
+    let nlev = if st.over_levels { data.nlev } else { 1 };
+    let n_regs = st.loads.len() + st.tasklets.len();
+    let mut regs = vec![0.0f64; n_regs];
+    let mut idx = vec![0usize; st.idx_lookups.len()];
+    let mut stack: Vec<f64> = Vec::with_capacity(16);
+
+    let entity_body = |e: usize,
+                       regs: &mut [f64],
+                       idx: &mut [usize],
+                       stack: &mut Vec<f64>,
+                       data: &mut DataContext,
+                       stats: &mut ExecStats| {
+        // Resolve the point's neighbor indices ONCE (hoisted out of the
+        // level loop): this is the 8x index-lookup saving.
+        for (i, (rel, slot)) in st.idx_lookups.iter().enumerate() {
+            idx[i] = topo.lookup(rel, e, *slot);
+            stats.index_lookups += 1;
+        }
+        // Hoist level-independent loads.
+        for (i, l) in st.loads.iter().enumerate() {
+            if !l.level_dependent {
+                regs[i] = load(l, e, 0, idx, data, stats);
+            }
+        }
+        for k in 0..nlev {
+            for (i, l) in st.loads.iter().enumerate() {
+                if l.level_dependent {
+                    regs[i] = load(l, e, k, idx, data, stats);
+                }
+            }
+            for t in &st.tasklets {
+                let v = eval_ops(&t.ops, regs, stack);
+                regs[t.result_reg as usize] = v;
+                let fb = data.field_mut(&t.write_field);
+                let kk = match t.write_level {
+                    LevelIndex::Surface => 0,
+                    LevelIndex::K => k.min(fb.nlev - 1),
+                    LevelIndex::KOffset(o) => {
+                        (k as i64 + o as i64).clamp(0, fb.nlev as i64 - 1) as usize
+                    }
+                    LevelIndex::Fixed(f) => f.min(fb.nlev - 1),
+                };
+                let pos = fb.idx(e, kk);
+                fb.data[pos] = v;
+                stats.field_stores += 1;
+            }
+        }
+    };
+
+    match st.schedule {
+        Schedule::EntityOuterLevelInner | Schedule::LevelOuterEntityInner => {
+            // Both schedules iterate every (entity, level); the compiled
+            // body is entity-outer (level-inner) — the LevelOuter variant
+            // differs only in traversal order, which does not change
+            // results; we keep entity-outer for the per-point hoisting.
+            for e in 0..n {
+                entity_body(e, &mut regs, &mut idx, &mut stack, data, stats);
+            }
+        }
+        Schedule::Tiled(tile) => {
+            let tile = tile.max(1);
+            let mut start = 0;
+            while start < n {
+                let end = (start + tile).min(n);
+                for e in start..end {
+                    entity_body(e, &mut regs, &mut idx, &mut stack, data, stats);
+                }
+                start = end;
+            }
+        }
+    }
+}
+
+#[inline]
+fn load(
+    l: &LoadSlot,
+    e: usize,
+    k: usize,
+    idx: &[usize],
+    data: &DataContext,
+    stats: &mut ExecStats,
+) -> f64 {
+    let point = match l.src {
+        LoadSrc::Own => e,
+        LoadSrc::IdxReg(r) => idx[r as usize],
+        LoadSrc::Forward(_) => unreachable!("forwarded loads never hit memory"),
+    };
+    let fb = data.field(&l.field);
+    let kk = data.level(l.level, k, fb.nlev);
+    stats.field_reads += 1;
+    fb.data[fb.idx(point, kk)]
+}
+
+#[inline]
+fn eval_ops(ops: &[Op], regs: &[f64], stack: &mut Vec<f64>) -> f64 {
+    stack.clear();
+    for op in ops {
+        match op {
+            Op::PushConst(v) => stack.push(*v),
+            Op::PushReg(r) => stack.push(regs[*r as usize]),
+            Op::Neg => {
+                let a = stack.pop().unwrap();
+                stack.push(-a);
+            }
+            Op::Add => {
+                let b = stack.pop().unwrap();
+                let a = stack.pop().unwrap();
+                stack.push(a + b);
+            }
+            Op::Sub => {
+                let b = stack.pop().unwrap();
+                let a = stack.pop().unwrap();
+                stack.push(a - b);
+            }
+            Op::Mul => {
+                let b = stack.pop().unwrap();
+                let a = stack.pop().unwrap();
+                stack.push(a * b);
+            }
+            Op::Div => {
+                let b = stack.pop().unwrap();
+                let a = stack.pop().unwrap();
+                stack.push(a / b);
+            }
+        }
+    }
+    debug_assert_eq!(stack.len(), 1);
+    stack.pop().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::transforms::gh200_pipeline;
+
+    /// A ring "mesh": n cells, relation edge(c, 0..2) = {c-1, c, c+1}.
+    fn ring_topology(n: usize) -> TopologyContext {
+        let mut topo = TopologyContext::new();
+        topo.add_domain("cells", n);
+        let mut table = Vec::with_capacity(n * 3);
+        for c in 0..n {
+            table.push(((c + n - 1) % n) as u32);
+            table.push(c as u32);
+            table.push(((c + 1) % n) as u32);
+        }
+        topo.add_relation("edge", 3, table);
+        topo
+    }
+
+    fn data(n: usize, nlev: usize) -> DataContext {
+        let mut d = DataContext::new(nlev);
+        for (name, scale) in [("kin", 1.0), ("f1", 2.0), ("f2", 3.0)] {
+            let mut f = FieldBuf::zeros(n, nlev);
+            for e in 0..n {
+                for k in 0..nlev {
+                    f.data[e * nlev + k] = scale * (e as f64 + 0.1 * k as f64);
+                }
+            }
+            d.add(name, f);
+        }
+        for name in ["w1", "w2", "w3"] {
+            let mut f = FieldBuf::zeros(n, 1);
+            for e in 0..n {
+                f.data[e] = 0.5 + (e % 3) as f64;
+            }
+            d.add(name, f);
+        }
+        for name in ["ekin", "out", "out2", "tmp"] {
+            d.add(name, FieldBuf::zeros(n, nlev));
+        }
+        d
+    }
+
+    const EKINH: &str = r#"
+        kernel z_ekinh over cells
+          ekin(p,k) = w1(p) * kin(edge(p,0), k)
+                    + w2(p) * kin(edge(p,1), k)
+                    + w3(p) * kin(edge(p,2), k);
+          out(p,k)  = ekin(p,k) * w1(p) + f1(edge(p,0), k);
+          out2(p,k) = f2(edge(p,2), k) - ekin(p,k);
+        end
+    "#;
+
+    #[test]
+    fn naive_and_compiled_agree_bitwise() {
+        let prog = parse(EKINH).unwrap();
+        let topo = ring_topology(17);
+        let mut d1 = data(17, 4);
+        let mut d2 = d1.clone();
+        run_naive(&prog, &topo, &mut d1);
+        let sdfg = Sdfg::from_program("ekinh", &prog);
+        let (opt, _) = gh200_pipeline(&sdfg);
+        compile(&opt).run(&topo, &mut d2);
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn compiled_does_fewer_lookups_and_launches() {
+        let prog = parse(EKINH).unwrap();
+        let topo = ring_topology(64);
+        let nlev = 8;
+        let mut d1 = data(64, nlev);
+        let mut d2 = d1.clone();
+        let naive = run_naive(&prog, &topo, &mut d1);
+        let sdfg = Sdfg::from_program("ekinh", &prog);
+        let (opt, _) = gh200_pipeline(&sdfg);
+        let compiled = compile(&opt);
+        let fast = compiled.run(&topo, &mut d2);
+        assert!(naive.map_launches > fast.map_launches);
+        // Naive resolves 5 lookups per (point, level); compiled resolves
+        // the 3 unique edge indices once per point.
+        assert_eq!(naive.index_lookups, 64 * nlev as u64 * 5);
+        assert_eq!(fast.index_lookups, 64 * 3);
+        assert!(naive.field_reads > fast.field_reads, "load collapsing");
+    }
+
+    #[test]
+    fn forwarding_skips_memory_for_pointwise_reuse() {
+        let src = r#"
+            kernel t over cells
+              tmp(p,k) = f1(p,k) * 2;
+              out(p,k) = tmp(p,k) + tmp(p,k);
+            end
+        "#;
+        let prog = parse(src).unwrap();
+        let topo = ring_topology(10);
+        let mut d1 = data(10, 3);
+        let mut d2 = d1.clone();
+        run_naive(&prog, &topo, &mut d1);
+        let (opt, _) = gh200_pipeline(&Sdfg::from_program("t", &prog));
+        let stats = compile(&opt).run(&topo, &mut d2);
+        assert_eq!(d1, d2);
+        // Only f1 is loaded (once per point-level); tmp reads forwarded.
+        assert_eq!(stats.field_reads, 10 * 3);
+    }
+
+    #[test]
+    fn vertical_offsets_clamp_at_boundaries() {
+        let src = "kernel t over cells out(p,k) = f1(p,k+1) - f1(p,k-1); end";
+        let prog = parse(src).unwrap();
+        let topo = ring_topology(4);
+        let mut d1 = data(4, 3);
+        let mut d2 = d1.clone();
+        run_naive(&prog, &topo, &mut d1);
+        let (opt, _) = gh200_pipeline(&Sdfg::from_program("t", &prog));
+        compile(&opt).run(&topo, &mut d2);
+        assert_eq!(d1, d2);
+        // At k=0: f1(p,1) - f1(p,0) (clamped below).
+        let f1 = d1.field("f1").clone();
+        let out = d1.field("out");
+        assert_eq!(out.data[1], f1.data[2] - f1.data[0]); // e=0,k=1 interior
+        assert_eq!(out.data[0], f1.data[1] - f1.data[0]); // clamped
+    }
+
+    #[test]
+    fn tiled_schedule_matches_untiled() {
+        let prog = parse(EKINH).unwrap();
+        let topo = ring_topology(23);
+        let mut d1 = data(23, 4);
+        let mut d2 = d1.clone();
+        let (opt, _) = gh200_pipeline(&Sdfg::from_program("e", &prog));
+        compile(&opt).run(&topo, &mut d1);
+        let tiled = crate::transforms::set_schedule(&opt, Schedule::Tiled(7));
+        compile(&tiled).run(&topo, &mut d2);
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn surface_loads_hoisted_out_of_level_loop() {
+        let src = "kernel t over cells out(p,k) = w1(p) * f1(p,k); end";
+        let prog = parse(src).unwrap();
+        let topo = ring_topology(8);
+        let nlev = 6;
+        let mut d = data(8, nlev);
+        let (opt, _) = gh200_pipeline(&Sdfg::from_program("t", &prog));
+        let stats = compile(&opt).run(&topo, &mut d);
+        // w1 read once per point, f1 once per (point, level).
+        assert_eq!(stats.field_reads, 8 + 8 * nlev as u64);
+        let mut d2 = data(8, nlev);
+        let naive = run_naive(&prog, &topo, &mut d2);
+        assert_eq!(naive.field_reads, 2 * 8 * nlev as u64);
+    }
+}

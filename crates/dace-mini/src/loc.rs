@@ -1,0 +1,280 @@
+//! Source-line accounting, reproducing the code-complexity inventory of
+//! §5.2: ICON's dynamical core has 2728 non-empty lines of which **less
+//! than 50 % describe the computation**; the rest is OpenACC pragmas
+//! (20 %), other directives (12 %) and duplicated loop variants (6 %).
+//! Removing all of it leaves ~1400 clean lines.
+//!
+//! [`classify`] sorts source lines into those categories; [`annotate_legacy`]
+//! reconstructs a legacy-style annotated source from a clean one (the
+//! inverse of what the paper's parser throws away), so the inventory can
+//! be demonstrated on real strings.
+
+/// Classification of one non-empty source line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LineClass {
+    /// Actual computation (loops, assignments, declarations).
+    Computation,
+    /// `!$ACC` pragmas.
+    OpenAcc,
+    /// Other directives: `!$OMP`, vendor hints (`!DIR$`, `!$NEC`, `!CDIR`).
+    OtherDirective,
+    /// Lines inside the `#else` branch of a loop-exchange `#ifdef` — the
+    /// duplicated loop-order copy.
+    Duplicated,
+    /// Preprocessor scaffolding (`#ifdef`, `#else`, `#endif`).
+    Preprocessor,
+    /// Plain comments.
+    Comment,
+}
+
+/// Line-count report over a source text.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LocReport {
+    pub computation: usize,
+    pub openacc: usize,
+    pub other_directive: usize,
+    pub duplicated: usize,
+    pub preprocessor: usize,
+    pub comment: usize,
+}
+
+impl LocReport {
+    /// All non-empty lines.
+    pub fn total(&self) -> usize {
+        self.computation
+            + self.openacc
+            + self.other_directive
+            + self.duplicated
+            + self.preprocessor
+            + self.comment
+    }
+
+    pub fn fraction(&self, class: LineClass) -> f64 {
+        let c = match class {
+            LineClass::Computation => self.computation,
+            LineClass::OpenAcc => self.openacc,
+            LineClass::OtherDirective => self.other_directive,
+            LineClass::Duplicated => self.duplicated,
+            LineClass::Preprocessor => self.preprocessor,
+            LineClass::Comment => self.comment,
+        };
+        c as f64 / self.total().max(1) as f64
+    }
+}
+
+/// Classify one trimmed, non-empty line (outside of `#else` context).
+fn classify_line(t: &str) -> LineClass {
+    let u = t.to_uppercase();
+    if u.starts_with("!$ACC") {
+        LineClass::OpenAcc
+    } else if u.starts_with("!$OMP")
+        || u.starts_with("!DIR$")
+        || u.starts_with("!$NEC")
+        || u.starts_with("!CDIR")
+        || u.starts_with("!IBM")
+    {
+        LineClass::OtherDirective
+    } else if u.starts_with("#IFDEF")
+        || u.starts_with("#IFNDEF")
+        || u.starts_with("#ELSE")
+        || u.starts_with("#ENDIF")
+    {
+        LineClass::Preprocessor
+    } else if u.starts_with('!') || u.starts_with('#') {
+        LineClass::Comment
+    } else {
+        LineClass::Computation
+    }
+}
+
+/// Count the non-empty lines of `src` by class. Lines between `#else` and
+/// `#endif` count as [`LineClass::Duplicated`] (unless they are pragmas,
+/// which keep their own class).
+pub fn count(src: &str) -> LocReport {
+    let mut rep = LocReport::default();
+    let mut in_else = 0usize;
+    for raw in src.lines() {
+        let t = raw.trim();
+        if t.is_empty() {
+            continue;
+        }
+        let class = classify_line(t);
+        let u = t.to_uppercase();
+        if u.starts_with("#ELSE") {
+            in_else += 1;
+        }
+        let effective = if in_else > 0
+            && class == LineClass::Computation
+        {
+            LineClass::Duplicated
+        } else {
+            class
+        };
+        if u.starts_with("#ENDIF") && in_else > 0 {
+            in_else -= 1;
+        }
+        match effective {
+            LineClass::Computation => rep.computation += 1,
+            LineClass::OpenAcc => rep.openacc += 1,
+            LineClass::OtherDirective => rep.other_directive += 1,
+            LineClass::Duplicated => rep.duplicated += 1,
+            LineClass::Preprocessor => rep.preprocessor += 1,
+            LineClass::Comment => rep.comment += 1,
+        }
+    }
+    rep
+}
+
+/// Non-empty line count of a clean source.
+pub fn nonempty_lines(src: &str) -> usize {
+    src.lines().filter(|l| !l.trim().is_empty()).count()
+}
+
+/// Reconstruct a legacy-style annotated source from a clean one: every
+/// kernel grows OpenACC parallel/loop/end pragmas, OpenMP and vendor
+/// directives, and every fourth kernel gets a duplicated loop-exchange
+/// variant behind `#ifdef _LOOP_EXCHANGE` — the structure of the paper's
+/// code excerpt.
+pub fn annotate_legacy(clean: &str) -> String {
+    let mut out = String::new();
+    let mut kernel_idx = 0usize;
+    for line in clean.lines() {
+        let t = line.trim();
+        let lower = t.to_lowercase();
+        if lower.starts_with("kernel ") {
+            out.push_str("!$OMP PARALLEL DO PRIVATE(jb, jc, jk)\n");
+            out.push_str("!$ACC PARALLEL DEFAULT(PRESENT) ASYNC(1)\n");
+            out.push_str("!$ACC LOOP GANG VECTOR TILE(32, 4)\n");
+            if kernel_idx % 2 == 0 {
+                out.push_str("!DIR$ IVDEP\n");
+            } else {
+                out.push_str("!$NEC outerloop_unroll(4)\n");
+            }
+            if kernel_idx % 4 == 0 {
+                // Duplicated loop-order variant.
+                out.push_str("#ifndef _LOOP_EXCHANGE\n");
+                out.push_str(line);
+                out.push('\n');
+                out.push_str("#else\n");
+                // The duplicated copy: same loop with swapped order marker.
+                out.push_str(&format!("{t}  # loop-exchanged copy\n"));
+                out.push_str(&format!("{t}  # loop-exchanged body\n"));
+                out.push_str("#endif\n");
+            } else {
+                out.push_str(line);
+                out.push('\n');
+            }
+            kernel_idx += 1;
+        } else if lower.starts_with("end") {
+            out.push_str(line);
+            out.push('\n');
+            out.push_str("!$ACC END PARALLEL\n");
+            out.push_str("!$OMP END PARALLEL DO\n");
+        } else if !t.is_empty() && !t.starts_with('#') {
+            // Statement lines: occasionally annotated.
+            if fxhash(t) % 5 == 0 {
+                out.push_str("!$ACC LOOP SEQ\n");
+            }
+            out.push_str(line);
+            out.push('\n');
+        } else {
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+fn fxhash(s: &str) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::DYCORE_SRC;
+
+    #[test]
+    fn classifier_recognizes_each_class() {
+        assert_eq!(classify_line("!$ACC PARALLEL"), LineClass::OpenAcc);
+        assert_eq!(classify_line("!$acc loop gang"), LineClass::OpenAcc);
+        assert_eq!(classify_line("!$OMP PARALLEL DO"), LineClass::OtherDirective);
+        assert_eq!(classify_line("!DIR$ IVDEP"), LineClass::OtherDirective);
+        assert_eq!(classify_line("!$NEC outerloop_unroll(4)"), LineClass::OtherDirective);
+        assert_eq!(classify_line("#ifdef _LOOP_EXCHANGE"), LineClass::Preprocessor);
+        assert_eq!(classify_line("! plain comment"), LineClass::Comment);
+        assert_eq!(classify_line("x(p,k) = y(p,k);"), LineClass::Computation);
+    }
+
+    #[test]
+    fn else_branches_count_as_duplicated() {
+        let src = "#ifdef A\n x = 1;\n#else\n x = 2;\n y = 3;\n#endif\n";
+        let rep = count(src);
+        assert_eq!(rep.computation, 1);
+        assert_eq!(rep.duplicated, 2);
+        assert_eq!(rep.preprocessor, 3);
+    }
+
+    #[test]
+    fn clean_source_is_pure_computation_and_comments() {
+        let rep = count(DYCORE_SRC);
+        assert_eq!(rep.openacc, 0);
+        assert_eq!(rep.other_directive, 0);
+        assert_eq!(rep.duplicated, 0);
+        assert!(rep.computation > 20);
+    }
+
+    #[test]
+    fn annotated_source_reproduces_the_papers_inventory_shape() {
+        // Paper: computation < 50 %, OpenACC ~20 %, other directives
+        // ~12 %, duplicated ~6 % of the annotated total; stripping the
+        // annotations halves the line count (2728 -> ~1400).
+        let legacy = annotate_legacy(DYCORE_SRC);
+        let rep = count(&legacy);
+        let comp = rep.fraction(LineClass::Computation) + rep.fraction(LineClass::Comment);
+        let acc = rep.fraction(LineClass::OpenAcc);
+        let other = rep.fraction(LineClass::OtherDirective);
+        let dup = rep.fraction(LineClass::Duplicated) + rep.fraction(LineClass::Preprocessor);
+        assert!(comp < 0.75, "computation+comments {comp:.2}");
+        assert!((0.05..0.35).contains(&acc), "OpenACC fraction {acc:.2}");
+        assert!((0.03..0.25).contains(&other), "other-directive fraction {other:.2}");
+        assert!((0.01..0.20).contains(&dup), "duplication fraction {dup:.2}");
+        // Clean / annotated line ratio ~ the paper's < 50 %... our mini
+        // source is smaller, so assert the qualitative halving.
+        let ratio = nonempty_lines(DYCORE_SRC) as f64 / rep.total() as f64;
+        assert!(ratio < 0.8, "clean/annotated ratio {ratio:.2}");
+    }
+
+    #[test]
+    fn icon_excerpt_from_the_paper_classifies_correctly() {
+        // The actual code excerpt shown in §5.2 of the paper.
+        let excerpt = r#"
+!$ACC PARALLEL DEFAULT(PRESENT) ASYNC(1)
+!$ACC LOOP GANG VECTOR TILE(32, 4)
+#ifndef _LOOP_EXCHANGE
+  DO jc = i_startidx, i_endidx
+!DIR$ IVDEP
+    DO jk = 1, nlev
+      z_ekinh(jk,jc,jb) = wgt(1)*z_kin(jk,jc,1)
+#else
+!$NEC outerloop_unroll(4)
+  DO jk = 1, nlev
+    DO jc = i_startidx, i_endidx
+      z_ekinh(jc,jk,jb) = wgt(1)*z_kin(jc,jk,1)
+#endif
+  ENDDO
+!$ACC END PARALLEL
+"#;
+        let rep = count(excerpt);
+        assert_eq!(rep.openacc, 3);
+        assert_eq!(rep.other_directive, 2, "!DIR$ and !$NEC");
+        assert_eq!(rep.preprocessor, 3);
+        assert_eq!(rep.duplicated, 3, "the #else loop copy");
+        assert_eq!(rep.computation, 4);
+    }
+}

@@ -1,0 +1,447 @@
+//! Parser for the clean sequential kernel source (the stand-in for the
+//! paper's specialized Fortran parser).
+//!
+//! Grammar (case-insensitive keywords, `#` line comments):
+//!
+//! ```text
+//! program   := kernel*
+//! kernel    := "kernel" IDENT "over" IDENT statement* "end"
+//! statement := access "=" expr ";"
+//! access    := IDENT "(" point ("," level)? ")"
+//! point     := "p" | IDENT "(" "p" "," INT ")"
+//! level     := "k" | "k" ("+"|"-") INT | INT
+//! expr      := term (("+"|"-") term)*
+//! term      := factor (("*"|"/") factor)*
+//! factor    := NUMBER | "-" factor | "(" expr ")" | access
+//! ```
+
+use crate::ast::{BinOp, Expr, FieldAccess, Kernel, LevelIndex, PointIndex, Program, Statement};
+use std::fmt;
+
+/// Parse error with line information.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Num(f64),
+    LParen,
+    RParen,
+    Comma,
+    Semi,
+    Eq,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+}
+
+struct Lexer {
+    toks: Vec<(Tok, usize)>,
+    pos: usize,
+}
+
+fn lex(src: &str) -> Result<Lexer, ParseError> {
+    let mut toks = Vec::new();
+    for (ln, line) in src.lines().enumerate() {
+        let line = line.split('#').next().unwrap_or("");
+        let mut chars = line.chars().peekable();
+        let lineno = ln + 1;
+        while let Some(&c) = chars.peek() {
+            match c {
+                ' ' | '\t' | '\r' => {
+                    chars.next();
+                }
+                '(' => {
+                    chars.next();
+                    toks.push((Tok::LParen, lineno));
+                }
+                ')' => {
+                    chars.next();
+                    toks.push((Tok::RParen, lineno));
+                }
+                ',' => {
+                    chars.next();
+                    toks.push((Tok::Comma, lineno));
+                }
+                ';' => {
+                    chars.next();
+                    toks.push((Tok::Semi, lineno));
+                }
+                '=' => {
+                    chars.next();
+                    toks.push((Tok::Eq, lineno));
+                }
+                '+' => {
+                    chars.next();
+                    toks.push((Tok::Plus, lineno));
+                }
+                '-' => {
+                    chars.next();
+                    toks.push((Tok::Minus, lineno));
+                }
+                '*' => {
+                    chars.next();
+                    toks.push((Tok::Star, lineno));
+                }
+                '/' => {
+                    chars.next();
+                    toks.push((Tok::Slash, lineno));
+                }
+                c if c.is_ascii_digit() || c == '.' => {
+                    let mut s = String::new();
+                    while let Some(&c) = chars.peek() {
+                        if c.is_ascii_digit() || c == '.' || c == 'e' || c == 'E' {
+                            s.push(c);
+                            chars.next();
+                            // Exponent sign.
+                            if (s.ends_with('e') || s.ends_with('E'))
+                                && matches!(chars.peek(), Some('+') | Some('-'))
+                            {
+                                s.push(chars.next().unwrap());
+                            }
+                        } else {
+                            break;
+                        }
+                    }
+                    let v: f64 = s.parse().map_err(|_| ParseError {
+                        line: lineno,
+                        message: format!("bad number '{s}'"),
+                    })?;
+                    toks.push((Tok::Num(v), lineno));
+                }
+                c if c.is_ascii_alphabetic() || c == '_' => {
+                    let mut s = String::new();
+                    while let Some(&c) = chars.peek() {
+                        if c.is_ascii_alphanumeric() || c == '_' {
+                            s.push(c);
+                            chars.next();
+                        } else {
+                            break;
+                        }
+                    }
+                    toks.push((Tok::Ident(s.to_lowercase()), lineno));
+                }
+                other => {
+                    return Err(ParseError {
+                        line: lineno,
+                        message: format!("unexpected character '{other}'"),
+                    })
+                }
+            }
+        }
+    }
+    Ok(Lexer { toks, pos: 0 })
+}
+
+impl Lexer {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn line(&self) -> usize {
+        self.toks
+            .get(self.pos.min(self.toks.len().saturating_sub(1)))
+            .map(|(_, l)| *l)
+            .unwrap_or(0)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(t, _)| t.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn expect(&mut self, want: &Tok, what: &str) -> Result<(), ParseError> {
+        let line = self.line();
+        match self.next() {
+            Some(ref t) if t == want => Ok(()),
+            other => Err(ParseError {
+                line,
+                message: format!("expected {what}, found {other:?}"),
+            }),
+        }
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            line: self.line(),
+            message: message.into(),
+        })
+    }
+}
+
+/// Parse a full program.
+pub fn parse(src: &str) -> Result<Program, ParseError> {
+    let mut lx = lex(src)?;
+    let mut kernels = Vec::new();
+    while lx.peek().is_some() {
+        kernels.push(parse_kernel(&mut lx)?);
+    }
+    Ok(Program { kernels })
+}
+
+fn parse_kernel(lx: &mut Lexer) -> Result<Kernel, ParseError> {
+    match lx.next() {
+        Some(Tok::Ident(kw)) if kw == "kernel" => {}
+        other => return lx.err(format!("expected 'kernel', found {other:?}")),
+    }
+    let name = match lx.next() {
+        Some(Tok::Ident(n)) => n,
+        other => return lx.err(format!("expected kernel name, found {other:?}")),
+    };
+    match lx.next() {
+        Some(Tok::Ident(kw)) if kw == "over" => {}
+        other => return lx.err(format!("expected 'over', found {other:?}")),
+    }
+    let domain = match lx.next() {
+        Some(Tok::Ident(d)) => d,
+        other => return lx.err(format!("expected domain name, found {other:?}")),
+    };
+    let mut statements = Vec::new();
+    loop {
+        match lx.peek() {
+            Some(Tok::Ident(kw)) if kw == "end" => {
+                lx.next();
+                break;
+            }
+            Some(_) => statements.push(parse_statement(lx)?),
+            None => return lx.err("unexpected end of input inside kernel"),
+        }
+    }
+    Ok(Kernel {
+        name,
+        domain,
+        statements,
+    })
+}
+
+fn parse_statement(lx: &mut Lexer) -> Result<Statement, ParseError> {
+    let target = parse_access(lx)?;
+    if matches!(target.point, PointIndex::Lookup { .. }) {
+        return lx.err("assignment targets must be at the loop point 'p'");
+    }
+    lx.expect(&Tok::Eq, "'='")?;
+    let expr = parse_expr(lx)?;
+    lx.expect(&Tok::Semi, "';'")?;
+    Ok(Statement { target, expr })
+}
+
+fn parse_access(lx: &mut Lexer) -> Result<FieldAccess, ParseError> {
+    let field = match lx.next() {
+        Some(Tok::Ident(f)) => f,
+        other => return lx.err(format!("expected field name, found {other:?}")),
+    };
+    lx.expect(&Tok::LParen, "'('")?;
+    let point = parse_point(lx)?;
+    let level = if matches!(lx.peek(), Some(Tok::Comma)) {
+        lx.next();
+        parse_level(lx)?
+    } else {
+        LevelIndex::Surface
+    };
+    lx.expect(&Tok::RParen, "')'")?;
+    Ok(FieldAccess {
+        field,
+        point,
+        level,
+    })
+}
+
+fn parse_point(lx: &mut Lexer) -> Result<PointIndex, ParseError> {
+    match lx.next() {
+        Some(Tok::Ident(id)) if id == "p" => Ok(PointIndex::Own),
+        Some(Tok::Ident(relation)) => {
+            lx.expect(&Tok::LParen, "'(' after relation")?;
+            match lx.next() {
+                Some(Tok::Ident(p)) if p == "p" => {}
+                other => return lx.err(format!("expected 'p' in lookup, found {other:?}")),
+            }
+            lx.expect(&Tok::Comma, "','")?;
+            let slot = match lx.next() {
+                Some(Tok::Num(n)) if n >= 0.0 && n.fract() == 0.0 => n as usize,
+                other => return lx.err(format!("expected slot integer, found {other:?}")),
+            };
+            lx.expect(&Tok::RParen, "')'")?;
+            Ok(PointIndex::Lookup { relation, slot })
+        }
+        other => lx.err(format!("expected point index, found {other:?}")),
+    }
+}
+
+fn parse_level(lx: &mut Lexer) -> Result<LevelIndex, ParseError> {
+    match lx.next() {
+        Some(Tok::Ident(id)) if id == "k" => match lx.peek() {
+            Some(Tok::Plus) => {
+                lx.next();
+                match lx.next() {
+                    Some(Tok::Num(n)) if n.fract() == 0.0 => Ok(LevelIndex::KOffset(n as i32)),
+                    other => lx.err(format!("expected offset, found {other:?}")),
+                }
+            }
+            Some(Tok::Minus) => {
+                lx.next();
+                match lx.next() {
+                    Some(Tok::Num(n)) if n.fract() == 0.0 => Ok(LevelIndex::KOffset(-(n as i32))),
+                    other => lx.err(format!("expected offset, found {other:?}")),
+                }
+            }
+            _ => Ok(LevelIndex::K),
+        },
+        Some(Tok::Num(n)) if n >= 0.0 && n.fract() == 0.0 => Ok(LevelIndex::Fixed(n as usize)),
+        other => lx.err(format!("expected level index, found {other:?}")),
+    }
+}
+
+fn parse_expr(lx: &mut Lexer) -> Result<Expr, ParseError> {
+    let mut lhs = parse_term(lx)?;
+    loop {
+        let op = match lx.peek() {
+            Some(Tok::Plus) => BinOp::Add,
+            Some(Tok::Minus) => BinOp::Sub,
+            _ => return Ok(lhs),
+        };
+        lx.next();
+        let rhs = parse_term(lx)?;
+        lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+    }
+}
+
+fn parse_term(lx: &mut Lexer) -> Result<Expr, ParseError> {
+    let mut lhs = parse_factor(lx)?;
+    loop {
+        let op = match lx.peek() {
+            Some(Tok::Star) => BinOp::Mul,
+            Some(Tok::Slash) => BinOp::Div,
+            _ => return Ok(lhs),
+        };
+        lx.next();
+        let rhs = parse_factor(lx)?;
+        lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+    }
+}
+
+fn parse_factor(lx: &mut Lexer) -> Result<Expr, ParseError> {
+    match lx.peek() {
+        Some(Tok::Num(_)) => {
+            if let Some(Tok::Num(n)) = lx.next() {
+                Ok(Expr::Num(n))
+            } else {
+                unreachable!()
+            }
+        }
+        Some(Tok::Minus) => {
+            lx.next();
+            Ok(Expr::Neg(Box::new(parse_factor(lx)?)))
+        }
+        Some(Tok::LParen) => {
+            lx.next();
+            let e = parse_expr(lx)?;
+            lx.expect(&Tok::RParen, "')'")?;
+            Ok(e)
+        }
+        Some(Tok::Ident(_)) => Ok(Expr::Access(parse_access(lx)?)),
+        other => lx.err(format!("expected expression, found {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_ekinh_kernel() {
+        let src = r#"
+            # ICON's kinetic-energy gather (the paper's code excerpt).
+            kernel z_ekinh over cells
+              ekin(p, k) = w1(p) * kin_e(edge(p,0), k)
+                         + w2(p) * kin_e(edge(p,1), k)
+                         + w3(p) * kin_e(edge(p,2), k);
+            end
+        "#;
+        let prog = parse(src).unwrap();
+        assert_eq!(prog.kernels.len(), 1);
+        let k = &prog.kernels[0];
+        assert_eq!(k.name, "z_ekinh");
+        assert_eq!(k.domain, "cells");
+        assert_eq!(k.statements.len(), 1);
+        assert_eq!(k.statements[0].index_lookups(), 3);
+        assert!(k.uses_levels());
+    }
+
+    #[test]
+    fn parses_level_offsets_and_fixed_levels() {
+        let src = "kernel vert over cells  d(p,k) = x(p,k+1) - x(p,k-1) + sfc(p) * top(p,0); end";
+        let prog = parse(src).unwrap();
+        let st = &prog.kernels[0].statements[0];
+        let acc = st.expr.accesses();
+        assert_eq!(acc[0].level, LevelIndex::KOffset(1));
+        assert_eq!(acc[1].level, LevelIndex::KOffset(-1));
+        assert_eq!(acc[2].level, LevelIndex::Surface);
+        assert_eq!(acc[3].level, LevelIndex::Fixed(0));
+    }
+
+    #[test]
+    fn precedence_and_parentheses() {
+        let prog = parse("kernel t over cells o(p,k) = 2 + 3 * 4; end").unwrap();
+        // 2 + (3*4), evaluated by the executor; structurally the root is Add.
+        match &prog.kernels[0].statements[0].expr {
+            Expr::Bin(BinOp::Add, _, rhs) => match rhs.as_ref() {
+                Expr::Bin(BinOp::Mul, _, _) => {}
+                other => panic!("rhs should be Mul, got {other:?}"),
+            },
+            other => panic!("root should be Add, got {other:?}"),
+        }
+        let prog2 = parse("kernel t over cells o(p,k) = (2 + 3) * 4; end").unwrap();
+        match &prog2.kernels[0].statements[0].expr {
+            Expr::Bin(BinOp::Mul, _, _) => {}
+            other => panic!("root should be Mul, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multiple_kernels() {
+        let src = r#"
+            kernel a over cells x(p,k) = 1; end
+            kernel b over edges y(p,k) = x(cell(p,0), k) + x(cell(p,1), k); end
+        "#;
+        let prog = parse(src).unwrap();
+        assert_eq!(prog.kernels.len(), 2);
+        assert_eq!(prog.kernels[1].domain, "edges");
+        assert_eq!(prog.kernels[1].index_lookups(), 2);
+    }
+
+    #[test]
+    fn rejects_lookup_targets() {
+        let err = parse("kernel t over cells x(edge(p,0),k) = 1; end").unwrap_err();
+        assert!(err.message.contains("loop point"), "{err}");
+    }
+
+    #[test]
+    fn reports_line_numbers() {
+        let src = "kernel t over cells\n  x(p,k) = ??;\nend";
+        let err = parse(src).unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn scientific_notation() {
+        let prog = parse("kernel t over cells o(p,k) = 1.5e-3 * x(p,k); end").unwrap();
+        match &prog.kernels[0].statements[0].expr {
+            Expr::Bin(BinOp::Mul, lhs, _) => assert_eq!(**lhs, Expr::Num(1.5e-3)),
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Simplified carbonate chemistry and air–sea CO2 exchange.
+//!
+//! Uses the carbonate-alkalinity approximation: with `CA ~ Alk` and
+//! `[CO2*] ~ K * (2 DIC - Alk)^2 / (Alk - DIC)`, the ocean's CO2 partial
+//! pressure follows from DIC, alkalinity, and a temperature-dependent
+//! solubility. Quantitatively crude but qualitatively faithful: warm,
+//! DIC-rich water outgasses; cold or biologically drawn-down water takes
+//! carbon up — the behaviour Figure 5 of the paper visualizes.
+
+/// Reference surface pCO2 (uatm) at the reference DIC/Alk/temperature.
+pub const PCO2_REF: f64 = 380.0;
+
+/// Molar mass of carbon (kg/kmol).
+pub const CARBON_KG_PER_KMOL: f64 = 12.011;
+
+/// Ocean pCO2 (uatm) from DIC (kmol C/m^3), alkalinity (kmol/m^3), and
+/// temperature (deg C).
+pub fn pco2_ocean(dic: f64, alk: f64, temp: f64) -> f64 {
+    // Guard the approximation's pole at alk <= dic.
+    let dic = dic.max(1e-6);
+    let alk = alk.max(dic * 1.02);
+    let co2_star = (2.0 * dic - alk).max(1e-9).powi(2) / (alk - dic);
+    // Reference state: DIC 2.05e-3, Alk 2.35e-3 at 15 C.
+    let ref_star = (2.0f64 * 2.05e-3 - 2.35e-3).powi(2) / (2.35e-3 - 2.05e-3);
+    // Solubility falls ~4.2 %/K: warmer water holds less CO2, so the same
+    // CO2* maps to a higher partial pressure.
+    let t_factor = (0.0423 * (temp - 15.0)).exp();
+    PCO2_REF * (co2_star / ref_star) * t_factor
+}
+
+/// Gas-transfer (piston) velocity (m/s) from wind speed (m/s),
+/// Wanninkhof-style quadratic.
+pub fn piston_velocity(wind: f64) -> f64 {
+    let kw_cm_per_h = 0.31 * wind * wind;
+    kw_cm_per_h * 0.01 / 3600.0
+}
+
+/// Air–sea CO2 flux (kmol C/m^2/s, **positive upward** = outgassing)
+/// given surface DIC/Alk/temperature, wind, atmospheric pCO2 (uatm), and
+/// ice cover fraction (0..1) gating the exchange.
+pub fn air_sea_co2_flux(
+    dic: f64,
+    alk: f64,
+    temp: f64,
+    wind: f64,
+    pco2_atm: f64,
+    ice_fraction: f64,
+) -> f64 {
+    let dp = pco2_ocean(dic, alk, temp) - pco2_atm;
+    // Henry solubility ~ 3.2e-5 kmol/m^3/uatm at 15 C, falling with T.
+    let k0 = 3.2e-5 * (-0.02 * (temp - 15.0)).exp() * 1e-3;
+    piston_velocity(wind) * k0 * dp * (1.0 - ice_fraction).clamp(0.0, 1.0)
+}
+
+/// Oxygen saturation (kmol/m^3) vs temperature (deg C): colder water
+/// holds more oxygen.
+pub fn o2_saturation(temp: f64) -> f64 {
+    (3.5e-4 - 5.0e-6 * temp).max(1.2e-4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pco2_at_reference_state() {
+        let p = pco2_ocean(2.05e-3, 2.35e-3, 15.0);
+        assert!((p / PCO2_REF - 1.0).abs() < 1e-9, "{p}");
+    }
+
+    #[test]
+    fn warming_raises_pco2() {
+        let cold = pco2_ocean(2.05e-3, 2.35e-3, 2.0);
+        let warm = pco2_ocean(2.05e-3, 2.35e-3, 28.0);
+        assert!(warm > 1.5 * cold, "cold {cold} warm {warm}");
+    }
+
+    #[test]
+    fn biological_drawdown_lowers_pco2() {
+        let rich = pco2_ocean(2.10e-3, 2.35e-3, 15.0);
+        let drawn = pco2_ocean(1.95e-3, 2.35e-3, 15.0);
+        assert!(drawn < rich);
+    }
+
+    #[test]
+    fn flux_direction_follows_gradient() {
+        // Supersaturated warm water outgasses.
+        let out = air_sea_co2_flux(2.15e-3, 2.35e-3, 28.0, 8.0, 420.0, 0.0);
+        assert!(out > 0.0);
+        // Undersaturated cold water absorbs.
+        let inn = air_sea_co2_flux(1.95e-3, 2.35e-3, 2.0, 8.0, 420.0, 0.0);
+        assert!(inn < 0.0);
+        // No wind, no flux; full ice, no flux.
+        assert_eq!(air_sea_co2_flux(2.15e-3, 2.35e-3, 28.0, 0.0, 420.0, 0.0), 0.0);
+        assert_eq!(air_sea_co2_flux(2.15e-3, 2.35e-3, 28.0, 8.0, 420.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn piston_velocity_quadratic_in_wind() {
+        let k5 = piston_velocity(5.0);
+        let k10 = piston_velocity(10.0);
+        assert!((k10 / k5 - 4.0).abs() < 1e-12);
+        // ~30 cm/h at 10 m/s.
+        assert!((k10 * 3600.0 * 100.0 - 31.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn oxygen_saturation_decreases_with_warmth() {
+        assert!(o2_saturation(0.0) > o2_saturation(25.0));
+        assert!(o2_saturation(50.0) > 0.0);
+    }
+}

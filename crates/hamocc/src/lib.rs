@@ -1,0 +1,26 @@
+//! HAMOCC-like ocean biogeochemistry: 19 interacting tracers (Table 2)
+//! transported by the ocean circulation, with an extended-NPZD ecosystem,
+//! carbonate chemistry, particle sinking with sediment burial, and air-sea
+//! CO2 exchange.
+//!
+//! §5.1 of the paper: HAMOCC "involves a large number of tracers
+//! (prognostic variables in Table 2) that interact with one another and
+//! are transported through the ocean"; it has no global solver, shares the
+//! ocean's long time step, and can run inline with the ocean on the CPU or
+//! concurrently on GPUs. This crate exposes exactly that flexibility: the
+//! transport step reuses the ocean's advection operator and can be driven
+//! from either placement.
+//!
+//! Units follow HAMOCC conventions: plankton and organic matter in
+//! kmol P m^-3 (phosphorus currency; carbon via the Redfield ratio 122),
+//! DIC and CaCO3 in kmol C m^-3 — which is why Figure 5 of the paper plots
+//! phytoplankton between 1e-9 and 1e-6 kmol P m^-3, the range our
+//! `earth_snapshot` example reproduces.
+
+pub mod biology;
+pub mod carbonate;
+pub mod model;
+pub mod tracers;
+
+pub use model::Hamocc;
+pub use tracers::{Tracer, N_TRACERS};

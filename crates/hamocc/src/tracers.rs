@@ -1,0 +1,191 @@
+//! The 19 biogeochemical tracers (Table 2 of the paper).
+
+/// Tracer identifiers; values index per-tracer field arrays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Tracer {
+    /// Dissolved inorganic carbon (kmol C/m^3).
+    Dic = 0,
+    /// Total alkalinity (kmol/m^3).
+    Alkalinity = 1,
+    /// Phosphate (kmol P/m^3) — the model's currency nutrient.
+    Phosphate = 2,
+    /// Nitrate (kmol N/m^3).
+    Nitrate = 3,
+    /// Silicate (kmol Si/m^3).
+    Silicate = 4,
+    /// Dissolved iron (kmol Fe/m^3).
+    Iron = 5,
+    /// Dissolved oxygen (kmol O2/m^3).
+    Oxygen = 6,
+    /// Bulk phytoplankton (kmol P/m^3).
+    Phytoplankton = 7,
+    /// Cyanobacteria / nitrogen fixers (kmol P/m^3).
+    Cyanobacteria = 8,
+    /// Zooplankton (kmol P/m^3).
+    Zooplankton = 9,
+    /// Dissolved organic matter (kmol P/m^3).
+    Doc = 10,
+    /// Sinking detritus / particulate organic matter (kmol P/m^3).
+    Detritus = 11,
+    /// Calcium carbonate shells (kmol C/m^3).
+    Calcite = 12,
+    /// Biogenic silica shells (kmol Si/m^3).
+    Opal = 13,
+    /// Dissolved dinitrogen from denitrification (kmol N/m^3).
+    N2 = 14,
+    /// Nitrous oxide (kmol N/m^3).
+    N2o = 15,
+    /// Dimethyl sulfide (kmol S/m^3).
+    Dms = 16,
+    /// Lithogenic dust (iron carrier, kg/m^3).
+    Dust = 17,
+    /// Terrigenous organic matter from rivers (kmol P/m^3).
+    Terrigenous = 18,
+}
+
+/// Number of tracers (Table 2: 19 prognostic biogeochemistry variables).
+pub const N_TRACERS: usize = 19;
+
+/// Redfield molar ratios relative to phosphorus: C : N : P = 122 : 16 : 1,
+/// O2 consumption 172 per P remineralized.
+pub const REDFIELD_C: f64 = 122.0;
+pub const REDFIELD_N: f64 = 16.0;
+pub const REDFIELD_O2: f64 = 172.0;
+
+impl Tracer {
+    pub const ALL: [Tracer; N_TRACERS] = [
+        Tracer::Dic,
+        Tracer::Alkalinity,
+        Tracer::Phosphate,
+        Tracer::Nitrate,
+        Tracer::Silicate,
+        Tracer::Iron,
+        Tracer::Oxygen,
+        Tracer::Phytoplankton,
+        Tracer::Cyanobacteria,
+        Tracer::Zooplankton,
+        Tracer::Doc,
+        Tracer::Detritus,
+        Tracer::Calcite,
+        Tracer::Opal,
+        Tracer::N2,
+        Tracer::N2o,
+        Tracer::Dms,
+        Tracer::Dust,
+        Tracer::Terrigenous,
+    ];
+
+    #[inline]
+    pub fn idx(self) -> usize {
+        self as usize
+    }
+
+    /// Phosphorus-currency organic tracers whose carbon content is
+    /// `REDFIELD_C` per unit.
+    pub fn is_organic_p(self) -> bool {
+        matches!(
+            self,
+            Tracer::Phytoplankton
+                | Tracer::Cyanobacteria
+                | Tracer::Zooplankton
+                | Tracer::Doc
+                | Tracer::Detritus
+                | Tracer::Terrigenous
+        )
+    }
+
+    /// Sinking speed (m/s) of particulate tracers; 0 for dissolved ones.
+    pub fn sinking_speed(self) -> f64 {
+        const PER_DAY: f64 = 1.0 / 86_400.0;
+        match self {
+            Tracer::Detritus => 5.0 * PER_DAY,
+            Tracer::Calcite => 30.0 * PER_DAY,
+            Tracer::Opal => 30.0 * PER_DAY,
+            Tracer::Dust => 100.0 * PER_DAY,
+            _ => 0.0,
+        }
+    }
+
+    /// Surface initialization value (per unit of the tracer's own units).
+    pub fn surface_init(self) -> f64 {
+        match self {
+            Tracer::Dic => 2.05e-3,
+            Tracer::Alkalinity => 2.35e-3,
+            Tracer::Phosphate => 5.0e-7,
+            Tracer::Nitrate => 8.0e-6,
+            Tracer::Silicate => 1.0e-5,
+            Tracer::Iron => 6.0e-10,
+            Tracer::Oxygen => 2.5e-4,
+            Tracer::Phytoplankton => 1.0e-8,
+            Tracer::Cyanobacteria => 1.0e-9,
+            Tracer::Zooplankton => 3.0e-9,
+            Tracer::Doc => 1.0e-7,
+            Tracer::Detritus => 1.0e-8,
+            Tracer::Calcite => 1.0e-8,
+            Tracer::Opal => 1.0e-8,
+            Tracer::N2 => 1.0e-6,
+            Tracer::N2o => 1.0e-8,
+            Tracer::Dms => 1.0e-9,
+            Tracer::Dust => 1.0e-8,
+            Tracer::Terrigenous => 1.0e-9,
+        }
+    }
+
+    /// Deep-water enrichment factor (nutrients accumulate at depth).
+    pub fn deep_enrichment(self) -> f64 {
+        match self {
+            Tracer::Phosphate | Tracer::Nitrate | Tracer::Silicate => 4.0,
+            Tracer::Dic => 1.15,
+            Tracer::Alkalinity => 1.05,
+            Tracer::Oxygen => 0.6,
+            Tracer::Phytoplankton | Tracer::Cyanobacteria | Tracer::Zooplankton => 0.01,
+            _ => 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_19_tracers_matching_table2() {
+        assert_eq!(N_TRACERS, 19);
+        assert_eq!(Tracer::ALL.len(), 19);
+        for (i, t) in Tracer::ALL.iter().enumerate() {
+            assert_eq!(t.idx(), i, "ALL must be index-ordered");
+        }
+    }
+
+    #[test]
+    fn only_particles_sink() {
+        for t in Tracer::ALL {
+            let sinks = t.sinking_speed() > 0.0;
+            let particulate = matches!(
+                t,
+                Tracer::Detritus | Tracer::Calcite | Tracer::Opal | Tracer::Dust
+            );
+            assert_eq!(sinks, particulate, "{t:?}");
+        }
+    }
+
+    #[test]
+    fn organic_pool_set_is_consistent() {
+        let organics: Vec<Tracer> = Tracer::ALL.iter().cloned().filter(|t| t.is_organic_p()).collect();
+        assert_eq!(organics.len(), 6);
+        assert!(organics.contains(&Tracer::Phytoplankton));
+        assert!(!Tracer::Dic.is_organic_p());
+    }
+
+    #[test]
+    fn initial_profiles_are_positive() {
+        for t in Tracer::ALL {
+            assert!(t.surface_init() > 0.0);
+            assert!(t.deep_enrichment() > 0.0);
+        }
+        // Oxygen depleted at depth, nutrients enriched.
+        assert!(Tracer::Oxygen.deep_enrichment() < 1.0);
+        assert!(Tracer::Phosphate.deep_enrichment() > 1.0);
+    }
+}

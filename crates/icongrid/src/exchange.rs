@@ -1,0 +1,66 @@
+//! Field-exchange abstraction.
+//!
+//! Component models (atmosphere, ocean, …) are written against this trait
+//! so the same stepping code runs serially on a global [`Grid`](crate::Grid)
+//! (no-op exchange) and distributed on per-rank [`SubGrid`](crate::SubGrid)s
+//! (halo exchange through `mpisim`). A third use is instrumentation:
+//! wrappers can count exchanges to drive the machine model.
+
+use crate::field::{Field2, Field3};
+
+/// Fills halo entities of distributed fields from their owners, and
+/// provides the global reductions the solvers need.
+pub trait Exchange {
+    /// Make halo *cell* columns current.
+    fn cells3(&self, field: &mut Field3);
+    /// Make halo *edge* columns current.
+    fn edges3(&self, field: &mut Field3);
+    /// Make halo cells of a 2-D field current.
+    fn cells2(&self, field: &mut Field2);
+    /// Make halo edges of a 2-D field current.
+    fn edges2(&self, field: &mut Field2);
+    /// Global sum across ranks (returns `x` unchanged in serial runs).
+    fn sum(&self, x: f64) -> f64;
+    /// Global max across ranks.
+    fn max(&self, x: f64) -> f64;
+    /// Exchange several cell fields in one aggregated message.
+    fn cells3_many(&self, fields: &mut [&mut Field3]) {
+        for f in fields {
+            self.cells3(f);
+        }
+    }
+}
+
+/// The serial exchange: single domain, nothing to do.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoExchange;
+
+impl Exchange for NoExchange {
+    fn cells3(&self, _field: &mut Field3) {}
+    fn edges3(&self, _field: &mut Field3) {}
+    fn cells2(&self, _field: &mut Field2) {}
+    fn edges2(&self, _field: &mut Field2) {}
+    fn sum(&self, x: f64) -> f64 {
+        x
+    }
+    fn max(&self, x: f64) -> f64 {
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_exchange_is_identity() {
+        let x = NoExchange;
+        let mut f = Field3::from_fn(4, 2, |i, k| (i + k) as f64);
+        let before = f.clone();
+        x.cells3(&mut f);
+        x.edges3(&mut f);
+        assert_eq!(f, before);
+        assert_eq!(x.sum(3.5), 3.5);
+        assert_eq!(x.max(-1.0), -1.0);
+    }
+}

@@ -1,0 +1,266 @@
+//! Cartesian 3-vectors and spherical geometry on the unit sphere.
+//!
+//! All grid geometry is computed on the unit sphere and scaled by the planet
+//! radius where dimensional quantities (lengths, areas) are needed.
+
+use std::ops::{Add, AddAssign, Mul, Neg, Sub};
+
+/// A Cartesian 3-vector. Grid points live on the unit sphere.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec3 {
+    pub x: f64,
+    pub y: f64,
+    pub z: f64,
+}
+
+impl Vec3 {
+    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+
+    #[inline]
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Vec3 { x, y, z }
+    }
+
+    /// Build a unit vector from geographic longitude/latitude (radians).
+    #[inline]
+    pub fn from_lonlat(lon: f64, lat: f64) -> Self {
+        let (slat, clat) = lat.sin_cos();
+        let (slon, clon) = lon.sin_cos();
+        Vec3::new(clat * clon, clat * slon, slat)
+    }
+
+    /// Longitude in radians, in `(-pi, pi]`.
+    #[inline]
+    pub fn lon(&self) -> f64 {
+        self.y.atan2(self.x)
+    }
+
+    /// Latitude in radians, in `[-pi/2, pi/2]`.
+    #[inline]
+    pub fn lat(&self) -> f64 {
+        self.z.atan2((self.x * self.x + self.y * self.y).sqrt())
+    }
+
+    #[inline]
+    pub fn dot(&self, o: &Vec3) -> f64 {
+        self.x * o.x + self.y * o.y + self.z * o.z
+    }
+
+    #[inline]
+    pub fn cross(&self, o: &Vec3) -> Vec3 {
+        Vec3::new(
+            self.y * o.z - self.z * o.y,
+            self.z * o.x - self.x * o.z,
+            self.x * o.y - self.y * o.x,
+        )
+    }
+
+    #[inline]
+    pub fn norm2(&self) -> f64 {
+        self.dot(self)
+    }
+
+    #[inline]
+    pub fn norm(&self) -> f64 {
+        self.norm2().sqrt()
+    }
+
+    /// Normalize to unit length. Panics on the zero vector in debug builds.
+    #[inline]
+    pub fn normalized(&self) -> Vec3 {
+        let n = self.norm();
+        debug_assert!(n > 0.0, "cannot normalize zero vector");
+        Vec3::new(self.x / n, self.y / n, self.z / n)
+    }
+
+    #[inline]
+    pub fn scale(&self, s: f64) -> Vec3 {
+        Vec3::new(self.x * s, self.y * s, self.z * s)
+    }
+
+    /// Great-circle (geodesic) distance to another *unit* vector, on the
+    /// unit sphere. Uses `atan2` for accuracy at small and large angles.
+    #[inline]
+    pub fn arc_distance(&self, o: &Vec3) -> f64 {
+        let c = self.cross(o).norm();
+        let d = self.dot(o);
+        c.atan2(d)
+    }
+
+    /// Midpoint on the sphere between two unit vectors.
+    #[inline]
+    pub fn sphere_midpoint(&self, o: &Vec3) -> Vec3 {
+        (*self + *o).normalized()
+    }
+
+    /// Component of `self` perpendicular to unit vector `n` (projection
+    /// onto the tangent plane at `n`).
+    #[inline]
+    pub fn tangent_at(&self, n: &Vec3) -> Vec3 {
+        *self - n.scale(self.dot(n))
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn add(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x + o.x, self.y + o.y, self.z + o.z)
+    }
+}
+
+impl AddAssign for Vec3 {
+    #[inline]
+    fn add_assign(&mut self, o: Vec3) {
+        self.x += o.x;
+        self.y += o.y;
+        self.z += o.z;
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn sub(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x - o.x, self.y - o.y, self.z - o.z)
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn neg(self) -> Vec3 {
+        Vec3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+impl Mul<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, s: f64) -> Vec3 {
+        self.scale(s)
+    }
+}
+
+/// Area of the spherical triangle with *unit-vector* corners `a`, `b`, `c`
+/// on the unit sphere, via l'Huilier's theorem (numerically robust for the
+/// small, nearly-equilateral triangles of refined icosahedral grids).
+pub fn spherical_triangle_area(a: &Vec3, b: &Vec3, c: &Vec3) -> f64 {
+    let sa = b.arc_distance(c);
+    let sb = c.arc_distance(a);
+    let sc = a.arc_distance(b);
+    let s = 0.5 * (sa + sb + sc);
+    let t = (s / 2.0).tan()
+        * ((s - sa) / 2.0).tan()
+        * ((s - sb) / 2.0).tan()
+        * ((s - sc) / 2.0).tan();
+    4.0 * t.max(0.0).sqrt().atan()
+}
+
+/// Circumcenter of a spherical triangle: the point equidistant from the
+/// three corners, chosen on the same side of the sphere as the triangle.
+///
+/// ICON places scalar points at circumcenters so that the arc connecting
+/// the centers of two adjacent triangles intersects their common edge at a
+/// right angle — the orthogonality requirement of the C-grid staggering.
+pub fn spherical_circumcenter(a: &Vec3, b: &Vec3, c: &Vec3) -> Vec3 {
+    // The circumcenter of the planar triangle through a, b, c projected to
+    // the sphere is equidistant (in arc length) from all three corners.
+    let n = (*b - *a).cross(&(*c - *a));
+    let nn = n.norm();
+    debug_assert!(nn > 0.0, "degenerate triangle");
+    let u = n.scale(1.0 / nn);
+    // Orient towards the triangle's side of the sphere.
+    let centroid = (*a + *b + *c).scale(1.0 / 3.0);
+    if u.dot(&centroid) < 0.0 {
+        -u
+    } else {
+        u
+    }
+}
+
+/// Local east/north unit vectors of the tangent plane at unit vector `p`.
+/// Degenerates gracefully at the poles (east is taken along +y there).
+pub fn local_east_north(p: &Vec3) -> (Vec3, Vec3) {
+    let zaxis = Vec3::new(0.0, 0.0, 1.0);
+    let east = zaxis.cross(p);
+    let east = if east.norm2() < 1e-24 {
+        Vec3::new(0.0, 1.0, 0.0)
+    } else {
+        east.normalized()
+    };
+    let north = p.cross(&east).normalized();
+    (east, north)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn lonlat_roundtrip() {
+        for &(lon, lat) in &[(0.0, 0.0), (1.0, 0.5), (-2.5, -1.2), (3.0, 1.5)] {
+            let v = Vec3::from_lonlat(lon, lat);
+            assert!((v.norm() - 1.0).abs() < 1e-14);
+            assert!((v.lon() - lon).abs() < 1e-12);
+            assert!((v.lat() - lat).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn arc_distance_quarter_circle() {
+        let a = Vec3::new(1.0, 0.0, 0.0);
+        let b = Vec3::new(0.0, 1.0, 0.0);
+        assert!((a.arc_distance(&b) - PI / 2.0).abs() < 1e-14);
+        assert!(a.arc_distance(&a) < 1e-14);
+        assert!((a.arc_distance(&-a) - PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn octant_area() {
+        // One octant of the sphere is a spherical triangle of area 4*pi/8.
+        let a = Vec3::new(1.0, 0.0, 0.0);
+        let b = Vec3::new(0.0, 1.0, 0.0);
+        let c = Vec3::new(0.0, 0.0, 1.0);
+        let area = spherical_triangle_area(&a, &b, &c);
+        assert!((area - PI / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn circumcenter_equidistant() {
+        let a = Vec3::from_lonlat(0.1, 0.2);
+        let b = Vec3::from_lonlat(0.25, 0.22);
+        let c = Vec3::from_lonlat(0.18, 0.35);
+        let cc = spherical_circumcenter(&a, &b, &c);
+        let da = cc.arc_distance(&a);
+        let db = cc.arc_distance(&b);
+        let dc = cc.arc_distance(&c);
+        assert!((da - db).abs() < 1e-12);
+        assert!((da - dc).abs() < 1e-12);
+        // Same hemisphere as the triangle.
+        assert!(cc.dot(&a) > 0.0);
+    }
+
+    #[test]
+    fn east_north_orthonormal() {
+        let p = Vec3::from_lonlat(0.7, -0.3);
+        let (e, n) = local_east_north(&p);
+        assert!((e.norm() - 1.0).abs() < 1e-14);
+        assert!((n.norm() - 1.0).abs() < 1e-14);
+        assert!(e.dot(&n).abs() < 1e-14);
+        assert!(e.dot(&p).abs() < 1e-14);
+        assert!(n.dot(&p).abs() < 1e-14);
+        // North points towards increasing latitude.
+        let p2 = Vec3::from_lonlat(0.7, -0.3 + 1e-6);
+        assert!((p2 - p).dot(&n) > 0.0);
+    }
+
+    #[test]
+    fn east_north_at_pole() {
+        let p = Vec3::new(0.0, 0.0, 1.0);
+        let (e, n) = local_east_north(&p);
+        assert!((e.norm() - 1.0).abs() < 1e-14);
+        assert!(e.dot(&n).abs() < 1e-14);
+    }
+}

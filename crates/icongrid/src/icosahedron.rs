@@ -1,0 +1,142 @@
+//! The base icosahedron: 12 vertices, 30 edges, 20 triangular faces.
+//!
+//! ICON's grid hierarchy starts from the icosahedron oriented with one
+//! vertex at each pole; the remaining ten vertices lie on two latitude
+//! circles at `±atan(1/2)`.
+
+use crate::geom::Vec3;
+
+/// A triangle mesh on the unit sphere: shared vertices plus faces given as
+/// vertex index triples (counter-clockwise seen from outside).
+#[derive(Debug, Clone)]
+pub struct TriMesh {
+    pub vertices: Vec<Vec3>,
+    pub faces: Vec<[u32; 3]>,
+}
+
+impl TriMesh {
+    pub fn n_vertices(&self) -> usize {
+        self.vertices.len()
+    }
+
+    pub fn n_faces(&self) -> usize {
+        self.faces.len()
+    }
+
+    /// Number of unique edges (Euler: E = V + F - 2 for a closed surface of
+    /// genus zero).
+    pub fn n_edges(&self) -> usize {
+        self.n_vertices() + self.n_faces() - 2
+    }
+}
+
+/// Construct the unit icosahedron in the ICON orientation: north pole
+/// vertex, a northern pentagon ring at latitude `atan(1/2)`, a southern ring
+/// at `-atan(1/2)` offset by 36 degrees, and the south pole vertex.
+pub fn icosahedron() -> TriMesh {
+    use std::f64::consts::PI;
+    let lat_ring = 0.5f64.atan(); // ~26.565 degrees
+    let mut vertices = Vec::with_capacity(12);
+    vertices.push(Vec3::new(0.0, 0.0, 1.0)); // 0: north pole
+    for i in 0..5 {
+        // 1..=5: northern ring
+        let lon = 2.0 * PI * i as f64 / 5.0;
+        vertices.push(Vec3::from_lonlat(lon, lat_ring));
+    }
+    for i in 0..5 {
+        // 6..=10: southern ring, offset half a sector
+        let lon = 2.0 * PI * (i as f64 + 0.5) / 5.0;
+        vertices.push(Vec3::from_lonlat(lon, -lat_ring));
+    }
+    vertices.push(Vec3::new(0.0, 0.0, -1.0)); // 11: south pole
+
+    let mut faces = Vec::with_capacity(20);
+    for i in 0..5u32 {
+        let j = (i + 1) % 5;
+        let (ni, nj) = (1 + i, 1 + j); // northern ring
+        let (si, sj) = (6 + i, 6 + j); // southern ring
+        faces.push([0, ni, nj]); // polar cap north
+        faces.push([ni, si, nj]); // upper mid-band
+        faces.push([nj, si, sj]); // lower mid-band
+        faces.push([11, sj, si]); // polar cap south
+    }
+    TriMesh { vertices, faces }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geom::spherical_triangle_area;
+    use std::collections::HashSet;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn counts() {
+        let m = icosahedron();
+        assert_eq!(m.n_vertices(), 12);
+        assert_eq!(m.n_faces(), 20);
+        assert_eq!(m.n_edges(), 30);
+    }
+
+    #[test]
+    fn faces_cover_sphere() {
+        let m = icosahedron();
+        let total: f64 = m
+            .faces
+            .iter()
+            .map(|f| {
+                spherical_triangle_area(
+                    &m.vertices[f[0] as usize],
+                    &m.vertices[f[1] as usize],
+                    &m.vertices[f[2] as usize],
+                )
+            })
+            .sum();
+        assert!((total - 4.0 * PI).abs() < 1e-10, "total area {total}");
+    }
+
+    #[test]
+    fn faces_consistent_winding() {
+        // Counter-clockwise from outside: (b-a) x (c-a) points outward.
+        let m = icosahedron();
+        for f in &m.faces {
+            let a = m.vertices[f[0] as usize];
+            let b = m.vertices[f[1] as usize];
+            let c = m.vertices[f[2] as usize];
+            let n = (b - a).cross(&(c - a));
+            let centroid = (a + b + c).scale(1.0 / 3.0);
+            assert!(n.dot(&centroid) > 0.0, "face {f:?} wound clockwise");
+        }
+    }
+
+    #[test]
+    fn every_edge_shared_by_two_faces() {
+        let m = icosahedron();
+        let mut count = std::collections::HashMap::new();
+        for f in &m.faces {
+            for k in 0..3 {
+                let a = f[k];
+                let b = f[(k + 1) % 3];
+                let key = (a.min(b), a.max(b));
+                *count.entry(key).or_insert(0u32) += 1;
+            }
+        }
+        assert_eq!(count.len(), 30);
+        assert!(count.values().all(|&c| c == 2));
+    }
+
+    #[test]
+    fn vertices_distinct_and_unit() {
+        let m = icosahedron();
+        let mut seen = HashSet::new();
+        for v in &m.vertices {
+            assert!((v.norm() - 1.0).abs() < 1e-14);
+            let key = (
+                (v.x * 1e9).round() as i64,
+                (v.y * 1e9).round() as i64,
+                (v.z * 1e9).round() as i64,
+            );
+            assert!(seen.insert(key), "duplicate vertex {v:?}");
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Recursive edge-bisection refinement of a spherical triangle mesh.
+//!
+//! Each bisection replaces every triangle by four children (three corner
+//! triangles plus the inverted central triangle), quadrupling the cell
+//! count. Children are emitted **consecutively in the parent's position**,
+//! so the face ordering of the refined mesh is the depth-first order of the
+//! subdivision tree — a space-filling curve on the sphere that the domain
+//! decomposition ([`crate::decomp`]) exploits for locality, just as ICON's
+//! own cell numbering does.
+
+use crate::geom::Vec3;
+use crate::icosahedron::TriMesh;
+use std::collections::HashMap;
+
+/// One bisection step: every edge gains a midpoint vertex (projected to the
+/// sphere), every face is replaced by its four children.
+pub fn bisect(mesh: &TriMesh) -> TriMesh {
+    let mut vertices = mesh.vertices.clone();
+    let mut midpoint_of: HashMap<(u32, u32), u32> = HashMap::with_capacity(mesh.n_edges());
+    let mut faces = Vec::with_capacity(mesh.faces.len() * 4);
+
+    let mut midpoint = |a: u32, b: u32, vertices: &mut Vec<Vec3>| -> u32 {
+        let key = (a.min(b), a.max(b));
+        *midpoint_of.entry(key).or_insert_with(|| {
+            let m = vertices[a as usize].sphere_midpoint(&vertices[b as usize]);
+            vertices.push(m);
+            (vertices.len() - 1) as u32
+        })
+    };
+
+    for f in &mesh.faces {
+        let [a, b, c] = *f;
+        let ab = midpoint(a, b, &mut vertices);
+        let bc = midpoint(b, c, &mut vertices);
+        let ca = midpoint(c, a, &mut vertices);
+        // Children keep the parent's (counter-clockwise) winding. The
+        // central child is listed second so that spatially adjacent children
+        // stay adjacent in the ordering.
+        faces.push([a, ab, ca]);
+        faces.push([ab, bc, ca]);
+        faces.push([ab, b, bc]);
+        faces.push([ca, bc, c]);
+    }
+    TriMesh { vertices, faces }
+}
+
+/// Refine a mesh by `n` successive bisections.
+pub fn bisect_n(mesh: &TriMesh, n: u32) -> TriMesh {
+    let mut m = mesh.clone();
+    for _ in 0..n {
+        m = bisect(&m);
+    }
+    m
+}
+
+/// Build the ICON `R2B(k)` triangle mesh: the icosahedron with a root
+/// division of 2 (one bisection) followed by `k` further bisections,
+/// giving `80 * 4^k` cells.
+pub fn r2b_mesh(k: u32) -> TriMesh {
+    bisect_n(&crate::icosahedron::icosahedron(), k + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geom::spherical_triangle_area;
+    use crate::icosahedron::icosahedron;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn bisection_counts() {
+        let m0 = icosahedron();
+        let m1 = bisect(&m0);
+        assert_eq!(m1.n_faces(), 80);
+        assert_eq!(m1.n_vertices(), 12 + 30); // one new vertex per old edge
+        assert_eq!(m1.n_edges(), 80 + 42 - 2);
+        let m2 = bisect(&m1);
+        assert_eq!(m2.n_faces(), 320);
+        assert_eq!(m2.n_vertices(), 42 + m1.n_edges());
+    }
+
+    #[test]
+    fn r2b_matches_formula() {
+        for k in 0..4 {
+            assert_eq!(r2b_mesh(k).n_faces() as u64, crate::r2b_cell_count(k));
+        }
+    }
+
+    #[test]
+    fn refined_mesh_covers_sphere() {
+        let m = bisect_n(&icosahedron(), 3);
+        let total: f64 = m
+            .faces
+            .iter()
+            .map(|f| {
+                spherical_triangle_area(
+                    &m.vertices[f[0] as usize],
+                    &m.vertices[f[1] as usize],
+                    &m.vertices[f[2] as usize],
+                )
+            })
+            .sum();
+        assert!((total - 4.0 * PI).abs() < 1e-9);
+    }
+
+    #[test]
+    fn children_contiguous_with_parent_order() {
+        // Child i of parent p must sit at index 4*p + i: the subdivision
+        // tree order is what makes contiguous index ranges spatially compact.
+        let m0 = icosahedron();
+        let m1 = bisect(&m0);
+        for (p, f) in m0.faces.iter().enumerate() {
+            let parent_corners: Vec<Vec3> = f.iter().map(|&v| m0.vertices[v as usize]).collect();
+            let pc = (parent_corners[0] + parent_corners[1] + parent_corners[2]).normalized();
+            for i in 0..4 {
+                let cf = m1.faces[4 * p + i];
+                let cc = (m1.vertices[cf[0] as usize]
+                    + m1.vertices[cf[1] as usize]
+                    + m1.vertices[cf[2] as usize])
+                    .normalized();
+                // Child centroid lies close to the parent centroid.
+                assert!(
+                    cc.arc_distance(&pc) < 0.7,
+                    "child {i} of parent {p} far from parent"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_edges_shared_by_two_faces_after_refinement() {
+        let m = bisect_n(&icosahedron(), 2);
+        let mut count = std::collections::HashMap::new();
+        for f in &m.faces {
+            for k in 0..3 {
+                let a = f[k];
+                let b = f[(k + 1) % 3];
+                *count.entry((a.min(b), a.max(b))).or_insert(0u32) += 1;
+            }
+        }
+        assert!(count.values().all(|&c| c == 2));
+        assert_eq!(count.len(), m.n_edges());
+    }
+}

@@ -1,0 +1,137 @@
+//! Property tests of the grid invariants (DESIGN.md §5) across refinement
+//! levels and decompositions.
+
+use icongrid::{ops::CGrid, Decomposition, Grid, SubGrid};
+use proptest::prelude::*;
+use std::f64::consts::PI;
+
+/// Structural invariants that must hold at every refinement level.
+fn check_grid_invariants(g: &Grid) {
+    // Euler characteristic of the sphere.
+    assert_eq!(g.n_vertices as i64 - g.n_edges as i64 + g.n_cells as i64, 2);
+    // Area closure.
+    let total = g.total_area();
+    let expect = 4.0 * PI * g.radius * g.radius;
+    assert!((total / expect - 1.0).abs() < 1e-11);
+    // Exactly 12 pentagon vertices, all others hexagonal.
+    let pent = g
+        .vertex_edges
+        .iter()
+        .filter(|ve| ve.iter().filter(|&&e| e != u32::MAX).count() == 5)
+        .count();
+    assert_eq!(pent, 12);
+    // Edge orientation signs cancel pairwise.
+    let mut sum = vec![0.0; g.n_edges];
+    for c in 0..g.n_cells {
+        for i in 0..3 {
+            sum[g.cell_edges[c][i] as usize] += g.cell_edge_sign[c][i];
+        }
+    }
+    assert!(sum.iter().all(|s| s.abs() < 1e-14));
+}
+
+#[test]
+fn invariants_hold_at_every_testable_level() {
+    for bisections in 1..=4 {
+        let g = Grid::build(bisections, icongrid::EARTH_RADIUS_M);
+        check_grid_invariants(&g);
+        // Resolution halves per level.
+        assert!(
+            (g.nominal_resolution_km()
+                / Grid::build(bisections + 1, icongrid::EARTH_RADIUS_M).nominal_resolution_km()
+                - 2.0)
+                .abs()
+                < 1e-9
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// SubGrids tile the grid for any part count: every cell owned once,
+    /// every owned edge owned once, geometry identical to the parent.
+    #[test]
+    fn subgrids_tile_the_grid(np in 1usize..20) {
+        let g = Grid::build(2, icongrid::EARTH_RADIUS_M);
+        let d = Decomposition::new(&g, np);
+        let mut cell_owner_seen = vec![0u32; g.n_cells];
+        let mut edge_owner_seen = vec![0u32; g.n_edges];
+        let mut area = 0.0;
+        for p in 0..np {
+            let s = SubGrid::build(&g, &d, p);
+            for lc in 0..s.n_owned_cells {
+                cell_owner_seen[s.cell_l2g[lc] as usize] += 1;
+                area += s.cell_area[lc];
+            }
+            for le in 0..s.n_owned_edges {
+                edge_owner_seen[s.edge_l2g[le] as usize] += 1;
+            }
+            // Spot-check geometry agreement.
+            for lc in (0..s.n_cells).step_by(17) {
+                let gc = s.cell_l2g[lc] as usize;
+                prop_assert_eq!(s.cell_area[lc], g.cell_area[gc]);
+            }
+        }
+        prop_assert!(cell_owner_seen.iter().all(|&c| c == 1));
+        prop_assert!(edge_owner_seen.iter().all(|&c| c == 1));
+        prop_assert!((area / g.total_area() - 1.0).abs() < 1e-12);
+    }
+
+    /// Gauss: the area integral of a divergence vanishes for any edge
+    /// field, on the grid and on every subgrid-assembled version.
+    #[test]
+    fn divergence_integral_vanishes(seed in 0u64..1_000_000) {
+        let g = Grid::build(2, icongrid::EARTH_RADIUS_M);
+        let mut state = seed | 1;
+        let mut vals = Vec::with_capacity(g.n_edges);
+        for _ in 0..g.n_edges {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            vals.push((state >> 11) as f64 / (1u64 << 53) as f64 - 0.5);
+        }
+        let vn = icongrid::Field3::from_fn(g.n_edges, 1, |e, _| vals[e] * 50.0);
+        let mut div = icongrid::Field3::zeros(g.n_cells, 1);
+        icongrid::ops::divergence(&g, &vn, &mut div);
+        let integral = div.weighted_sum(&g.cell_area);
+        let scale: f64 = (0..g.n_edges)
+            .map(|e| (vn.at(e, 0) * g.edge_length[e]).abs())
+            .sum();
+        prop_assert!(integral.abs() < 1e-10 * scale, "integral {}", integral);
+    }
+
+    /// Synthetic land masks hit their target fraction for any seed.
+    #[test]
+    fn land_masks_hit_target_fraction(seed in 0u64..10_000, frac in 0.1f64..0.6) {
+        let g = Grid::build(2, icongrid::EARTH_RADIUS_M);
+        let m = icongrid::LandSeaMask::synthetic_earth(&g, seed, frac);
+        prop_assert!((m.land_fraction - frac).abs() < 0.05,
+            "target {} got {}", frac, m.land_fraction);
+        prop_assert_eq!(m.n_land_cells() + m.n_ocean_cells(), g.n_cells);
+    }
+
+    /// The halo of every part contains exactly the vertex-ring neighbors.
+    #[test]
+    fn halos_are_minimal_vertex_rings(np in 2usize..12) {
+        let g = Grid::build(2, icongrid::EARTH_RADIUS_M);
+        let d = Decomposition::new(&g, np);
+        for pl in &d.parts {
+            let owned: std::collections::HashSet<u32> =
+                pl.owned_cells.iter().cloned().collect();
+            let mut ring = std::collections::BTreeSet::new();
+            for &c in &pl.owned_cells {
+                for &v in &g.cell_vertices[c as usize] {
+                    for &nc in &g.vertex_cells[v as usize] {
+                        if nc != u32::MAX && !owned.contains(&nc) {
+                            ring.insert(nc);
+                        }
+                    }
+                }
+            }
+            let halo: std::collections::BTreeSet<u32> =
+                pl.halo_cells.iter().cloned().collect();
+            prop_assert_eq!(halo, ring, "part {} halo is not the vertex ring", pl.part);
+        }
+    }
+}

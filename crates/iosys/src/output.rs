@@ -1,0 +1,264 @@
+//! Asynchronous output server.
+//!
+//! The model thread posts fields to a bounded channel and keeps
+//! integrating; a server thread applies the requested reduction
+//! (instantaneous values or running time means) and writes records to
+//! disk. Mirrors ICON's asynchronous scheme (§6.4): "Disk I/O takes place
+//! concurrently to the model integration … I/O does not appreciably
+//! impact tau."
+
+use crossbeam::channel::{bounded, Sender};
+use std::collections::HashMap;
+use std::fs::{self, File};
+use std::io::{BufWriter, Write};
+use std::path::PathBuf;
+use std::thread::JoinHandle;
+
+/// How the server reduces a stream of samples per variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Reduction {
+    /// Write every posted sample.
+    Instantaneous,
+    /// Accumulate and write the time mean on flush.
+    TimeMean,
+}
+
+/// One posted field sample.
+#[derive(Debug)]
+pub struct OutputRequest {
+    pub name: &'static str,
+    pub time_s: f64,
+    pub data: Vec<f64>,
+    pub reduction: Reduction,
+}
+
+enum Msg {
+    Sample(OutputRequest),
+    Flush,
+    Shutdown,
+}
+
+/// Handle owned by the model side.
+pub struct OutputServer {
+    tx: Sender<Msg>,
+    handle: Option<JoinHandle<std::io::Result<u64>>>,
+    pub dir: PathBuf,
+}
+
+impl OutputServer {
+    /// Spawn a server writing to `dir`. `queue` bounds the in-flight
+    /// samples (back-pressure if the disk cannot keep up).
+    pub fn spawn(dir: PathBuf, queue: usize) -> std::io::Result<OutputServer> {
+        fs::create_dir_all(&dir)?;
+        let (tx, rx) = bounded::<Msg>(queue.max(1));
+        let server_dir = dir.clone();
+        let handle = std::thread::spawn(move || -> std::io::Result<u64> {
+            let mut means: HashMap<&'static str, (Vec<f64>, u64)> = HashMap::new();
+            let mut records: u64 = 0;
+            let write_record =
+                |name: &str, time_s: f64, data: &[f64]| -> std::io::Result<()> {
+                    let path = server_dir.join(format!("{name}.rec"));
+                    let mut w = BufWriter::new(
+                        File::options().create(true).append(true).open(path)?,
+                    );
+                    w.write_all(&time_s.to_le_bytes())?;
+                    w.write_all(&(data.len() as u64).to_le_bytes())?;
+                    let mut buf = Vec::with_capacity(data.len() * 8);
+                    for v in data {
+                        buf.extend_from_slice(&v.to_le_bytes());
+                    }
+                    w.write_all(&buf)?;
+                    w.flush()
+                };
+            let mut last_time = 0.0;
+            for msg in rx.iter() {
+                match msg {
+                    Msg::Sample(s) => {
+                        last_time = s.time_s;
+                        match s.reduction {
+                            Reduction::Instantaneous => {
+                                write_record(s.name, s.time_s, &s.data)?;
+                                records += 1;
+                            }
+                            Reduction::TimeMean => {
+                                let e = means
+                                    .entry(s.name)
+                                    .or_insert_with(|| (vec![0.0; s.data.len()], 0));
+                                for (a, b) in e.0.iter_mut().zip(&s.data) {
+                                    *a += b;
+                                }
+                                e.1 += 1;
+                            }
+                        }
+                    }
+                    Msg::Flush | Msg::Shutdown => {
+                        for (name, (acc, n)) in means.drain() {
+                            if n > 0 {
+                                let mean: Vec<f64> =
+                                    acc.iter().map(|v| v / n as f64).collect();
+                                write_record(name, last_time, &mean)?;
+                                records += 1;
+                            }
+                        }
+                        if matches!(msg, Msg::Shutdown) {
+                            break;
+                        }
+                    }
+                }
+            }
+            Ok(records)
+        });
+        Ok(OutputServer {
+            tx,
+            handle: Some(handle),
+            dir,
+        })
+    }
+
+    /// Post a sample (blocks only when the queue is full).
+    pub fn post(&self, req: OutputRequest) {
+        self.tx.send(Msg::Sample(req)).expect("server alive");
+    }
+
+    /// Flush pending time means to disk.
+    pub fn flush(&self) {
+        self.tx.send(Msg::Flush).expect("server alive");
+    }
+
+    /// Shut down and return the number of records written.
+    pub fn finish(mut self) -> std::io::Result<u64> {
+        self.tx.send(Msg::Shutdown).expect("server alive");
+        self.handle
+            .take()
+            .expect("finish called once")
+            .join()
+            .expect("server panicked")
+    }
+}
+
+impl Drop for OutputServer {
+    fn drop(&mut self) {
+        if let Some(h) = self.handle.take() {
+            let _ = self.tx.send(Msg::Shutdown);
+            let _ = h.join();
+        }
+    }
+}
+
+/// Read back all records of a variable: `(time, data)` pairs.
+pub fn read_records(dir: &std::path::Path, name: &str) -> std::io::Result<Vec<(f64, Vec<f64>)>> {
+    let path = dir.join(format!("{name}.rec"));
+    let bytes = fs::read(path)?;
+    let mut out = Vec::new();
+    let mut off = 0;
+    while off + 16 <= bytes.len() {
+        let time = f64::from_le_bytes(bytes[off..off + 8].try_into().unwrap());
+        let len = u64::from_le_bytes(bytes[off + 8..off + 16].try_into().unwrap()) as usize;
+        off += 16;
+        let data: Vec<f64> = bytes[off..off + len * 8]
+            .chunks_exact(8)
+            .map(|b| f64::from_le_bytes(b.try_into().unwrap()))
+            .collect();
+        off += len * 8;
+        out.push((time, data));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::restart::scratch_dir;
+
+    #[test]
+    fn instantaneous_records_roundtrip() {
+        let dir = scratch_dir("out_inst");
+        let srv = OutputServer::spawn(dir.clone(), 8).unwrap();
+        for step in 0..5 {
+            srv.post(OutputRequest {
+                name: "sst",
+                time_s: step as f64 * 600.0,
+                data: vec![step as f64; 10],
+                reduction: Reduction::Instantaneous,
+            });
+        }
+        let n = srv.finish().unwrap();
+        assert_eq!(n, 5);
+        let recs = read_records(&dir, "sst").unwrap();
+        assert_eq!(recs.len(), 5);
+        assert_eq!(recs[3].0, 1800.0);
+        assert_eq!(recs[3].1, vec![3.0; 10]);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn time_mean_reduces_before_writing() {
+        let dir = scratch_dir("out_mean");
+        let srv = OutputServer::spawn(dir.clone(), 8).unwrap();
+        for step in 0..4 {
+            srv.post(OutputRequest {
+                name: "precip",
+                time_s: step as f64,
+                data: vec![step as f64, 2.0 * step as f64],
+                reduction: Reduction::TimeMean,
+            });
+        }
+        let n = srv.finish().unwrap();
+        assert_eq!(n, 1, "one mean record");
+        let recs = read_records(&dir, "precip").unwrap();
+        assert_eq!(recs.len(), 1);
+        // Mean of 0..=3 is 1.5.
+        assert_eq!(recs[0].1, vec![1.5, 3.0]);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn model_thread_is_not_blocked_by_io() {
+        // Posting is asynchronous: many posts complete quickly while the
+        // server drains concurrently.
+        let dir = scratch_dir("out_async");
+        let srv = OutputServer::spawn(dir.clone(), 64).unwrap();
+        let t0 = std::time::Instant::now();
+        for step in 0..50 {
+            srv.post(OutputRequest {
+                name: "field",
+                time_s: step as f64,
+                data: vec![0.5; 4096],
+                reduction: Reduction::Instantaneous,
+            });
+        }
+        let post_time = t0.elapsed();
+        let n = srv.finish().unwrap();
+        assert_eq!(n, 50);
+        // All records landed even though posting returned fast.
+        let recs = read_records(&dir, "field").unwrap();
+        assert_eq!(recs.len(), 50);
+        assert!(post_time.as_secs_f64() < 5.0);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn flush_emits_partial_means() {
+        let dir = scratch_dir("out_flush");
+        let srv = OutputServer::spawn(dir.clone(), 8).unwrap();
+        srv.post(OutputRequest {
+            name: "x",
+            time_s: 0.0,
+            data: vec![2.0],
+            reduction: Reduction::TimeMean,
+        });
+        srv.flush();
+        srv.post(OutputRequest {
+            name: "x",
+            time_s: 1.0,
+            data: vec![6.0],
+            reduction: Reduction::TimeMean,
+        });
+        let n = srv.finish().unwrap();
+        assert_eq!(n, 2);
+        let recs = read_records(&dir, "x").unwrap();
+        assert_eq!(recs[0].1, vec![2.0]);
+        assert_eq!(recs[1].1, vec![6.0]);
+        fs::remove_dir_all(&dir).ok();
+    }
+}

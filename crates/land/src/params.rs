@@ -1,0 +1,178 @@
+//! Land parameters: soil layering, hydrology, and the plant-functional-
+//! type (PFT) table.
+
+/// Number of soil levels (Table 2).
+pub const N_SOIL: usize = 5;
+
+/// Maximum number of plant functional types (Table 2: "up to 11").
+pub const N_PFT: usize = 11;
+
+/// One plant functional type's traits.
+#[derive(Debug, Clone, Copy)]
+pub struct PftTraits {
+    pub name: &'static str,
+    /// Light-use efficiency (kgC per J of absorbed PAR, scaled).
+    pub lue: f64,
+    /// Specific leaf area (m^2 leaf per kgC).
+    pub sla: f64,
+    /// Allocation fractions of NPP to leaf / wood / fine root / coarse
+    /// root / reserve / fruit (sums to 1).
+    pub alloc: [f64; 6],
+    /// Leaf turnover e-folding time (s).
+    pub tau_leaf: f64,
+    /// Wood turnover e-folding time (s).
+    pub tau_wood: f64,
+    /// Cold phenology threshold (deg C): below this, leaves shed fast.
+    pub t_cold: f64,
+    /// Maintenance respiration coefficient at the reference temperature
+    /// (1/s applied to live pools).
+    pub resp_coef: f64,
+}
+
+const DAY: f64 = 86_400.0;
+const YEAR: f64 = 365.0 * DAY;
+
+/// The 11 JSBach-like PFTs.
+pub const PFT_TABLE: [PftTraits; N_PFT] = [
+    PftTraits { name: "tropical broadleaf evergreen", lue: 2.4e-9, sla: 18.0, alloc: [0.30, 0.25, 0.20, 0.10, 0.10, 0.05], tau_leaf: 1.2 * YEAR, tau_wood: 30.0 * YEAR, t_cold: 5.0, resp_coef: 3.0e-9 },
+    PftTraits { name: "tropical broadleaf deciduous", lue: 2.2e-9, sla: 20.0, alloc: [0.32, 0.23, 0.20, 0.10, 0.10, 0.05], tau_leaf: 0.8 * YEAR, tau_wood: 25.0 * YEAR, t_cold: 8.0, resp_coef: 3.2e-9 },
+    PftTraits { name: "extratropical evergreen", lue: 1.8e-9, sla: 10.0, alloc: [0.28, 0.30, 0.20, 0.10, 0.08, 0.04], tau_leaf: 3.0 * YEAR, tau_wood: 50.0 * YEAR, t_cold: -5.0, resp_coef: 2.2e-9 },
+    PftTraits { name: "extratropical deciduous", lue: 1.9e-9, sla: 22.0, alloc: [0.34, 0.26, 0.18, 0.08, 0.10, 0.04], tau_leaf: 0.5 * YEAR, tau_wood: 40.0 * YEAR, t_cold: 0.0, resp_coef: 2.5e-9 },
+    PftTraits { name: "boreal needleleaf evergreen", lue: 1.5e-9, sla: 8.0, alloc: [0.26, 0.30, 0.22, 0.10, 0.08, 0.04], tau_leaf: 4.0 * YEAR, tau_wood: 60.0 * YEAR, t_cold: -12.0, resp_coef: 1.8e-9 },
+    PftTraits { name: "boreal deciduous", lue: 1.6e-9, sla: 20.0, alloc: [0.33, 0.25, 0.20, 0.08, 0.10, 0.04], tau_leaf: 0.45 * YEAR, tau_wood: 45.0 * YEAR, t_cold: -8.0, resp_coef: 2.0e-9 },
+    PftTraits { name: "C3 grass", lue: 2.0e-9, sla: 28.0, alloc: [0.45, 0.0, 0.35, 0.0, 0.15, 0.05], tau_leaf: 0.6 * YEAR, tau_wood: 1.0 * YEAR, t_cold: -2.0, resp_coef: 3.5e-9 },
+    PftTraits { name: "C4 grass", lue: 2.6e-9, sla: 30.0, alloc: [0.47, 0.0, 0.33, 0.0, 0.15, 0.05], tau_leaf: 0.5 * YEAR, tau_wood: 1.0 * YEAR, t_cold: 6.0, resp_coef: 3.8e-9 },
+    PftTraits { name: "raingreen shrub", lue: 1.7e-9, sla: 14.0, alloc: [0.35, 0.20, 0.25, 0.05, 0.10, 0.05], tau_leaf: 0.7 * YEAR, tau_wood: 15.0 * YEAR, t_cold: 4.0, resp_coef: 2.6e-9 },
+    PftTraits { name: "cold shrub", lue: 1.4e-9, sla: 12.0, alloc: [0.32, 0.22, 0.26, 0.05, 0.10, 0.05], tau_leaf: 0.9 * YEAR, tau_wood: 20.0 * YEAR, t_cold: -10.0, resp_coef: 2.0e-9 },
+    PftTraits { name: "tundra", lue: 1.1e-9, sla: 16.0, alloc: [0.40, 0.05, 0.30, 0.05, 0.15, 0.05], tau_leaf: 0.6 * YEAR, tau_wood: 5.0 * YEAR, t_cold: -18.0, resp_coef: 1.6e-9 },
+];
+
+/// Static land parameters.
+#[derive(Debug, Clone)]
+pub struct LandParams {
+    /// Time step (s) — the atmosphere's step (land runs on it, §5.1).
+    pub dt: f64,
+    /// Soil layer thicknesses (m), surface first.
+    pub soil_dz: [f64; N_SOIL],
+    /// Soil heat diffusivity (m^2/s).
+    pub soil_kappa: f64,
+    /// Volumetric field capacity (m water per m soil).
+    pub field_capacity: f64,
+    /// Surface-air <-> top-soil coupling time scale (s).
+    pub tau_surface: f64,
+    /// Linear-reservoir river time scale (s).
+    pub tau_river: f64,
+    /// Fraction of decayed litter humified (rest respired as CO2).
+    pub humification: f64,
+    /// Q10 of respiration.
+    pub q10: f64,
+    /// Reference temperature for respiration (deg C).
+    pub t_resp_ref: f64,
+    /// PAR fraction of shortwave radiation.
+    pub par_fraction: f64,
+    /// Canopy light extinction coefficient (Beer's law over LAI).
+    pub k_ext: f64,
+    /// Transpiration coefficient (kg water per kg C fixed, scaled).
+    pub water_use: f64,
+}
+
+impl LandParams {
+    pub fn new(dt: f64) -> LandParams {
+        LandParams {
+            dt,
+            soil_dz: [0.065, 0.254, 0.913, 2.902, 5.7], // JSBach-like
+            soil_kappa: 7.0e-7,
+            field_capacity: 0.35,
+            tau_surface: 6.0 * 3600.0,
+            tau_river: 5.0 * DAY,
+            humification: 0.3,
+            q10: 1.8,
+            t_resp_ref: 20.0,
+            par_fraction: 0.5,
+            k_ext: 0.5,
+            water_use: 250.0,
+        }
+    }
+
+    /// PFT cover fractions for a cell at sine-latitude `sinlat`
+    /// (deterministic climatological zonation; sums to <= 1, the rest is
+    /// bare ground).
+    pub fn pft_fractions(&self, sinlat: f64) -> [f64; N_PFT] {
+        let lat = sinlat.asin().to_degrees().abs();
+        let mut f = [0.0; N_PFT];
+        // Gaussian bands per biome.
+        let band = |center: f64, width: f64| -> f64 {
+            (-(lat - center) * (lat - center) / (2.0 * width * width)).exp()
+        };
+        f[0] = 0.55 * band(0.0, 12.0); // tropical evergreen
+        f[1] = 0.25 * band(12.0, 8.0); // tropical deciduous
+        f[2] = 0.30 * band(38.0, 8.0); // extratropical evergreen
+        f[3] = 0.30 * band(45.0, 8.0); // extratropical deciduous
+        f[4] = 0.40 * band(58.0, 7.0); // boreal needleleaf
+        f[5] = 0.20 * band(62.0, 6.0); // boreal deciduous
+        f[6] = 0.25 * band(40.0, 18.0); // C3 grass
+        f[7] = 0.30 * band(15.0, 12.0); // C4 grass
+        f[8] = 0.15 * band(22.0, 8.0); // raingreen shrub
+        f[9] = 0.15 * band(55.0, 10.0); // cold shrub
+        f[10] = 0.50 * band(72.0, 8.0); // tundra
+        // Normalize if the sum exceeds 0.95 (keep some bare soil).
+        let s: f64 = f.iter().sum();
+        if s > 0.95 {
+            for v in f.iter_mut() {
+                *v *= 0.95 / s;
+            }
+        }
+        f
+    }
+
+    pub fn soil_depth(&self) -> f64 {
+        self.soil_dz.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pft_table_is_consistent() {
+        for pft in &PFT_TABLE {
+            let s: f64 = pft.alloc.iter().sum();
+            assert!((s - 1.0).abs() < 1e-12, "{}: alloc sums to {s}", pft.name);
+            assert!(pft.lue > 0.0 && pft.sla > 0.0);
+            assert!(pft.tau_leaf < pft.tau_wood || pft.alloc[1] == 0.0);
+        }
+        assert_eq!(PFT_TABLE.len(), 11);
+    }
+
+    #[test]
+    fn pft_zonation_is_sane() {
+        let p = LandParams::new(600.0);
+        let tropics = p.pft_fractions(0.0);
+        let boreal = p.pft_fractions(60f64.to_radians().sin());
+        let arctic = p.pft_fractions(75f64.to_radians().sin());
+        // Tropical forest dominates the equator.
+        assert!(tropics[0] > 0.4);
+        assert!(tropics[4] < 0.01, "no boreal forest at the equator");
+        // Boreal needleleaf peaks at high mid-latitudes.
+        assert!(boreal[4] > 0.2);
+        assert!(boreal[0] < 0.01);
+        // Tundra at the top.
+        assert!(arctic[10] > 0.2);
+        // Cover never exceeds 1.
+        for f in [tropics, boreal, arctic] {
+            assert!(f.iter().sum::<f64>() <= 0.951);
+            assert!(f.iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn soil_column_spans_meters() {
+        let p = LandParams::new(600.0);
+        assert_eq!(p.soil_dz.len(), N_SOIL);
+        assert!((p.soil_depth() - 9.834).abs() < 0.01);
+        for k in 1..N_SOIL {
+            assert!(p.soil_dz[k] > p.soil_dz[k - 1], "layers thicken downward");
+        }
+    }
+}

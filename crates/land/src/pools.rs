@@ -1,0 +1,186 @@
+//! The 21 carbon pools of the vegetation model (Table 2: "21 additional
+//! carbon pools, plus the leaf area index"), mirroring JSBach's live /
+//! litter / soil organic pool structure.
+
+/// Carbon pool identifiers. Values are indices into per-(cell, PFT) pool
+/// arrays of length [`N_POOLS`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum CarbonPool {
+    // --- live biomass ---
+    Leaf = 0,
+    Wood = 1,
+    FineRoot = 2,
+    CoarseRoot = 3,
+    Reserve = 4,
+    Fruit = 5,
+    // --- litter ---
+    LeafLitterFast = 6,
+    LeafLitterSlow = 7,
+    WoodLitterAbove = 8,
+    WoodLitterBelow = 9,
+    RootLitterFast = 10,
+    RootLitterSlow = 11,
+    CoarseWoodyDebris = 12,
+    // --- soil organic matter ---
+    SoilFast = 13,
+    SoilSlow = 14,
+    Humus = 15,
+    HumusStable = 16,
+    Charcoal = 17,
+    // --- auxiliary ---
+    Seed = 18,
+    Exudates = 19,
+    Microbial = 20,
+}
+
+/// Number of carbon pools per (cell, PFT).
+pub const N_POOLS: usize = 21;
+
+/// Live biomass pools (photosynthate allocation targets, respiring).
+pub const LIVE_POOLS: [CarbonPool; 6] = [
+    CarbonPool::Leaf,
+    CarbonPool::Wood,
+    CarbonPool::FineRoot,
+    CarbonPool::CoarseRoot,
+    CarbonPool::Reserve,
+    CarbonPool::Fruit,
+];
+
+/// Litter pools (receive turnover, decay to soil pools + CO2).
+pub const LITTER_POOLS: [CarbonPool; 7] = [
+    CarbonPool::LeafLitterFast,
+    CarbonPool::LeafLitterSlow,
+    CarbonPool::WoodLitterAbove,
+    CarbonPool::WoodLitterBelow,
+    CarbonPool::RootLitterFast,
+    CarbonPool::RootLitterSlow,
+    CarbonPool::CoarseWoodyDebris,
+];
+
+/// Soil organic pools (slow decay to CO2).
+pub const SOIL_POOLS: [CarbonPool; 5] = [
+    CarbonPool::SoilFast,
+    CarbonPool::SoilSlow,
+    CarbonPool::Humus,
+    CarbonPool::HumusStable,
+    CarbonPool::Charcoal,
+];
+
+impl CarbonPool {
+    #[inline]
+    pub fn idx(self) -> usize {
+        self as usize
+    }
+
+    /// Litter pool receiving this live pool's turnover.
+    pub fn turnover_target(self) -> Option<CarbonPool> {
+        use CarbonPool::*;
+        match self {
+            Leaf => Some(LeafLitterFast),
+            Wood => Some(WoodLitterAbove),
+            FineRoot => Some(RootLitterFast),
+            CoarseRoot => Some(RootLitterSlow),
+            Reserve => Some(Exudates),
+            Fruit => Some(Seed),
+            _ => None,
+        }
+    }
+
+    /// Soil pool receiving this litter pool's humified fraction.
+    pub fn decay_target(self) -> Option<CarbonPool> {
+        use CarbonPool::*;
+        match self {
+            LeafLitterFast | RootLitterFast | Exudates | Seed => Some(SoilFast),
+            LeafLitterSlow | RootLitterSlow => Some(SoilSlow),
+            WoodLitterAbove | WoodLitterBelow | CoarseWoodyDebris => Some(Humus),
+            SoilFast => Some(Humus),
+            SoilSlow => Some(HumusStable),
+            Humus => Some(HumusStable),
+            Microbial => Some(SoilFast),
+            _ => None,
+        }
+    }
+
+    /// Decay e-folding time (s) of dead pools; `None` for live pools.
+    pub fn decay_tau(self) -> Option<f64> {
+        use CarbonPool::*;
+        const DAY: f64 = 86_400.0;
+        const YEAR: f64 = 365.0 * 86_400.0;
+        match self {
+            LeafLitterFast | Exudates => Some(90.0 * DAY),
+            Seed => Some(180.0 * DAY),
+            RootLitterFast => Some(150.0 * DAY),
+            LeafLitterSlow | RootLitterSlow => Some(2.0 * YEAR),
+            WoodLitterAbove | WoodLitterBelow => Some(10.0 * YEAR),
+            CoarseWoodyDebris => Some(20.0 * YEAR),
+            SoilFast | Microbial => Some(5.0 * YEAR),
+            SoilSlow => Some(30.0 * YEAR),
+            Humus => Some(100.0 * YEAR),
+            HumusStable => Some(1000.0 * YEAR),
+            Charcoal => Some(5000.0 * YEAR),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_indices_are_a_bijection() {
+        let mut seen = [false; N_POOLS];
+        for p in LIVE_POOLS.iter().chain(&LITTER_POOLS).chain(&SOIL_POOLS) {
+            assert!(!seen[p.idx()], "duplicate pool {p:?}");
+            seen[p.idx()] = true;
+        }
+        // 6 + 7 + 5 named groups + 3 auxiliary = 21.
+        assert_eq!(seen.iter().filter(|&&s| s).count(), 18);
+        assert_eq!(N_POOLS, 21);
+    }
+
+    #[test]
+    fn turnover_goes_from_live_to_dead() {
+        for p in LIVE_POOLS {
+            let t = p.turnover_target().expect("live pools must shed");
+            assert!(!LIVE_POOLS.contains(&t), "{p:?} -> {t:?}");
+        }
+    }
+
+    #[test]
+    fn decay_chains_terminate() {
+        // Following decay targets from any pool must reach a pool without
+        // a target (or Charcoal/HumusStable) in < N_POOLS hops.
+        for start in 0..N_POOLS {
+            let mut cur = unsafe { std::mem::transmute::<usize, CarbonPool>(start) };
+            for _ in 0..N_POOLS {
+                match cur.decay_target() {
+                    Some(next) => cur = next,
+                    None => break,
+                }
+            }
+            assert!(
+                cur.decay_target().is_none()
+                    || matches!(cur, CarbonPool::HumusStable | CarbonPool::Charcoal),
+                "cycle from pool {start}"
+            );
+        }
+    }
+
+    #[test]
+    fn dead_pools_have_decay_times() {
+        for p in LITTER_POOLS.iter().chain(&SOIL_POOLS) {
+            assert!(p.decay_tau().is_some(), "{p:?} needs a decay time");
+        }
+        for p in LIVE_POOLS {
+            assert!(p.decay_tau().is_none(), "{p:?} is live");
+        }
+        // Soil pools decay slower than litter pools on average.
+        let mean = |ps: &[CarbonPool]| {
+            ps.iter().filter_map(|p| p.decay_tau()).sum::<f64>()
+                / ps.iter().filter(|p| p.decay_tau().is_some()).count() as f64
+        };
+        assert!(mean(&SOIL_POOLS) > mean(&LITTER_POOLS));
+    }
+}

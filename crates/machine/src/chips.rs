@@ -1,0 +1,122 @@
+//! Chip descriptions: GPUs, CPUs, and the GH200 superchip package.
+
+use serde::Serialize;
+
+/// A GPU (or GPU die of a superchip).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct GpuSpec {
+    pub name: &'static str,
+    /// HBM capacity (GiB).
+    pub mem_gib: f64,
+    /// Peak DRAM bandwidth (GB/s). The paper assumes 4 TiB/s for a 100 %
+    /// busy GH200 DRAM.
+    pub peak_bw_gbs: f64,
+    /// Nominal power draw at full load (W).
+    pub max_power_w: f64,
+}
+
+/// The Hopper GPU of a GH200 superchip (96 GB HBM3).
+pub const HOPPER: GpuSpec = GpuSpec {
+    name: "H100 (GH200)",
+    mem_gib: 96.0,
+    peak_bw_gbs: 4096.0,
+    max_power_w: 700.0,
+};
+
+/// Levante's A100-80GB GPUs.
+pub const A100: GpuSpec = GpuSpec {
+    name: "A100-80GB",
+    mem_gib: 80.0,
+    peak_bw_gbs: 2039.0,
+    max_power_w: 400.0,
+};
+
+/// A CPU (or the CPU die of a superchip).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct CpuSpec {
+    pub name: &'static str,
+    pub cores: u32,
+    /// Memory capacity (GiB).
+    pub mem_gib: f64,
+    /// Peak memory bandwidth (GB/s).
+    pub peak_bw_gbs: f64,
+    /// Nominal power draw at full load (W).
+    pub max_power_w: f64,
+}
+
+/// The Grace CPU of a GH200 superchip: 72 Neoverse cores, 120 GB LPDDR5X.
+pub const GRACE: CpuSpec = CpuSpec {
+    name: "Grace",
+    cores: 72,
+    mem_gib: 120.0,
+    peak_bw_gbs: 500.0,
+    max_power_w: 300.0,
+};
+
+/// A Levante CPU node's sockets: 2x AMD EPYC 7763 (128 cores total).
+pub const AMD_7763_X2: CpuSpec = CpuSpec {
+    name: "2x AMD EPYC 7763",
+    cores: 128,
+    mem_gib: 256.0,
+    peak_bw_gbs: 409.6,
+    max_power_w: 560.0,
+};
+
+/// A CPU+GPU package with a shared thermal budget (GH200), or a
+/// conventional host+accelerator pair (TDP sharing disabled).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Superchip {
+    pub gpu: GpuSpec,
+    pub cpu: CpuSpec,
+    /// NVLink-C2C (or PCIe) bandwidth between the two dies (GB/s).
+    pub c2c_bw_gbs: f64,
+    /// Shared thermal design power of the package (W); `None` if CPU and
+    /// GPU have independent budgets (e.g. Levante A100 nodes).
+    pub shared_tdp_w: Option<f64>,
+}
+
+impl Superchip {
+    /// A GH200 with the given system-dependent TDP (Table 3: 680 W on
+    /// JUPITER, 660 W on Alps).
+    pub const fn gh200(tdp_w: f64) -> Superchip {
+        Superchip {
+            gpu: HOPPER,
+            cpu: GRACE,
+            c2c_bw_gbs: 900.0,
+            shared_tdp_w: Some(tdp_w),
+        }
+    }
+
+    /// Combined nominal (unconstrained) power of both dies.
+    pub fn combined_max_power_w(&self) -> f64 {
+        self.gpu.max_power_w + self.cpu.max_power_w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gh200_matches_paper_description() {
+        let chip = Superchip::gh200(680.0);
+        assert_eq!(chip.cpu.cores, 72);
+        assert_eq!(chip.cpu.mem_gib, 120.0);
+        assert_eq!(chip.gpu.mem_gib, 96.0);
+        assert_eq!(chip.c2c_bw_gbs, 900.0);
+        // Paper: combined max capacity ~1000 W, well above the shared TDP.
+        assert!(chip.combined_max_power_w() >= 1000.0);
+        assert!(chip.shared_tdp_w.unwrap() < chip.combined_max_power_w());
+    }
+
+    #[test]
+    fn a100_has_no_shared_tdp() {
+        let levante = Superchip {
+            gpu: A100,
+            cpu: AMD_7763_X2,
+            c2c_bw_gbs: 64.0,
+            shared_tdp_w: None,
+        };
+        assert!(levante.shared_tdp_w.is_none());
+    }
+}

@@ -1,0 +1,279 @@
+//! Earth-system model configurations (Table 2 of the paper): grid sizes,
+//! vertical levels, prognostic variable counts, time steps, and the
+//! resulting degrees of freedom.
+
+use serde::Serialize;
+
+/// Earth-system components (Figure 1 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum Component {
+    Atmosphere,
+    Land,
+    Vegetation,
+    OceanSeaIce,
+    Biogeochemistry,
+}
+
+impl Component {
+    pub const ALL: [Component; 5] = [
+        Component::Atmosphere,
+        Component::Land,
+        Component::Vegetation,
+        Component::OceanSeaIce,
+        Component::Biogeochemistry,
+    ];
+
+    pub fn label(&self) -> &'static str {
+        match self {
+            Component::Atmosphere => "Atmosphere",
+            Component::Land => "Land",
+            Component::Vegetation => "Vegetation",
+            Component::OceanSeaIce => "Ocean & sea-ice",
+            Component::Biogeochemistry => "Biogeochemistry in ocean",
+        }
+    }
+}
+
+/// One row of Table 2: per-component cell counts, levels, and prognostic
+/// variables. "Velocity components normal to the triangle edges are
+/// counted as 1.5 prognostic variables" (Table 2 caption), hence the
+/// fractional counts.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct ComponentShape {
+    pub cells: f64,
+    pub levels: f64,
+    pub vars: f64,
+}
+
+impl ComponentShape {
+    pub fn dof(&self) -> f64 {
+        self.cells * self.levels * self.vars
+    }
+}
+
+/// A full model configuration (both Table 2 configurations, or any other
+/// `R2B(k)` resolution for sweeps).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct GridConfig {
+    pub name: &'static str,
+    /// Nominal horizontal grid spacing (km).
+    pub dx_km: f64,
+    /// ICON refinement level `k` of `R2B(k)`.
+    pub r2b: u32,
+    pub atm_cells: f64,
+    pub land_cells: f64,
+    pub oce_cells: f64,
+    pub atm_levels: f64,
+    pub soil_levels: f64,
+    pub pft_levels: f64,
+    pub oce_levels: f64,
+    /// Atmosphere (and land) time step (s).
+    pub dt_atm_s: f64,
+    /// Ocean (and biogeochemistry) time step (s).
+    pub dt_oce_s: f64,
+    /// Coupling interval between {atmosphere, land} and {ocean, BGC} (s);
+    /// the paper exchanges energy, water, and carbon every 10 minutes.
+    pub coupling_s: f64,
+}
+
+/// Earth's land fraction used to split cells (Table 2: 0.98e8 of 3.36e8
+/// cells are land at 1.25 km, i.e. ~29 %).
+pub const LAND_FRACTION: f64 = 0.2917;
+
+impl GridConfig {
+    /// The 10 km development configuration (Table 2, upper block).
+    pub fn km10() -> GridConfig {
+        GridConfig::at_r2b("10 km development", 8, 75.0, 600.0)
+    }
+
+    /// The 1.25 km at-scale configuration (Table 2, lower block).
+    pub fn km1p25() -> GridConfig {
+        GridConfig::at_r2b("1.25 km production", 11, 10.0, 60.0)
+    }
+
+    /// An arbitrary `R2B(k)` configuration with explicit time steps.
+    pub fn at_r2b(name: &'static str, k: u32, dt_atm_s: f64, dt_oce_s: f64) -> GridConfig {
+        let cells = icon_cells(k);
+        GridConfig {
+            name,
+            dx_km: nominal_dx_km(k),
+            r2b: k,
+            atm_cells: cells,
+            land_cells: (cells * LAND_FRACTION).round(),
+            oce_cells: (cells * (1.0 - LAND_FRACTION)).round(),
+            atm_levels: 90.0,
+            soil_levels: 5.0,
+            pft_levels: 11.0,
+            oce_levels: 72.0,
+            dt_atm_s,
+            dt_oce_s,
+            coupling_s: 600.0,
+        }
+    }
+
+    /// A resolution sweep member with time steps scaled linearly with
+    /// `dx` from the 1.25 km anchors (advective CFL).
+    pub fn swept(k: u32) -> GridConfig {
+        let scale = nominal_dx_km(k) / 1.25;
+        GridConfig::at_r2b("sweep", k, 10.0 * scale, 60.0 * scale)
+    }
+
+    /// Per-component shapes, Table 2 layout. Prognostic variable counts
+    /// from the table: atmosphere 12.5 (incl. 1.5 for edge-normal
+    /// velocity and tracers H2O/CO2/O3), land 4 physical state variables
+    /// on 5 soil levels, vegetation 22 (21 carbon pools + LAI) on up to 11
+    /// plant functional types, ocean 5, biogeochemistry 19.
+    pub fn shapes(&self) -> Vec<(Component, ComponentShape)> {
+        vec![
+            (
+                Component::Atmosphere,
+                ComponentShape {
+                    cells: self.atm_cells,
+                    levels: self.atm_levels,
+                    vars: 12.5,
+                },
+            ),
+            (
+                Component::Land,
+                ComponentShape {
+                    cells: self.land_cells,
+                    levels: self.soil_levels,
+                    vars: 4.0,
+                },
+            ),
+            (
+                Component::Vegetation,
+                ComponentShape {
+                    cells: self.land_cells,
+                    levels: self.pft_levels,
+                    vars: 22.0,
+                },
+            ),
+            (
+                Component::OceanSeaIce,
+                ComponentShape {
+                    cells: self.oce_cells,
+                    levels: self.oce_levels,
+                    vars: 5.0,
+                },
+            ),
+            (
+                Component::Biogeochemistry,
+                ComponentShape {
+                    cells: self.oce_cells,
+                    levels: self.oce_levels,
+                    vars: 19.0,
+                },
+            ),
+        ]
+    }
+
+    /// Total physical-spatial degrees of freedom of the configuration.
+    pub fn total_dof(&self) -> f64 {
+        self.shapes().iter().map(|(_, s)| s.dof()).sum()
+    }
+
+    /// Main memory needed to store the prognostic state in double
+    /// precision (bytes). The paper: ~8 TiB for the 1.25 km configuration.
+    pub fn state_bytes(&self) -> f64 {
+        self.total_dof() * 8.0
+    }
+
+    /// Atmosphere steps per coupling window.
+    pub fn atm_steps_per_coupling(&self) -> f64 {
+        self.coupling_s / self.dt_atm_s
+    }
+
+    /// Ocean steps per coupling window.
+    pub fn oce_steps_per_coupling(&self) -> f64 {
+        self.coupling_s / self.dt_oce_s
+    }
+}
+
+/// ICON `R2B(k)` cell count as f64.
+pub fn icon_cells(k: u32) -> f64 {
+    80.0 * 4f64.powi(k as i32)
+}
+
+/// Nominal resolution in km (sqrt mean cell area on Earth).
+pub fn nominal_dx_km(k: u32) -> f64 {
+    let r = 6.371e6;
+    let area = 4.0 * std::f64::consts::PI * r * r / icon_cells(k);
+    area.sqrt() / 1000.0
+}
+
+/// Rescaled temporal compression tau* of Table 1: the expected tau had the
+/// run used dx = 1.25 km on the same resource,
+/// `tau* = (1.25 / dx)^3 * tau`.
+pub fn tau_star(dx_km: f64, tau: f64) -> f64 {
+    (1.25f64 / dx_km).powi(3) * tau
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_cell_counts() {
+        let c10 = GridConfig::km10();
+        let c1 = GridConfig::km1p25();
+        // Table 2: 0.05e8 / 3.36e8 atmosphere cells.
+        assert_eq!(c10.atm_cells, 5_242_880.0);
+        assert_eq!(c1.atm_cells, 335_544_320.0);
+        // Land 0.015e8 / 0.98e8, ocean 0.037e8 / 2.38e8 (+-2 %).
+        assert!((c1.land_cells / 0.98e8 - 1.0).abs() < 0.02, "{}", c1.land_cells);
+        assert!((c1.oce_cells / 2.38e8 - 1.0).abs() < 0.02, "{}", c1.oce_cells);
+        assert!((c10.land_cells / 0.015e8 - 1.0).abs() < 0.03);
+        assert!((c10.oce_cells / 0.037e8 - 1.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn table2_degrees_of_freedom() {
+        // Paper: 1.2e10 at 10 km, 7.9e11 at 1.25 km.
+        let dof10 = GridConfig::km10().total_dof();
+        let dof1 = GridConfig::km1p25().total_dof();
+        assert!(
+            (dof10 / 1.2e10 - 1.0).abs() < 0.08,
+            "10 km dof {dof10:.3e}"
+        );
+        assert!(
+            (dof1 / 7.9e11 - 1.0).abs() < 0.05,
+            "1.25 km dof {dof1:.3e}"
+        );
+    }
+
+    #[test]
+    fn state_fits_the_claimed_8_tib() {
+        // "Storing those degrees of freedom alone requires 8 TiB".
+        let bytes = GridConfig::km1p25().state_bytes();
+        let tib = bytes / (1u64 << 40) as f64;
+        assert!((5.0..9.0).contains(&tib), "state {tib} TiB");
+    }
+
+    #[test]
+    fn timesteps_match_table2() {
+        let c10 = GridConfig::km10();
+        let c1 = GridConfig::km1p25();
+        assert_eq!(c10.dt_atm_s, 75.0);
+        assert_eq!(c10.dt_oce_s, 600.0);
+        assert_eq!(c1.dt_atm_s, 10.0);
+        assert_eq!(c1.dt_oce_s, 60.0);
+        assert_eq!(c1.atm_steps_per_coupling(), 60.0);
+        assert_eq!(c1.oce_steps_per_coupling(), 10.0);
+    }
+
+    #[test]
+    fn tau_star_matches_table1() {
+        // SCREAM: dx 3.25, tau 458 -> tau* 26. NICAM: dx 3.5, tau 365 -> 17.
+        assert!((tau_star(3.25, 458.0) - 26.0).abs() < 1.5);
+        assert!((tau_star(3.5, 365.0) - 17.0).abs() < 1.0);
+        // ICON at native 1.25 km: unchanged.
+        assert_eq!(tau_star(1.25, 69.0), 69.0);
+    }
+
+    #[test]
+    fn nominal_resolutions() {
+        assert!((nominal_dx_km(8) - 9.9).abs() < 0.4);
+        assert!((nominal_dx_km(11) - 1.24).abs() < 0.05);
+    }
+}

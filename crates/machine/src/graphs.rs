@@ -1,0 +1,99 @@
+//! CUDA-graph launch model (§5.1 of the paper).
+//!
+//! The land model (JSBach with interactive vegetation) launches a very
+//! large number of small kernels per step; each OpenACC launch costs tens
+//! of microseconds. CUDA graphs record the kernel call flow once and
+//! replay it with near-zero per-kernel launch overhead — the paper reports
+//! an 8–10x speedup of the land+vegetation parts.
+
+use crate::calib::*;
+
+/// Launch-cost model for a sequence of `n_kernels` small kernels whose
+/// individual execution time is `exec_s` (floored by wave quantization).
+#[derive(Debug, Clone, Copy)]
+pub struct KernelSequence {
+    pub n_kernels: f64,
+    /// Per-kernel execution time (s), before the floor is applied.
+    pub exec_s: f64,
+}
+
+impl KernelSequence {
+    pub fn new(n_kernels: f64, exec_s: f64) -> Self {
+        KernelSequence { n_kernels, exec_s }
+    }
+
+    fn exec_floored(&self) -> f64 {
+        self.exec_s.max(KERNEL_EXEC_FLOOR_S)
+    }
+
+    /// Wall time launching every kernel individually (OpenACC baseline).
+    pub fn time_individual_launches(&self) -> f64 {
+        self.n_kernels * (KERNEL_LAUNCH_S + self.exec_floored())
+    }
+
+    /// Wall time replaying a recorded CUDA graph: one graph launch plus a
+    /// tiny per-node replay overhead. Independent kernels inside a graph
+    /// may also overlap, which the per-node overhead subsumes.
+    pub fn time_graph_replay(&self) -> f64 {
+        GRAPH_LAUNCH_S + self.n_kernels * (GRAPH_REPLAY_PER_KERNEL_S + self.exec_floored())
+    }
+
+    /// One-time cost of recording the graph (first invocation only; the
+    /// paper: "slightly increased latency for the first invocation").
+    pub fn time_record(&self) -> f64 {
+        1.5 * self.time_individual_launches()
+    }
+
+    /// Speedup of graph replay over individual launches.
+    pub fn graph_speedup(&self) -> f64 {
+        self.time_individual_launches() / self.time_graph_replay()
+    }
+}
+
+/// Land+vegetation kernel sequence for a given local cell count: the
+/// per-kernel execution time grows with cells per rank.
+pub fn land_sequence(land_cells_local: f64, gpu_bw_gbs: f64) -> KernelSequence {
+    let exec = land_cells_local * LAND_BYTES_PER_CELL_KERNEL / (gpu_bw_gbs * 1e9);
+    KernelSequence::new(LAND_KERNELS_PER_STEP, exec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn graphs_speed_up_small_kernel_sequences() {
+        let seq = KernelSequence::new(1200.0, 1e-6);
+        assert!(seq.graph_speedup() > 5.0);
+        // Recording costs more than a plain pass.
+        assert!(seq.time_record() > seq.time_individual_launches());
+    }
+
+    #[test]
+    fn land_speedup_in_paper_range() {
+        // Paper §5.1: "a speedup for the land and vegetation parts of the
+        // model on the order of 8-10x depending on the grid-spacing".
+        // Hero 1.25 km: 0.98e8 land cells / 20480 chips.
+        let hero = land_sequence(0.98e8 / 20480.0, 4096.0);
+        let s_hero = hero.graph_speedup();
+        // 10 km development run on 128 chips.
+        let dev = land_sequence(0.015e8 / 128.0, 4096.0);
+        let s_dev = dev.graph_speedup();
+        assert!(
+            (7.5..10.5).contains(&s_hero),
+            "1.25 km speedup {s_hero:.2}"
+        );
+        assert!((7.5..10.5).contains(&s_dev), "10 km speedup {s_dev:.2}");
+        assert!(
+            (s_hero - s_dev).abs() > 0.05,
+            "speedup should depend on grid spacing"
+        );
+    }
+
+    #[test]
+    fn large_kernels_gain_little() {
+        // When execution dominates, graphs cannot help much.
+        let seq = KernelSequence::new(100.0, 2e-3);
+        assert!(seq.graph_speedup() < 1.05);
+    }
+}

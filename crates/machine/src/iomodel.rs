@@ -1,0 +1,116 @@
+//! Restart-I/O throughput model (§6.4 and §7 of the paper).
+//!
+//! ICON's synchronous multi-file checkpointing lets a configurable subset
+//! of ranks collect variables and write one file each; reading is
+//! staggered over a (different) subset of ranks. The paper reports, for
+//! the 1.25 km configuration on 8000 superchips with up to 2579 I/O
+//! processes: restart sizes of 9265.50 GiB (atmosphere) and 7030.91 GiB
+//! (ocean), a staggered read rate of 615.61 GiB/s and a write rate of
+//! 198.19 GiB/s.
+//!
+//! The file-system model: each I/O process sustains a per-stream
+//! bandwidth; the aggregate is capped by the parallel file system, with
+//! writes paying an allocation/commit penalty.
+
+use crate::config::GridConfig;
+
+/// 3-D variables in the atmosphere restart: 12.5 prognostic (Table 2)
+/// plus tracers' second time level, tendencies, physics state — 41
+/// three-dimensional fields total, plus a few dozen surface fields.
+pub const ATM_RESTART_VARS_3D: f64 = 41.0;
+pub const ATM_RESTART_VARS_2D: f64 = 11.0;
+
+/// Ocean restart: 5 prognostic x 2 time levels, 19 BGC x 2 time levels,
+/// plus diagnostics = 55 three-dimensional fields, and sea-ice/surface
+/// fields.
+pub const OCE_RESTART_VARS_3D: f64 = 55.0;
+pub const OCE_RESTART_VARS_2D: f64 = 5.0;
+
+/// Per-I/O-process sustained stream bandwidth (GiB/s).
+pub const STREAM_BW_GIBS: f64 = 0.25;
+
+/// Aggregate parallel-file-system read cap (GiB/s).
+pub const FS_READ_CAP_GIBS: f64 = 620.0;
+
+/// Aggregate write cap (GiB/s): writes pay allocation and commit costs.
+pub const FS_WRITE_CAP_GIBS: f64 = 200.0;
+
+/// Efficiency of staggered reading (phase-shifted opens avoid metadata
+/// contention; the paper's staggering makes reads near the cap).
+pub const STAGGER_EFF: f64 = 0.993;
+
+/// Restart sizes in GiB for a configuration.
+pub fn restart_sizes_gib(cfg: &GridConfig) -> (f64, f64) {
+    let gib = (1u64 << 30) as f64;
+    let atm = (cfg.atm_cells * cfg.atm_levels * ATM_RESTART_VARS_3D
+        + cfg.atm_cells * ATM_RESTART_VARS_2D)
+        * 8.0
+        / gib;
+    let oce = (cfg.oce_cells * cfg.oce_levels * OCE_RESTART_VARS_3D
+        + cfg.oce_cells * OCE_RESTART_VARS_2D)
+        * 8.0
+        / gib;
+    (atm, oce)
+}
+
+/// Aggregate read rate with `n_procs` staggered reader processes (GiB/s).
+pub fn read_rate_gibs(n_procs: u32) -> f64 {
+    (n_procs as f64 * STREAM_BW_GIBS).min(FS_READ_CAP_GIBS) * STAGGER_EFF
+}
+
+/// Aggregate write rate with `n_procs` writer processes (GiB/s).
+pub fn write_rate_gibs(n_procs: u32) -> f64 {
+    (n_procs as f64 * STREAM_BW_GIBS).min(FS_WRITE_CAP_GIBS)
+}
+
+/// Seconds to write both restart files with `n_procs` writers.
+pub fn checkpoint_time_s(cfg: &GridConfig, n_procs: u32) -> f64 {
+    let (atm, oce) = restart_sizes_gib(cfg);
+    (atm + oce) / write_rate_gibs(n_procs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn restart_sizes_match_paper() {
+        let (atm, oce) = restart_sizes_gib(&GridConfig::km1p25());
+        assert!(
+            (atm / 9265.50 - 1.0).abs() < 0.02,
+            "atmosphere restart {atm:.2} GiB, paper 9265.50"
+        );
+        assert!(
+            (oce / 7030.91 - 1.0).abs() < 0.02,
+            "ocean restart {oce:.2} GiB, paper 7030.91"
+        );
+    }
+
+    #[test]
+    fn rates_match_paper_at_2579_procs() {
+        let read = read_rate_gibs(2579);
+        let write = write_rate_gibs(2579);
+        assert!(
+            (read / 615.61 - 1.0).abs() < 0.02,
+            "read {read:.2} GiB/s, paper 615.61"
+        );
+        assert!(
+            (write / 198.19 - 1.0).abs() < 0.02,
+            "write {write:.2} GiB/s, paper 198.19"
+        );
+    }
+
+    #[test]
+    fn rates_scale_then_saturate() {
+        assert!(read_rate_gibs(100) < read_rate_gibs(1000));
+        assert_eq!(read_rate_gibs(10_000), read_rate_gibs(100_000));
+        assert!(write_rate_gibs(4000) <= FS_WRITE_CAP_GIBS);
+    }
+
+    #[test]
+    fn checkpoint_time_reasonable_at_hero_scale() {
+        // ~16.3 TiB at ~198 GiB/s: around 80 s.
+        let t = checkpoint_time_s(&GridConfig::km1p25(), 2579);
+        assert!((60.0..120.0).contains(&t), "checkpoint {t:.0}s");
+    }
+}

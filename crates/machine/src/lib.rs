@@ -1,0 +1,37 @@
+//! Performance, power, and energy model of the GH200/A100/CPU systems used
+//! in the paper (JUPITER, Alps, JEDI, Levante).
+//!
+//! We cannot run 20 480 GH200 superchips; per the reproduction plan
+//! (DESIGN.md) this crate *simulates* them. The model is deliberately
+//! simple and fully documented:
+//!
+//! * component kernels are **memory-bandwidth bound** (the paper: "the
+//!   final computations are not arithmetically intensive and hence memory
+//!   bandwidth limited") — compute time = bytes moved / sustained DRAM
+//!   bandwidth;
+//! * GPU kernel **launch latency** is charged per kernel; CUDA-graph
+//!   replay (§5.1, land model) replaces it with a small replay cost;
+//! * halo exchanges pay a latency `alpha` per message plus payload over
+//!   the NIC injection bandwidth; global reductions (ocean barotropic
+//!   solver) pay `alpha_coll * log2(P)`;
+//! * CPU and GPU of a superchip share a **TDP** (§5.1.1); the power model
+//!   derates the GPU when the CPU draws more;
+//! * energy = node power x wall time x node count.
+//!
+//! The free constants are fitted against the paper's published anchor
+//! points (see [`calib`]); integration tests assert the anchors are
+//! reproduced within tolerance.
+
+pub mod calib;
+pub mod chips;
+pub mod config;
+pub mod cost;
+pub mod graphs;
+pub mod iomodel;
+pub mod power;
+pub mod systems;
+
+pub use chips::{CpuSpec, GpuSpec, Superchip};
+pub use config::{Component, GridConfig};
+pub use cost::{ComponentCost, Device, Mapping, ScalingPoint, ThroughputModel};
+pub use systems::{Network, SystemSpec};

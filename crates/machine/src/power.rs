@@ -1,0 +1,112 @@
+//! Power and energy model.
+//!
+//! §5.1.1 of the paper: on GH200, "CPU and GPU components share a common
+//! power and thermal budget … power is dynamically distributed first to the
+//! CPU and the remainder to the GPU". Because ICON is memory-bandwidth
+//! bound, the GPU does not need its full compute power budget, which is
+//! what makes the shared-TDP heterogeneous mapping viable.
+//!
+//! Fig. 2 (right) compares energy on Levante: at equal time-to-solution
+//! the CPU partition draws ~4.4x the power of the GPU partition.
+
+use crate::calib::GRACE_LOAD_POWER_FRACTION;
+use crate::cost::{Device, Mapping, ThroughputModel};
+use crate::systems::SystemSpec;
+
+/// Fraction of its nominal power a GPU draws under memory-bound load
+/// (compute units idle while DRAM streams).
+pub const GPU_MEMBOUND_POWER_FRACTION: f64 = 0.70;
+
+/// Idle fraction of CPU power (host CPUs of GPU nodes mostly idle).
+pub const CPU_IDLE_POWER_FRACTION: f64 = 0.30;
+
+/// Busy fraction of CPU power.
+pub const CPU_BUSY_POWER_FRACTION: f64 = 0.90;
+
+/// Power split of one superchip under the shared TDP: CPU first, GPU gets
+/// the remainder (capped at its own mem-bound draw). Returns
+/// `(cpu_w, gpu_w)`.
+pub fn superchip_power_split(system: &SystemSpec, cpu_busy: f64) -> (f64, f64) {
+    let chip = &system.chip;
+    let cpu_frac = CPU_IDLE_POWER_FRACTION
+        + (GRACE_LOAD_POWER_FRACTION - CPU_IDLE_POWER_FRACTION) * cpu_busy.clamp(0.0, 1.0);
+    let cpu_w = chip.cpu.max_power_w * cpu_frac;
+    let gpu_want = chip.gpu.max_power_w * GPU_MEMBOUND_POWER_FRACTION;
+    let gpu_w = match chip.shared_tdp_w {
+        Some(tdp) => gpu_want.min((tdp - cpu_w).max(0.0)),
+        None => gpu_want,
+    };
+    (cpu_w, gpu_w)
+}
+
+/// Electrical power of one node under the given mapping and CPU busy
+/// fraction (W).
+pub fn node_power_under_load(system: &SystemSpec, mapping: Mapping, cpu_busy: f64) -> f64 {
+    let chips = system.chips_per_node as f64;
+    let (cpu_w, gpu_w) = match mapping.atm {
+        // All-CPU runs draw busy CPU power and no GPU power.
+        Device::Cpu => (
+            system.chip.cpu.max_power_w * CPU_BUSY_POWER_FRACTION,
+            0.0,
+        ),
+        Device::Gpu => superchip_power_split(system, cpu_busy),
+    };
+    chips * (cpu_w + gpu_w) + system.node_overhead_w
+}
+
+/// Fig. 2 right: power needed on `cpu_sys` vs `gpu_sys` to reach the same
+/// time-to-solution on `config`. Returns `(gpu_kw, cpu_kw, ratio)`.
+pub fn matched_tau_power_ratio(
+    gpu_model: &ThroughputModel,
+    cpu_model: &ThroughputModel,
+    gpu_chips: u32,
+) -> Option<(f64, f64, f64)> {
+    let gpu_point = gpu_model.scaling_point(gpu_chips);
+    let cpu_chips = cpu_model.chips_for_tau(gpu_point.tau)?;
+    let cpu_point = cpu_model.scaling_point(cpu_chips);
+    Some((
+        gpu_point.power_kw,
+        cpu_point.power_kw,
+        cpu_point.power_kw / gpu_point.power_kw,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GridConfig;
+    use crate::systems::{JUPITER, LEVANTE_CPU, LEVANTE_GPU};
+
+    #[test]
+    fn shared_tdp_caps_the_gpu() {
+        // Busy Grace: GPU must fit in the remainder of 680 W.
+        let (cpu_w, gpu_w) = superchip_power_split(&JUPITER, 1.0);
+        assert!(cpu_w + gpu_w <= 680.0 + 1e-9);
+        assert!(gpu_w < 700.0 * GPU_MEMBOUND_POWER_FRACTION + 1e-9);
+        // Idle Grace leaves more for the GPU.
+        let (_, gpu_idle) = superchip_power_split(&JUPITER, 0.0);
+        assert!(gpu_idle >= gpu_w);
+    }
+
+    #[test]
+    fn unshared_budget_ignores_cpu_load() {
+        let (_, a) = superchip_power_split(&LEVANTE_GPU, 0.0);
+        let (_, b) = superchip_power_split(&LEVANTE_GPU, 1.0);
+        assert_eq!(a, b, "A100 draw independent of host CPU load");
+    }
+
+    #[test]
+    fn anchor_energy_ratio_4p4() {
+        // Fig 2 right: "time to solution demanding 4.4 times as much power
+        // on CPUs".
+        let gpu = ThroughputModel::new(LEVANTE_GPU, GridConfig::km10(), crate::Mapping::all_gpu());
+        let cpu = ThroughputModel::new(LEVANTE_CPU, GridConfig::km10(), crate::Mapping::all_cpu());
+        let (gkw, ckw, ratio) =
+            matched_tau_power_ratio(&gpu, &cpu, 64).expect("CPU partition can match");
+        assert!(gkw > 0.0 && ckw > gkw);
+        assert!(
+            (ratio / 4.4 - 1.0).abs() < 0.15,
+            "power ratio {ratio:.2}, paper 4.4"
+        );
+    }
+}

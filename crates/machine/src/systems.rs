@@ -1,0 +1,184 @@
+//! The high-performance computing systems of the study (Table 3), plus
+//! Levante (used for the CPU-vs-GPU comparison of Fig. 2).
+
+use crate::chips::{Superchip, A100, AMD_7763_X2, GRACE, HOPPER};
+use serde::Serialize;
+
+/// Interconnect description.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Network {
+    pub name: &'static str,
+    /// Injection bandwidth per node (GB/s). Table 3: 4 x 200 Gbit/s.
+    pub inj_bw_node_gbs: f64,
+    /// Whether GPUDirect RDMA is available (direct GPU-GPU transfers,
+    /// §5.1); without it halo payloads make an extra host hop.
+    pub gpudirect: bool,
+}
+
+pub const NDR200_IB: Network = Network {
+    name: "InfiniBand NDR200",
+    inj_bw_node_gbs: 100.0, // 4 x 200 Gbit/s per node
+    gpudirect: true,
+};
+
+pub const SLINGSHOT_11: Network = Network {
+    name: "Slingshot-11",
+    inj_bw_node_gbs: 100.0,
+    gpudirect: true,
+};
+
+pub const HDR_IB: Network = Network {
+    name: "InfiniBand HDR",
+    inj_bw_node_gbs: 25.0,
+    gpudirect: true,
+};
+
+/// A full system: nodes of `chips_per_node` superchips.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct SystemSpec {
+    pub name: &'static str,
+    pub n_nodes: u32,
+    pub chips_per_node: u32,
+    pub chip: Superchip,
+    pub network: Network,
+    /// Per-node power besides the chips: NICs, fans, board (W).
+    pub node_overhead_w: f64,
+    /// GPU throughput derate relative to the 680 W reference TDP
+    /// (Alps runs at 660 W per superchip; under the shared power budget
+    /// the memory subsystem clocks slightly lower).
+    pub gpu_derate: f64,
+}
+
+impl SystemSpec {
+    pub fn total_chips(&self) -> u32 {
+        self.n_nodes * self.chips_per_node
+    }
+
+    /// Node power at full load (W).
+    pub fn node_power_w(&self) -> f64 {
+        let chip_w = self
+            .chip
+            .shared_tdp_w
+            .unwrap_or_else(|| self.chip.combined_max_power_w());
+        self.chips_per_node as f64 * chip_w + self.node_overhead_w
+    }
+}
+
+/// JUPITER (Jülich): 5884 nodes x 4 GH200 at 680 W, NDR200.
+pub const JUPITER: SystemSpec = SystemSpec {
+    name: "JUPITER",
+    n_nodes: 5884,
+    chips_per_node: 4,
+    chip: Superchip::gh200(680.0),
+    network: NDR200_IB,
+    node_overhead_w: 200.0,
+    gpu_derate: 1.0,
+};
+
+/// Alps (CSCS): 2688 nodes x 4 GH200 at 660 W, Slingshot-11.
+pub const ALPS: SystemSpec = SystemSpec {
+    name: "Alps",
+    n_nodes: 2688,
+    chips_per_node: 4,
+    chip: Superchip::gh200(660.0),
+    network: SLINGSHOT_11,
+    node_overhead_w: 200.0,
+    gpu_derate: 0.97,
+};
+
+/// JEDI: the single-rack (48-node) JUPITER development platform.
+pub const JEDI: SystemSpec = SystemSpec {
+    name: "JEDI",
+    n_nodes: 48,
+    chips_per_node: 4,
+    chip: Superchip::gh200(680.0),
+    network: NDR200_IB,
+    node_overhead_w: 200.0,
+    gpu_derate: 1.0,
+};
+
+/// Levante GPU partition: nodes with 4 x A100, conventional host CPU.
+pub const LEVANTE_GPU: SystemSpec = SystemSpec {
+    name: "Levante (GPU)",
+    n_nodes: 60,
+    chips_per_node: 4,
+    chip: Superchip {
+        gpu: A100,
+        cpu: AMD_7763_X2,
+        c2c_bw_gbs: 64.0,
+        shared_tdp_w: None,
+    },
+    network: HDR_IB,
+    node_overhead_w: 200.0,
+    gpu_derate: 1.0,
+};
+
+/// Levante CPU partition: 2x AMD 7763 nodes. Modeled as "superchips" with
+/// a zero-bandwidth GPU so the same cost machinery applies.
+pub const LEVANTE_CPU: SystemSpec = SystemSpec {
+    name: "Levante (CPU)",
+    n_nodes: 2832,
+    chips_per_node: 1,
+    chip: Superchip {
+        gpu: crate::chips::GpuSpec {
+            name: "none",
+            mem_gib: 0.0,
+            peak_bw_gbs: 0.0,
+            max_power_w: 0.0,
+        },
+        cpu: AMD_7763_X2,
+        c2c_bw_gbs: 0.0,
+        shared_tdp_w: None,
+    },
+    network: HDR_IB,
+    node_overhead_w: 440.0,
+    gpu_derate: 1.0,
+};
+
+/// The ideal GH200 "hero" chip set used for per-kernel bandwidth numbers.
+pub const GH200_PEAK_BW_GBS: f64 = HOPPER.peak_bw_gbs;
+
+/// All systems of the study (for Table 3 output).
+pub fn table3_systems() -> [&'static SystemSpec; 2] {
+    [&JUPITER, &ALPS]
+}
+
+#[allow(unused)]
+fn _assert_specs_const() {
+    let _ = GRACE;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_numbers() {
+        assert_eq!(JUPITER.total_chips(), 23_536);
+        assert_eq!(ALPS.total_chips(), 10_752);
+        assert_eq!(JUPITER.chip.shared_tdp_w, Some(680.0));
+        assert_eq!(ALPS.chip.shared_tdp_w, Some(660.0));
+        assert_eq!(JEDI.n_nodes, 48);
+        // Both systems: 4 x 200 Gbit/s injection per node.
+        assert_eq!(JUPITER.network.inj_bw_node_gbs, 100.0);
+        assert_eq!(ALPS.network.inj_bw_node_gbs, 100.0);
+    }
+
+    #[test]
+    fn hero_runs_fit_within_systems() {
+        // Paper: 20480 chips on JUPITER (~85-87 %), 8192 on Alps (~76 %).
+        assert!(20_480 <= JUPITER.total_chips());
+        assert!(8_192 <= ALPS.total_chips());
+        let frac = 20_480.0 / JUPITER.total_chips() as f64;
+        assert!(frac > 0.8 && frac < 0.9, "JUPITER share {frac}");
+    }
+
+    #[test]
+    fn node_power_includes_tdp_sharing() {
+        // JUPITER node: 4 x 680 W + overhead.
+        assert_eq!(JUPITER.node_power_w(), 4.0 * 680.0 + 200.0);
+        // Levante GPU node has no shared budget: full GPU + CPU power.
+        let lp = LEVANTE_GPU.node_power_w();
+        assert!((lp - (4.0 * (400.0 + 560.0) + 200.0)).abs() < 1e-9);
+    }
+}

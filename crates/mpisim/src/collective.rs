@@ -1,0 +1,180 @@
+//! Collective operations: a generation-counted reduction context shared by
+//! all ranks of a communicator.
+//!
+//! On the modeled machines these are MPI allreduces over the interconnect
+//! (latency ~ `alpha * log2 P`); here they are a mutex-protected
+//! accumulator with a condvar rendezvous. Semantics match MPI: every rank
+//! must call the same collectives in the same order.
+
+use parking_lot::{Condvar, Mutex};
+
+/// Element-wise combine function for vector reductions.
+pub type CombineFn = fn(&mut [f64], &[f64]);
+
+pub fn combine_sum(acc: &mut [f64], x: &[f64]) {
+    for (a, b) in acc.iter_mut().zip(x) {
+        *a += b;
+    }
+}
+
+pub fn combine_max(acc: &mut [f64], x: &[f64]) {
+    for (a, b) in acc.iter_mut().zip(x) {
+        *a = a.max(*b);
+    }
+}
+
+pub fn combine_min(acc: &mut [f64], x: &[f64]) {
+    for (a, b) in acc.iter_mut().zip(x) {
+        *a = a.min(*b);
+    }
+}
+
+struct CollState {
+    arrived: usize,
+    generation: u64,
+    acc: Vec<f64>,
+    /// Result of the last completed operation, readable until every rank of
+    /// the *next* operation has arrived (ranks copy it before leaving).
+    out: Vec<f64>,
+}
+
+/// Shared rendezvous + reduction buffer for one communicator.
+pub struct CollectiveCtx {
+    n: usize,
+    state: Mutex<CollState>,
+    cv: Condvar,
+}
+
+impl CollectiveCtx {
+    pub fn new(n: usize) -> Self {
+        CollectiveCtx {
+            n,
+            state: Mutex::new(CollState {
+                arrived: 0,
+                generation: 0,
+                acc: Vec::new(),
+                out: Vec::new(),
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    pub fn n_ranks(&self) -> usize {
+        self.n
+    }
+
+    /// Generic reduction: combines every rank's `contribution` with `op`
+    /// and returns the combined vector to all ranks.
+    pub fn reduce(&self, contribution: &[f64], op: CombineFn) -> Vec<f64> {
+        let mut st = self.state.lock();
+        if st.arrived == 0 {
+            st.acc = contribution.to_vec();
+        } else {
+            assert_eq!(
+                st.acc.len(),
+                contribution.len(),
+                "mismatched collective payload sizes"
+            );
+            let mut acc = std::mem::take(&mut st.acc);
+            op(&mut acc, contribution);
+            st.acc = acc;
+        }
+        st.arrived += 1;
+        if st.arrived == self.n {
+            st.out = std::mem::take(&mut st.acc);
+            st.arrived = 0;
+            st.generation += 1;
+            self.cv.notify_all();
+            st.out.clone()
+        } else {
+            let gen = st.generation;
+            self.cv.wait_while(&mut st, |s| s.generation == gen);
+            st.out.clone()
+        }
+    }
+
+    /// Barrier: an empty reduction.
+    pub fn barrier(&self) {
+        self.reduce(&[], combine_sum);
+    }
+
+    /// Gather one value from every rank, indexed by rank. Implemented as a
+    /// sparse sum-reduction.
+    pub fn allgather(&self, rank: usize, value: f64) -> Vec<f64> {
+        let mut v = vec![0.0; self.n];
+        v[rank] = value;
+        self.reduce(&v, combine_sum)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn run_ranks<T: Send>(n: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+        std::thread::scope(|s| {
+            let f = &f;
+            let handles: Vec<_> = (0..n).map(|r| s.spawn(move || f(r))).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+    }
+
+    #[test]
+    fn sum_reduction_over_ranks() {
+        let ctx = Arc::new(CollectiveCtx::new(8));
+        let results = run_ranks(8, |r| ctx.reduce(&[r as f64, 1.0], combine_sum));
+        for res in results {
+            assert_eq!(res, vec![28.0, 8.0]);
+        }
+    }
+
+    #[test]
+    fn max_and_min() {
+        let ctx = Arc::new(CollectiveCtx::new(5));
+        let results = run_ranks(5, |r| {
+            let mx = ctx.reduce(&[r as f64], combine_max)[0];
+            let mn = ctx.reduce(&[r as f64], combine_min)[0];
+            (mx, mn)
+        });
+        for (mx, mn) in results {
+            assert_eq!(mx, 4.0);
+            assert_eq!(mn, 0.0);
+        }
+    }
+
+    #[test]
+    fn repeated_collectives_keep_generations_separate() {
+        let ctx = Arc::new(CollectiveCtx::new(4));
+        let results = run_ranks(4, |r| {
+            let mut sums = Vec::new();
+            for round in 0..50 {
+                let s = ctx.reduce(&[(r + round) as f64], combine_sum)[0];
+                sums.push(s);
+            }
+            sums
+        });
+        for sums in results {
+            for (round, s) in sums.iter().enumerate() {
+                // sum over r of (r + round) = 6 + 4*round
+                assert_eq!(*s, (6 + 4 * round) as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn allgather_orders_by_rank() {
+        let ctx = Arc::new(CollectiveCtx::new(6));
+        let results = run_ranks(6, |r| ctx.allgather(r, (r * r) as f64));
+        for res in results {
+            assert_eq!(res, vec![0.0, 1.0, 4.0, 9.0, 16.0, 25.0]);
+        }
+    }
+
+    #[test]
+    fn single_rank_collective_is_identity() {
+        let ctx = CollectiveCtx::new(1);
+        assert_eq!(ctx.reduce(&[3.0, 4.0], combine_sum), vec![3.0, 4.0]);
+        ctx.barrier();
+    }
+}

@@ -1,0 +1,419 @@
+//! Ranks, communicators, point-to-point messaging, and communicator
+//! splitting.
+
+use crate::collective::{combine_max, combine_min, combine_sum, CollectiveCtx};
+use crate::stats::TrafficStats;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// A point-to-point message. Payloads are `f64` vectors — every field and
+/// flux in the model is `f64`, and the traffic meter charges 8 bytes per
+/// element, matching the double-precision claim of the paper.
+#[derive(Debug)]
+struct Message {
+    src: usize,
+    tag: u64,
+    data: Vec<f64>,
+}
+
+/// Shared state of a world: one collective context per communicator
+/// (created lazily on `split`) and the traffic meter.
+struct WorldShared {
+    stats: Arc<TrafficStats>,
+    /// Communicator registry: `(parent namespace, split series, color) ->
+    /// context`.
+    split_ctx: Mutex<HashMap<(u64, u64, i64), Arc<CollectiveCtx>>>,
+}
+
+/// An SPMD world: `n` ranks running concurrently on threads.
+pub struct World;
+
+impl World {
+    /// Run `f` on `n` ranks and collect each rank's result, ordered by
+    /// rank. Panics in any rank propagate.
+    pub fn run<T: Send>(n: usize, f: impl Fn(Comm) -> T + Sync) -> Vec<T> {
+        Self::run_with_stats(n, f).0
+    }
+
+    /// Like [`World::run`] but also returns the traffic totals.
+    pub fn run_with_stats<T: Send>(
+        n: usize,
+        f: impl Fn(Comm) -> T + Sync,
+    ) -> (Vec<T>, crate::TrafficSnapshot) {
+        assert!(n >= 1);
+        let stats = Arc::new(TrafficStats::new());
+        let shared = Arc::new(WorldShared {
+            stats: stats.clone(),
+            split_ctx: Mutex::new(HashMap::new()),
+        });
+        let world_ctx = Arc::new(CollectiveCtx::new(n));
+
+        let mut senders: Vec<Sender<Message>> = Vec::with_capacity(n);
+        let mut receivers: Vec<Receiver<Message>> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+
+        // Keep every mailbox alive until all ranks finish: a rank may
+        // legally send to a peer that has already returned (the message is
+        // simply never consumed, as with buffered MPI sends at finalize).
+        let keepalive: Vec<Receiver<Message>> = receivers.clone();
+        let results = std::thread::scope(|s| {
+            let f = &f;
+            let handles: Vec<_> = receivers
+                .into_iter()
+                .enumerate()
+                .map(|(rank, rx)| {
+                    let senders = senders.clone();
+                    let ctx = world_ctx.clone();
+                    let shared = shared.clone();
+                    s.spawn(move || {
+                        let comm = Comm {
+                            rank,
+                            size: senders.len(),
+                            group: (0..senders.len()).collect(),
+                            tag_ns: 0,
+                            senders,
+                            rx: Arc::new(rx),
+                            pending: Arc::new(RefCellSend(RefCell::new(VecDeque::new()))),
+                            ctx,
+                            shared,
+                            split_counter: Arc::new(Mutex::new(1)),
+                        };
+                        f(comm)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rank panicked"))
+                .collect()
+        });
+        drop(keepalive);
+        let snap = stats.snapshot();
+        (results, snap)
+    }
+}
+
+/// `RefCell` wrapper that is `Send` (each rank's pending queue is only ever
+/// touched by its own thread; the `Arc` exists so `Comm` can be cloned into
+/// sub-communicators on the same thread).
+struct RefCellSend(RefCell<VecDeque<Message>>);
+// SAFETY: every `Comm` (and every sub-communicator derived from it) lives
+// on the thread that `World::run` spawned for the rank; the queue is never
+// shared across threads.
+unsafe impl Send for RefCellSend {}
+unsafe impl Sync for RefCellSend {}
+
+/// A communicator: the world communicator, or a subgroup created by
+/// [`Comm::split`]. Rank numbers are local to the communicator.
+pub struct Comm {
+    rank: usize,
+    size: usize,
+    /// World ranks of the group members, indexed by local rank.
+    group: Vec<usize>,
+    /// Tag namespace distinguishing communicators sharing mailboxes.
+    tag_ns: u64,
+    senders: Vec<Sender<Message>>,
+    rx: Arc<Receiver<Message>>,
+    pending: Arc<RefCellSend>,
+    ctx: Arc<CollectiveCtx>,
+    shared: Arc<WorldShared>,
+    split_counter: Arc<Mutex<u64>>,
+}
+
+impl Comm {
+    /// Rank within this communicator.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in this communicator.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The world rank of local rank `r`.
+    #[inline]
+    pub fn world_rank_of(&self, r: usize) -> usize {
+        self.group[r]
+    }
+
+    /// Traffic meter of the world.
+    pub fn stats(&self) -> &TrafficStats {
+        &self.shared.stats
+    }
+
+    /// Non-blocking send of an `f64` payload to local rank `dst` with a
+    /// user `tag` (buffered, like MPI eager sends).
+    pub fn send(&self, dst: usize, tag: u64, data: &[f64]) {
+        let world_dst = self.group[dst];
+        self.shared.stats.record_send(data.len() * 8);
+        self.senders[world_dst]
+            .send(Message {
+                src: self.group[self.rank],
+                tag: self.tag_ns ^ tag,
+                data: data.to_vec(),
+            })
+            .expect("receiver alive for the world's lifetime");
+    }
+
+    /// Blocking receive of the next message from local rank `src` with
+    /// `tag`. Out-of-order arrivals (other sources/tags) are buffered.
+    pub fn recv(&self, src: usize, tag: u64) -> Vec<f64> {
+        let world_src = self.group[src];
+        let tag = self.tag_ns ^ tag;
+        // Check the pending buffer first.
+        {
+            let mut pend = self.pending.0.borrow_mut();
+            if let Some(pos) = pend.iter().position(|m| m.src == world_src && m.tag == tag) {
+                return pend.remove(pos).unwrap().data;
+            }
+        }
+        loop {
+            let msg = self.rx.recv().expect("world alive");
+            if msg.src == world_src && msg.tag == tag {
+                return msg.data;
+            }
+            self.pending.0.borrow_mut().push_back(msg);
+        }
+    }
+
+    /// Barrier across the communicator.
+    pub fn barrier(&self) {
+        self.record_collective(0);
+        self.ctx.barrier();
+    }
+
+    /// Sum-allreduce of a scalar.
+    pub fn allreduce_sum(&self, x: f64) -> f64 {
+        self.allreduce_sum_vec(&[x])[0]
+    }
+
+    /// Element-wise sum-allreduce of a vector.
+    pub fn allreduce_sum_vec(&self, xs: &[f64]) -> Vec<f64> {
+        self.record_collective(xs.len() * 8);
+        self.ctx.reduce(xs, combine_sum)
+    }
+
+    /// Max-allreduce of a scalar.
+    pub fn allreduce_max(&self, x: f64) -> f64 {
+        self.record_collective(8);
+        self.ctx.reduce(&[x], combine_max)[0]
+    }
+
+    /// Min-allreduce of a scalar.
+    pub fn allreduce_min(&self, x: f64) -> f64 {
+        self.record_collective(8);
+        self.ctx.reduce(&[x], combine_min)[0]
+    }
+
+    /// Gather a scalar from every rank (result indexed by local rank).
+    pub fn allgather(&self, x: f64) -> Vec<f64> {
+        self.record_collective(8);
+        self.ctx.allgather(self.rank, x)
+    }
+
+    fn record_collective(&self, bytes: usize) {
+        self.shared.stats.record_collective_rank(bytes);
+        if self.rank == 0 {
+            self.shared.stats.record_collective_op();
+        }
+    }
+
+    /// Split the communicator by `color` (collective over this
+    /// communicator). Returns a sub-communicator containing the ranks that
+    /// passed the same color, ordered by parent rank. Mirrors
+    /// `MPI_Comm_split` (every rank must participate; distinct colors give
+    /// disjoint groups).
+    pub fn split(&self, color: i64) -> Comm {
+        // Unique series id for this split call, agreed by doing the
+        // increment inside a collective-ordered critical section.
+        let series = {
+            let mut c = self.split_counter.lock();
+            *c += 1;
+            *c
+        };
+        // All ranks see their own increments; use the max so everyone
+        // agrees even if other splits happened on sibling communicators.
+        let series = self.allreduce_max(series as f64) as u64;
+        {
+            let mut c = self.split_counter.lock();
+            *c = (*c).max(series);
+        }
+
+        let colors = self.allgather(color as f64);
+        let members: Vec<usize> = (0..self.size)
+            .filter(|&r| colors[r] as i64 == color)
+            .collect();
+        let my_new_rank = members
+            .iter()
+            .position(|&r| r == self.rank)
+            .expect("self in own color group");
+        let group: Vec<usize> = members.iter().map(|&r| self.group[r]).collect();
+
+        let ctx = {
+            let mut reg = self.shared.split_ctx.lock();
+            reg.entry((self.tag_ns, series, color))
+                .or_insert_with(|| Arc::new(CollectiveCtx::new(members.len())))
+                .clone()
+        };
+        // Namespace tags by (parent namespace, series, color) so messages
+        // on different communicators between the same pair of threads
+        // cannot collide.
+        let tag_ns = self
+            .tag_ns
+            .wrapping_mul(0x9E3779B97F4A7C15)
+            .wrapping_add(series << 24)
+            .wrapping_add((color as u64) << 4)
+            | 1 << 63;
+
+        Comm {
+            rank: my_new_rank,
+            size: members.len(),
+            group,
+            tag_ns,
+            senders: self.senders.clone(),
+            rx: self.rx.clone(),
+            pending: self.pending.clone(),
+            ctx,
+            shared: self.shared.clone(),
+            split_counter: self.split_counter.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_pass() {
+        let results = World::run(5, |comm| {
+            let next = (comm.rank() + 1) % comm.size();
+            let prev = (comm.rank() + comm.size() - 1) % comm.size();
+            comm.send(next, 7, &[comm.rank() as f64]);
+            comm.recv(prev, 7)[0]
+        });
+        assert_eq!(results, vec![4.0, 0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn out_of_order_tags_are_buffered() {
+        let results = World::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 1, &[1.0]);
+                comm.send(1, 2, &[2.0]);
+                0.0
+            } else {
+                // Receive in reverse tag order.
+                let b = comm.recv(0, 2)[0];
+                let a = comm.recv(0, 1)[0];
+                a * 10.0 + b
+            }
+        });
+        assert_eq!(results[1], 12.0);
+    }
+
+    #[test]
+    fn allreduce_and_gather() {
+        let results = World::run(6, |comm| {
+            let s = comm.allreduce_sum(comm.rank() as f64);
+            let mx = comm.allreduce_max(comm.rank() as f64);
+            let mn = comm.allreduce_min(comm.rank() as f64);
+            let g = comm.allgather((comm.rank() * 2) as f64);
+            (s, mx, mn, g)
+        });
+        for (s, mx, mn, g) in results {
+            assert_eq!(s, 15.0);
+            assert_eq!(mx, 5.0);
+            assert_eq!(mn, 0.0);
+            assert_eq!(g, vec![0.0, 2.0, 4.0, 6.0, 8.0, 10.0]);
+        }
+    }
+
+    #[test]
+    fn traffic_is_metered() {
+        let (_, snap) = World::run_with_stats(3, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 0, &[0.0; 10]);
+            }
+            if comm.rank() == 1 {
+                comm.recv(0, 0);
+            }
+            comm.barrier();
+        });
+        assert_eq!(snap.p2p_messages, 1);
+        assert_eq!(snap.p2p_bytes, 80);
+        assert_eq!(snap.collectives, 1);
+    }
+
+    #[test]
+    fn split_groups_work_independently() {
+        // 6 ranks split into even/odd groups; each group sums its ranks.
+        let results = World::run(6, |comm| {
+            let color = (comm.rank() % 2) as i64;
+            let sub = comm.split(color);
+            let group_sum = sub.allreduce_sum(comm.rank() as f64);
+            // p2p within the subgroup: local rank 0 sends to local rank 1.
+            if sub.rank() == 0 {
+                sub.send(1, 9, &[group_sum]);
+            }
+            let got = if sub.rank() == 1 {
+                sub.recv(0, 9)[0]
+            } else {
+                -1.0
+            };
+            (sub.rank(), sub.size(), group_sum, got)
+        });
+        // Even group = world ranks {0,2,4} sum 6; odd = {1,3,5} sum 9.
+        for (wr, (sr, ss, sum, got)) in results.iter().enumerate() {
+            assert_eq!(*ss, 3);
+            let expect = if wr % 2 == 0 { 6.0 } else { 9.0 };
+            assert_eq!(*sum, expect);
+            assert_eq!(*sr, wr / 2);
+            if *sr == 1 {
+                assert_eq!(*got, expect);
+            }
+        }
+    }
+
+    #[test]
+    fn world_and_sub_communicators_do_not_cross_talk() {
+        let results = World::run(4, |comm| {
+            let sub = comm.split((comm.rank() / 2) as i64);
+            // Same (thread pair, tag) on world and sub communicators.
+            if comm.rank() == 0 {
+                comm.send(1, 5, &[100.0]); // world: 0 -> 1
+            }
+            if sub.rank() == 0 {
+                sub.send(1, 5, &[200.0]); // sub group {0,1}: 0 -> 1 (world 1)
+            }
+            if comm.rank() == 1 {
+                let w = comm.recv(0, 5)[0];
+                let s = sub.recv(0, 5)[0];
+                (w, s)
+            } else {
+                (0.0, 0.0)
+            }
+        });
+        assert_eq!(results[1], (100.0, 200.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "rank panicked")]
+    fn rank_panics_propagate() {
+        World::run(2, |comm| {
+            if comm.rank() == 1 {
+                panic!("boom");
+            }
+        });
+    }
+}

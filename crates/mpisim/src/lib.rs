@@ -1,0 +1,25 @@
+//! SPMD message-passing simulation substrate.
+//!
+//! ICON parallelizes with MPI (point-to-point halo exchanges with
+//! GPUDirect RDMA, global reductions in the ocean's barotropic solver) and
+//! OpenMP. This crate provides the equivalent programming model on a single
+//! machine: every MPI rank becomes a thread, point-to-point messages travel
+//! over lock-free channels, collectives synchronize through a shared
+//! reduction context, and all traffic is metered so the `machine` cost
+//! model can be driven by *measured* communication volumes.
+//!
+//! The simulation is *real* parallelism (ranks genuinely run concurrently
+//! and only see data they received), not a serial emulation — so races,
+//! deadlocks, and ordering bugs in component code surface here just as they
+//! would on a cluster.
+
+pub mod collective;
+pub mod comm;
+pub mod halo;
+pub mod rank_exchange;
+pub mod stats;
+
+pub use comm::{Comm, World};
+pub use halo::HaloExchanger;
+pub use rank_exchange::RankExchange;
+pub use stats::{TrafficSnapshot, TrafficStats};

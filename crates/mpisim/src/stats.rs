@@ -1,0 +1,106 @@
+//! Communication traffic accounting.
+//!
+//! Every send and collective is metered. The `machine` crate converts these
+//! measured volumes into time on a modeled interconnect; benches report
+//! them directly.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared, lock-free traffic counters for one [`World`](crate::World).
+#[derive(Debug, Default)]
+pub struct TrafficStats {
+    /// Point-to-point messages sent.
+    pub p2p_messages: AtomicU64,
+    /// Point-to-point payload bytes sent.
+    pub p2p_bytes: AtomicU64,
+    /// Collective operations completed (counted once per operation, not
+    /// per rank).
+    pub collectives: AtomicU64,
+    /// Payload bytes reduced/gathered per collective, summed over ranks.
+    pub collective_bytes: AtomicU64,
+}
+
+impl TrafficStats {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub fn record_send(&self, bytes: usize) {
+        self.p2p_messages.fetch_add(1, Ordering::Relaxed);
+        self.p2p_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn record_collective_rank(&self, bytes: usize) {
+        self.collective_bytes
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn record_collective_op(&self) {
+        self.collectives.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> TrafficSnapshot {
+        TrafficSnapshot {
+            p2p_messages: self.p2p_messages.load(Ordering::Relaxed),
+            p2p_bytes: self.p2p_bytes.load(Ordering::Relaxed),
+            collectives: self.collectives.load(Ordering::Relaxed),
+            collective_bytes: self.collective_bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of the counters; subtract two snapshots to get the
+/// traffic of a phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TrafficSnapshot {
+    pub p2p_messages: u64,
+    pub p2p_bytes: u64,
+    pub collectives: u64,
+    pub collective_bytes: u64,
+}
+
+impl std::ops::Sub for TrafficSnapshot {
+    type Output = TrafficSnapshot;
+    fn sub(self, o: TrafficSnapshot) -> TrafficSnapshot {
+        TrafficSnapshot {
+            p2p_messages: self.p2p_messages - o.p2p_messages,
+            p2p_bytes: self.p2p_bytes - o.p2p_bytes,
+            collectives: self.collectives - o.collectives,
+            collective_bytes: self.collective_bytes - o.collective_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = TrafficStats::new();
+        s.record_send(100);
+        s.record_send(28);
+        s.record_collective_op();
+        s.record_collective_rank(8);
+        let snap = s.snapshot();
+        assert_eq!(snap.p2p_messages, 2);
+        assert_eq!(snap.p2p_bytes, 128);
+        assert_eq!(snap.collectives, 1);
+        assert_eq!(snap.collective_bytes, 8);
+    }
+
+    #[test]
+    fn snapshot_difference() {
+        let s = TrafficStats::new();
+        s.record_send(10);
+        let a = s.snapshot();
+        s.record_send(20);
+        let b = s.snapshot();
+        let d = b - a;
+        assert_eq!(d.p2p_messages, 1);
+        assert_eq!(d.p2p_bytes, 20);
+    }
+}

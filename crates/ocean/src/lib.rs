@@ -1,0 +1,34 @@
+//! Ocean + sea-ice component: a z-level Boussinesq primitive-equation core
+//! on the (masked) icosahedral C-grid with a split barotropic/baroclinic
+//! time integration.
+//!
+//! # Relation to ICON-O
+//!
+//! The computational structure of ICON's ocean is preserved exactly where
+//! it matters for the paper's claims (§5.1):
+//!
+//! * the free surface is solved **implicitly by a global conjugate-
+//!   gradient iteration** whose every iteration needs a global reduction
+//!   (dot products) and a thin halo exchange — "the computational
+//!   characteristic of this solver is dominated by global communication,
+//!   while the computations in between communication are very small";
+//! * the baroclinic 3-D update is a few large, memory-bound kernels;
+//! * the ocean runs on its own (longer) time step and couples loosely to
+//!   the atmosphere, which is what lets the paper's heterogeneous mapping
+//!   run it "for free" on the Grace CPUs.
+//!
+//! Sea ice is a 0-layer thermodynamic model (Semtner-style growth/melt at
+//! the freezing point), sufficient to close the energy/water budgets and
+//! to gate evaporation and CO2 exchange in the coupler.
+
+pub mod barotropic;
+pub mod eos;
+pub mod model;
+pub mod params;
+pub mod seaice;
+pub mod state;
+
+pub use barotropic::{BarotropicSolver, CgStats};
+pub use model::Ocean;
+pub use params::OceanParams;
+pub use state::OceanState;

@@ -1,0 +1,195 @@
+//! Ocean parameters and the masked-grid auxiliary structure.
+
+use icongrid::ops::CGrid;
+use icongrid::vertical::OceanLevels;
+
+/// Seawater freezing temperature (deg C) at surface salinity.
+pub const T_FREEZE: f64 = -1.8;
+
+/// Reference density (kg/m^3).
+pub const RHO0: f64 = 1025.0;
+
+/// Heat capacity of seawater (J/kg/K).
+pub const CP_OCEAN: f64 = 3985.0;
+
+/// Latent heat of fusion of ice (J/kg).
+pub const L_FUSION: f64 = 3.34e5;
+
+/// Density of sea ice (kg/m^3).
+pub const RHO_ICE: f64 = 917.0;
+
+#[derive(Debug, Clone)]
+pub struct OceanParams {
+    /// Number of depth levels (72 in the paper's configurations).
+    pub nlev: usize,
+    /// Time step (s); 60 s at 1.25 km, 600 s at 10 km (Table 2).
+    pub dt: f64,
+    /// Layer thicknesses (m).
+    pub dz: Vec<f64>,
+    /// Thermal expansion coefficient (1/K), linear EOS.
+    pub alpha_t: f64,
+    /// Haline contraction coefficient (1/psu).
+    pub beta_s: f64,
+    /// Reference temperature / salinity of the linear EOS.
+    pub t_ref: f64,
+    pub s_ref: f64,
+    /// Vertical diffusivity for tracers (m^2/s).
+    pub kv_tracer: f64,
+    /// Vertical viscosity for momentum (m^2/s).
+    pub kv_momentum: f64,
+    /// Bottom drag coefficient (1/s on the bottom layer).
+    pub bottom_drag: f64,
+    /// CG solver tolerance (relative residual).
+    pub cg_tol: f64,
+    pub cg_max_iter: usize,
+    /// Strength of convective adjustment mixing per step (0..1).
+    pub convective_mixing: f64,
+}
+
+impl OceanParams {
+    /// Default parameters for `nlev` levels and step `dt`, with the
+    /// ICON-like stretched level set scaled to `nlev`.
+    pub fn new(nlev: usize, dt: f64) -> OceanParams {
+        let levels = if nlev == 72 {
+            OceanLevels::icon_72()
+        } else {
+            OceanLevels::stretched(nlev, 12.0, 4000.0_f64.max(nlev as f64 * 15.0))
+        };
+        OceanParams {
+            nlev,
+            dt,
+            dz: levels.dz,
+            alpha_t: 2.0e-4,
+            beta_s: 7.6e-4,
+            t_ref: 10.0,
+            s_ref: 35.0,
+            kv_tracer: 1.0e-4,
+            kv_momentum: 1.0e-3,
+            bottom_drag: 1.0e-6,
+            cg_tol: 1.0e-9,
+            cg_max_iter: 400,
+            convective_mixing: 0.8,
+        }
+    }
+
+    pub fn total_depth(&self) -> f64 {
+        self.dz.iter().sum()
+    }
+}
+
+/// Wet/dry masks and per-column level counts derived from bathymetry.
+#[derive(Debug, Clone)]
+pub struct OceanMask {
+    /// True where the cell is ocean.
+    pub wet_cell: Vec<bool>,
+    /// True where both adjacent cells are ocean (velocity points).
+    pub wet_edge: Vec<bool>,
+    /// Active levels per cell (0 for land).
+    pub cell_levels: Vec<u16>,
+    /// Active levels per edge (min of the adjacent cells; 0 at coasts).
+    pub edge_levels: Vec<u16>,
+}
+
+impl OceanMask {
+    /// Build from per-cell bathymetry (m, positive down; <= 0 means land).
+    pub fn from_bathymetry<G: CGrid>(g: &G, params: &OceanParams, bathymetry: &[f64]) -> Self {
+        assert_eq!(bathymetry.len(), g.n_cells());
+        let mut depth_if = Vec::with_capacity(params.nlev + 1);
+        depth_if.push(0.0);
+        for dz in &params.dz {
+            depth_if.push(depth_if.last().unwrap() + dz);
+        }
+        let cell_levels: Vec<u16> = bathymetry
+            .iter()
+            .map(|&b| {
+                if b <= 0.0 {
+                    0
+                } else {
+                    let n = depth_if[1..].iter().take_while(|&&d| d <= b).count();
+                    n.max(1).min(params.nlev) as u16
+                }
+            })
+            .collect();
+        let wet_cell: Vec<bool> = cell_levels.iter().map(|&l| l > 0).collect();
+        let mut wet_edge = vec![false; g.n_edges()];
+        let mut edge_levels = vec![0u16; g.n_edges()];
+        for e in 0..g.n_edges() {
+            let [c0, c1] = g.edge_cells(e);
+            let l = cell_levels[c0 as usize].min(cell_levels[c1 as usize]);
+            edge_levels[e] = l;
+            wet_edge[e] = l > 0;
+        }
+        OceanMask {
+            wet_cell,
+            wet_edge,
+            cell_levels,
+            edge_levels,
+        }
+    }
+
+    pub fn n_wet_cells(&self) -> usize {
+        self.wet_cell.iter().filter(|&&w| w).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icongrid::Grid;
+
+    #[test]
+    fn params_levels_sum_to_depth() {
+        let p = OceanParams::new(72, 60.0);
+        assert_eq!(p.dz.len(), 72);
+        assert!((p.total_depth() - 6000.0).abs() < 1.0);
+        let p8 = OceanParams::new(8, 600.0);
+        assert_eq!(p8.dz.len(), 8);
+    }
+
+    #[test]
+    fn mask_respects_bathymetry() {
+        let g = Grid::build(2, icongrid::EARTH_RADIUS_M);
+        let p = OceanParams::new(6, 600.0);
+        // Northern hemisphere land, southern ocean of increasing depth.
+        let bathy: Vec<f64> = (0..g.n_cells)
+            .map(|c| {
+                let z = g.cell_center[c].z;
+                if z > 0.0 {
+                    0.0
+                } else {
+                    -z * 4000.0
+                }
+            })
+            .collect();
+        let m = OceanMask::from_bathymetry(&g, &p, &bathy);
+        assert!(m.n_wet_cells() > 0);
+        assert!(m.n_wet_cells() < g.n_cells);
+        for e in 0..g.n_edges {
+            let [c0, c1] = g.edge_cells[e];
+            let both_wet = m.wet_cell[c0 as usize] && m.wet_cell[c1 as usize];
+            assert_eq!(m.wet_edge[e], both_wet);
+            assert_eq!(
+                m.edge_levels[e],
+                m.cell_levels[c0 as usize].min(m.cell_levels[c1 as usize])
+            );
+        }
+        // Deeper bathymetry has at least as many levels.
+        let shallow = OceanMask::from_bathymetry(
+            &g,
+            &p,
+            &bathy.iter().map(|b| b * 0.25).collect::<Vec<_>>(),
+        );
+        for c in 0..g.n_cells {
+            assert!(shallow.cell_levels[c] <= m.cell_levels[c]);
+        }
+    }
+
+    #[test]
+    fn wet_cells_have_at_least_one_level() {
+        let g = Grid::build(2, icongrid::EARTH_RADIUS_M);
+        let p = OceanParams::new(6, 600.0);
+        let bathy = vec![5.0; g.n_cells]; // shallower than the first layer
+        let m = OceanMask::from_bathymetry(&g, &p, &bathy);
+        assert!(m.cell_levels.iter().all(|&l| l == 1));
+    }
+}

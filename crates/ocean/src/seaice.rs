@@ -1,0 +1,140 @@
+//! Thermodynamic (0-layer, Semtner-style) sea ice.
+//!
+//! Ice grows when the surface layer would cool below freezing — the excess
+//! heat deficit freezes water — and melts when heat is available. The
+//! latent heat of fusion closes the energy budget; brine rejection and
+//! meltwater close the salt budget.
+
+use crate::params::{OceanParams, CP_OCEAN, L_FUSION, RHO0, RHO_ICE, T_FREEZE};
+
+/// Result of the per-cell ice thermodynamics update.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IceUpdate {
+    /// New surface-layer temperature (deg C).
+    pub t_surface: f64,
+    /// New ice thickness (m).
+    pub ice_thickness: f64,
+    /// Freshwater flux into the ocean from melt (m of water per step,
+    /// negative when freezing extracts water).
+    pub freshwater_m: f64,
+    /// Salt flux into the surface layer (psu * m, brine rejection > 0).
+    pub salt_flux_psu_m: f64,
+}
+
+/// Sea-ice salinity retained in the ice (psu); the rest is rejected brine.
+pub const ICE_SALINITY: f64 = 5.0;
+
+/// Update one cell's ice state given the surface-layer temperature after
+/// all other heat fluxes were applied. `dz0` is the surface layer
+/// thickness, `s0` its salinity.
+pub fn update_ice(p: &OceanParams, t0: f64, s0: f64, ice: f64, dz0: f64) -> IceUpdate {
+    let _ = p;
+    let heat_capacity = RHO0 * CP_OCEAN * dz0; // J/m^2 per K
+    if t0 < T_FREEZE {
+        // Freeze: bring the layer back to T_FREEZE; the energy deficit
+        // forms ice.
+        let deficit_j = heat_capacity * (T_FREEZE - t0);
+        let new_ice_m = deficit_j / (RHO_ICE * L_FUSION);
+        let water_removed = new_ice_m * RHO_ICE / RHO0;
+        IceUpdate {
+            t_surface: T_FREEZE,
+            ice_thickness: ice + new_ice_m,
+            freshwater_m: -water_removed,
+            // Brine rejection: ice keeps ICE_SALINITY, the difference goes
+            // into the surface layer.
+            salt_flux_psu_m: (s0 - ICE_SALINITY).max(0.0) * water_removed,
+        }
+    } else if ice > 0.0 && t0 > T_FREEZE {
+        // Melt with available heat above freezing.
+        let avail_j = heat_capacity * (t0 - T_FREEZE);
+        let melt_m = (avail_j / (RHO_ICE * L_FUSION)).min(ice);
+        let used_j = melt_m * RHO_ICE * L_FUSION;
+        let water_added = melt_m * RHO_ICE / RHO0;
+        IceUpdate {
+            t_surface: t0 - used_j / heat_capacity,
+            ice_thickness: ice - melt_m,
+            freshwater_m: water_added,
+            salt_flux_psu_m: -(s0 - ICE_SALINITY).max(0.0) * water_added,
+        }
+    } else {
+        IceUpdate {
+            t_surface: t0,
+            ice_thickness: ice,
+            freshwater_m: 0.0,
+            salt_flux_psu_m: 0.0,
+        }
+    }
+}
+
+/// Ice concentration diagnostic from thickness (saturating ramp).
+pub fn ice_concentration(thickness: f64) -> f64 {
+    (thickness / 0.5).min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> OceanParams {
+        OceanParams::new(6, 600.0)
+    }
+
+    #[test]
+    fn supercooled_water_freezes() {
+        let u = update_ice(&p(), -3.0, 34.0, 0.0, 12.0);
+        assert_eq!(u.t_surface, T_FREEZE);
+        assert!(u.ice_thickness > 0.0);
+        assert!(u.freshwater_m < 0.0, "freezing removes water");
+        assert!(u.salt_flux_psu_m > 0.0, "brine rejection");
+    }
+
+    #[test]
+    fn warm_water_melts_ice() {
+        let u = update_ice(&p(), 2.0, 34.0, 0.3, 12.0);
+        assert!(u.ice_thickness < 0.3);
+        assert!(u.t_surface < 2.0, "melting consumes heat");
+        assert!(u.t_surface >= T_FREEZE);
+        assert!(u.freshwater_m > 0.0);
+        assert!(u.salt_flux_psu_m < 0.0, "meltwater freshens");
+    }
+
+    #[test]
+    fn melt_limited_by_available_ice() {
+        let u = update_ice(&p(), 20.0, 34.0, 0.01, 12.0);
+        assert_eq!(u.ice_thickness, 0.0);
+        // Only the heat for 1 cm of ice was used.
+        assert!(u.t_surface > 15.0);
+    }
+
+    #[test]
+    fn energy_is_conserved_through_freeze_melt_cycle() {
+        let params = p();
+        let dz0 = 12.0;
+        let heat_capacity = RHO0 * CP_OCEAN * dz0;
+        // Freeze from -3 C, then warm the layer by the same energy: ice
+        // should melt back to (nearly) zero and temperature return.
+        let f = update_ice(&params, -3.0, 34.0, 0.0, dz0);
+        let energy_stored = f.ice_thickness * RHO_ICE * L_FUSION;
+        let t_after_heating = f.t_surface + energy_stored / heat_capacity;
+        let m = update_ice(&params, t_after_heating, 34.0, f.ice_thickness, dz0);
+        assert!(m.ice_thickness.abs() < 1e-12, "ice left: {}", m.ice_thickness);
+        assert!((m.t_surface - T_FREEZE).abs() < 1e-9);
+        // Freshwater fluxes cancel.
+        assert!((f.freshwater_m + m.freshwater_m).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_ice_no_change() {
+        let u = update_ice(&p(), 10.0, 35.0, 0.0, 12.0);
+        assert_eq!(u.t_surface, 10.0);
+        assert_eq!(u.ice_thickness, 0.0);
+        assert_eq!(u.freshwater_m, 0.0);
+    }
+
+    #[test]
+    fn concentration_ramp() {
+        assert_eq!(ice_concentration(0.0), 0.0);
+        assert!(ice_concentration(0.25) > 0.0 && ice_concentration(0.25) < 1.0);
+        assert_eq!(ice_concentration(2.0), 1.0);
+    }
+}

@@ -1,0 +1,72 @@
+//! The coupled carbon cycle: track CO2 moving between atmosphere, land
+//! biosphere, and ocean over a simulated day — the interaction that §8 of
+//! the paper calls "for the first time, we simulate the impact of small
+//! scales on the carbon flows, globally".
+//!
+//! Prints an hourly ledger of the three reservoirs, the land's
+//! photosynthesis/respiration balance over the diurnal cycle, and the
+//! air-sea exchange; ends with the conservation check.
+//!
+//! Run with: `cargo run --release --example carbon_cycle`
+
+use icon_esm::esm_core::{CoupledEsm, EsmConfig};
+
+fn main() {
+    let mut cfg = EsmConfig::tiny();
+    cfg.coupling_s = 3600.0;
+    cfg.dt_atm = 300.0;
+    cfg.dt_oce = 1200.0;
+    let mut esm = CoupledEsm::new(cfg);
+
+    let c0 = esm.carbon_budget();
+    println!("=== coupled carbon cycle, one simulated day ===\n");
+    println!(
+        "initial reservoirs: atmosphere {:.4e} kgC, land {:.4e} kgC, ocean {:.4e} kgC",
+        c0.atmosphere, c0.land, c0.ocean
+    );
+    println!("\n hour |   d_atm (kgC)  |  d_land (kgC)  | d_ocean (kgC)  | land NEE sign");
+    println!("------+----------------+----------------+----------------+--------------");
+
+    let mut prev = c0;
+    for hour in 1..=24 {
+        esm.run_windows(1, false);
+        let c = esm.carbon_budget();
+        // Aggregate land NEE this hour: negative = biosphere uptake.
+        let nee: f64 = (0..esm.land.n_land_cells())
+            .map(|i| esm.land.state.nee[i] * esm.grid.cell_area[esm.land.cells[i] as usize])
+            .sum();
+        let tag = if nee < 0.0 {
+            "uptake (day)"
+        } else if nee > 0.0 {
+            "release (night)"
+        } else {
+            "-"
+        };
+        println!(
+            " {hour:>4} | {:+14.4e} | {:+14.4e} | {:+14.4e} | {tag}",
+            c.atmosphere - prev.atmosphere,
+            c.land - prev.land,
+            c.ocean - prev.ocean,
+        );
+        prev = c;
+    }
+
+    let c1 = esm.carbon_budget();
+    println!("\nfinal reservoirs:   atmosphere {:.4e}, land {:.4e}, ocean {:.4e}", c1.atmosphere, c1.land, c1.ocean);
+    let drift = (c1.total() - c0.total()) / c0.total();
+    println!("total carbon drift over the day: {drift:+.3e} (relative)");
+    assert!(drift.abs() < 1e-4, "carbon must be conserved");
+
+    // Where did the ocean carbon go vertically? (biological pump)
+    let buried: f64 = (0..esm.grid.n_cells)
+        .map(|c| esm.hamocc.sediment_c[c] * esm.grid.cell_area[c])
+        .sum();
+    println!("carbon buried in sediments: {buried:.3e} (kmol C)");
+    println!(
+        "accumulated air-sea exchange events: {} ocean cells active",
+        (0..esm.grid.n_cells)
+            .filter(|&c| esm.hamocc.co2_flux_acc[c] != 0.0)
+            .count()
+    );
+    println!("\nconservation verified. done.");
+}

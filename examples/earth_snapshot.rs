@@ -1,0 +1,127 @@
+//! Reproduce Figure 5 of the paper: a snapshot of phytoplankton
+//! concentration, near-surface wind, and air–sea CO2 flux from a real
+//! coupled run, rendered as equirectangular PPM maps.
+//!
+//! The paper shows these fields at 2020-01-01 03:00 from the 1.25 km run;
+//! we render the same triplet from the laptop-scale coupled model after
+//! three simulated hours. Phytoplankton is drawn on a logarithmic scale
+//! between 1e-9 and 1e-6 kmol P/m^3, wind from 0-20 m/s, and the carbon
+//! flux on a diverging scale (green = uptake, blue = release), exactly the
+//! scales of the paper's figure.
+//!
+//! Run with: `cargo run --release --example earth_snapshot`
+//! Output: `results/fig5_{phytoplankton,wind,co2flux}.ppm`
+
+use icon_esm::esm_core::{CoupledEsm, EsmConfig};
+use icon_esm::hamocc::Tracer;
+use icongrid::geom::Vec3;
+use std::fs;
+use std::io::Write;
+
+const W: usize = 360;
+const H: usize = 180;
+
+fn main() {
+    println!("spinning up the coupled system (3 simulated hours)...");
+    let mut esm = CoupledEsm::new(EsmConfig::demo());
+    let windows = (3.0 * 3600.0 / esm.cfg.coupling_s) as usize;
+    esm.run_windows(windows, true);
+
+    // Nearest-cell lookup per pixel.
+    let g = esm.grid.clone();
+    println!("rendering {}x{} maps from {} cells...", W, H, g.n_cells);
+    let mut pixel_cell = vec![0usize; W * H];
+    for py in 0..H {
+        let lat = std::f64::consts::PI * (0.5 - (py as f64 + 0.5) / H as f64);
+        for px in 0..W {
+            let lon = 2.0 * std::f64::consts::PI * ((px as f64 + 0.5) / W as f64) - std::f64::consts::PI;
+            let p = Vec3::from_lonlat(lon, lat);
+            let mut best = (f64::NEG_INFINITY, 0usize);
+            for c in 0..g.n_cells {
+                let d = p.dot(&g.cell_center[c]);
+                if d > best.0 {
+                    best = (d, c);
+                }
+            }
+            pixel_cell[py * W + px] = best.1;
+        }
+    }
+
+    fs::create_dir_all("results").expect("results dir");
+
+    // --- phytoplankton, log scale 1e-9 .. 1e-6 kmol P/m^3 (Fig 5 left).
+    let phyto = esm.hamocc.tracer(Tracer::Phytoplankton);
+    render("results/fig5_phytoplankton.ppm", &pixel_cell, |c| {
+        if !esm.ocean.mask.wet_cell[c] {
+            return [40, 30, 20]; // land
+        }
+        let v = phyto.at(c, 0).max(1e-12);
+        let t = ((v.log10() + 9.0) / 3.0).clamp(0.0, 1.0);
+        // Dark blue -> green -> yellow.
+        [
+            (20.0 + 200.0 * t * t) as u8,
+            (40.0 + 190.0 * t) as u8,
+            (90.0 * (1.0 - t) + 30.0) as u8,
+        ]
+    });
+
+    // --- near-surface wind speed 0..20 m/s (Fig 5 center).
+    render("results/fig5_wind.ppm", &pixel_cell, |c| {
+        let t = (esm.atm.wind_lowest[c] / 20.0).clamp(0.0, 1.0);
+        let v = (255.0 * t) as u8;
+        [v, v, (128.0 + 127.0 * t) as u8]
+    });
+
+    // --- air-sea/land CO2 flux, +-4e-7 kg/m^2/s, green = uptake (Fig 5
+    // right; ocean values x30 for visibility as in the paper).
+    render("results/fig5_co2flux.ppm", &pixel_cell, |c| {
+        let flux = if esm.ocean.mask.wet_cell[c] {
+            -esm.hamocc.co2_flux_up[c] * 30.0 // uptake positive, scaled
+        } else if let Some(i) = esm
+            .land
+            .cells
+            .iter()
+            .position(|&lc| lc as usize == c)
+        {
+            -esm.land.state.nee[i]
+        } else {
+            0.0
+        };
+        let t = (flux / 4e-7).clamp(-1.0, 1.0);
+        if t >= 0.0 {
+            // Uptake: green.
+            [
+                (230.0 * (1.0 - t)) as u8,
+                230,
+                (230.0 * (1.0 - t)) as u8,
+            ]
+        } else {
+            // Release: blue.
+            [
+                (230.0 * (1.0 + t)) as u8,
+                (230.0 * (1.0 + t)) as u8,
+                230,
+            ]
+        }
+    });
+
+    // Numbers to accompany the figure.
+    let bloom_max = (0..g.n_cells)
+        .filter(|&c| esm.ocean.mask.wet_cell[c])
+        .map(|c| phyto.at(c, 0))
+        .fold(0.0f64, f64::max);
+    let wind_max = (0..g.n_cells).map(|c| esm.atm.wind_lowest[c]).fold(0.0f64, f64::max);
+    println!("phytoplankton max: {bloom_max:.3e} kmol P/m^3 (paper scale: 1e-9..1e-6)");
+    println!("wind max:          {wind_max:.1} m/s (paper scale: 0..20)");
+    println!("wrote results/fig5_phytoplankton.ppm, fig5_wind.ppm, fig5_co2flux.ppm");
+}
+
+fn render(path: &str, pixel_cell: &[usize], color: impl Fn(usize) -> [u8; 3]) {
+    let mut buf = Vec::with_capacity(W * H * 3);
+    for &c in pixel_cell {
+        buf.extend_from_slice(&color(c));
+    }
+    let mut f = fs::File::create(path).expect("create ppm");
+    write!(f, "P6\n{W} {H}\n255\n").unwrap();
+    f.write_all(&buf).unwrap();
+}

@@ -1,0 +1,97 @@
+//! Quickstart: build the full coupled Earth system on a coarse grid, run a
+//! few simulated hours with the ocean+biogeochemistry concurrent to the
+//! atmosphere+land (the paper's heterogeneous execution structure), and
+//! print throughput and budget diagnostics.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use icon_esm::esm_core::{CoupledEsm, EsmConfig};
+
+fn main() {
+    println!("=== ICON-ESM-RS quickstart ===\n");
+
+    let cfg = EsmConfig::demo();
+    println!(
+        "grid: {} bisections (R2B{}-like), atm {} levels, ocean {} levels",
+        cfg.bisections,
+        cfg.bisections.saturating_sub(1),
+        cfg.atm_levels,
+        cfg.oce_levels
+    );
+    println!(
+        "time steps: atmosphere/land {} s, ocean/BGC {} s, coupling {} s\n",
+        cfg.dt_atm, cfg.dt_oce, cfg.coupling_s
+    );
+
+    let mut esm = CoupledEsm::new(cfg);
+    println!(
+        "components: {} cells total, {} land, {} ocean",
+        esm.grid.n_cells,
+        esm.land.n_land_cells(),
+        esm.ocean.mask.n_wet_cells()
+    );
+
+    let c0 = esm.carbon_budget();
+    let w0 = esm.water_budget();
+
+    // Six simulated hours, ocean concurrent (the "ocean for free" mapping).
+    let windows = (6.0 * 3600.0 / esm.cfg.coupling_s) as usize;
+    println!("\nrunning {windows} coupling windows (ocean concurrent)...");
+    esm.run_windows(windows, true);
+
+    let t = &esm.timers;
+    println!("\n--- throughput (Section 6.3 metrics) ---");
+    println!("simulated:            {:>10.0} s", t.simulated_s);
+    println!("wall:                 {:>10.2} s", t.total_s);
+    println!(
+        "temporal compression: {:>10.1} (simulated days / day)",
+        t.tau()
+    );
+    println!("atmosphere wait:      {:>10.3} s", t.atm_wait_s);
+    println!(
+        "ocean wait:           {:>10.3} s  (ocean hides behind the atmosphere)",
+        t.oce_wait_s
+    );
+
+    let c1 = esm.carbon_budget();
+    let w1 = esm.water_budget();
+    println!("\n--- conservation ledgers ---");
+    println!(
+        "carbon: atm {:.4e} + land {:.4e} + ocean {:.4e} kgC",
+        c1.atmosphere, c1.land, c1.ocean
+    );
+    println!(
+        "carbon drift: {:+.2e} (relative)",
+        (c1.total() - c0.total()) / c0.total()
+    );
+    println!(
+        "water  drift: {:+.2e} (relative)",
+        (w1.total() - w0.total()) / w0.total()
+    );
+
+    println!("\n--- climate snapshot ---");
+    let max_wind = esm
+        .atm
+        .state
+        .vn
+        .as_slice()
+        .iter()
+        .fold(0.0f64, |a, v| a.max(v.abs()));
+    let rain: f64 = (0..esm.grid.n_cells)
+        .map(|c| esm.atm.state.precip_acc[c] * esm.grid.cell_area[c])
+        .sum::<f64>()
+        / esm.grid.total_area();
+    let npp_cells = (0..esm.grid.n_cells)
+        .filter(|&c| esm.hamocc.npp[c] > 0.0)
+        .count();
+    println!("max wind:          {max_wind:.2} m/s");
+    println!("mean precip:       {rain:.3} kg/m^2 accumulated");
+    println!("productive ocean:  {npp_cells} cells with NPP > 0");
+    println!(
+        "sea ice cover:     {} cells",
+        (0..esm.grid.n_cells)
+            .filter(|&c| esm.ocean.state.ice_thick[c] > 0.0)
+            .count()
+    );
+    println!("\ndone.");
+}

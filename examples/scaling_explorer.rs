@@ -1,0 +1,98 @@
+//! Explore the machine model interactively: how would the 1.25 km full
+//! Earth system scale on JUPITER, Alps, or your own hypothetical system?
+//!
+//! Reproduces the headline numbers of §7 (tau = 32.7 @ 2048 superchips,
+//! 145.7 @ 20480 on JUPITER; 91.8 @ 8192 on Alps) and then answers the
+//! planning questions of §8: how many chips for a given temporal
+//! compression, what the energy bill looks like, and what the component
+//! mapping ablation costs.
+//!
+//! Run with: `cargo run --release --example scaling_explorer [n_chips...]`
+
+use icon_esm::machine::{
+    config::GridConfig,
+    cost::{Mapping, ThroughputModel},
+    systems,
+};
+
+fn main() {
+    let args: Vec<u32> = std::env::args()
+        .skip(1)
+        .filter_map(|a| a.parse().ok())
+        .collect();
+    let chips = if args.is_empty() {
+        vec![2048, 4096, 8192, 16384, 20480]
+    } else {
+        args
+    };
+
+    let cfg = GridConfig::km1p25();
+    println!("=== 1.25 km full Earth system ({} dof) ===\n", fmt_e(cfg.total_dof()));
+
+    for system in [&systems::JUPITER, &systems::ALPS] {
+        let model = ThroughputModel::new(*system, cfg, Mapping::paper());
+        println!(
+            "--- {} ({} GH200 superchips total) ---",
+            system.name,
+            system.total_chips()
+        );
+        println!("chips  |    tau | atm step ms | oce step ms | atm waits | power MW | MWh / sim day");
+        for &p in &chips {
+            if p > system.total_chips() {
+                continue;
+            }
+            let pt = model.scaling_point(p);
+            println!(
+                "{p:>6} | {:>6.1} | {:>11.1} | {:>11.1} | {:>9.3} | {:>8.2} | {:>8.1}",
+                pt.tau,
+                pt.atm_step_s * 1e3,
+                pt.oce_step_s * 1e3,
+                pt.atm_coupling_wait_s,
+                pt.power_kw / 1e3,
+                pt.energy_mj_per_sim_day / 3600.0,
+            );
+        }
+        println!();
+    }
+
+    // Planning: chips needed for target temporal compressions.
+    let jupiter = ThroughputModel::new(systems::JUPITER, cfg, Mapping::paper());
+    println!("--- planning on JUPITER (Section 8) ---");
+    for target in [30.0, 100.0, 150.0] {
+        match jupiter.chips_for_tau(target) {
+            Some(p) => println!("tau >= {target:>5.0}: {p} superchips"),
+            None => println!("tau >= {target:>5.0}: beyond the full system"),
+        }
+    }
+    println!(
+        "memory floor: {} superchips (paper: 1.25 km first fits at 2048)",
+        jupiter.min_chips_by_memory()
+    );
+
+    // Mapping ablation: what the heterogeneous mapping buys.
+    println!("\n--- component mapping ablation @ 8192 chips ---");
+    for (name, mapping) in [
+        ("paper (ocean on Grace CPUs)", Mapping::paper()),
+        ("all-GPU (ocean competes with atmosphere)", Mapping::all_gpu()),
+    ] {
+        let tau = ThroughputModel::new(systems::JUPITER, cfg, mapping)
+            .scaling_point(8192)
+            .tau;
+        println!("{name:<45} tau = {tau:.1}");
+    }
+
+    // The paper's Section 8 projection: two 30-year scenarios, 3 members.
+    let pt = jupiter.scaling_point(4096);
+    let years_per_day = pt.tau / 365.25;
+    let sim_years = 2.0 * 30.0 * 3.0;
+    println!(
+        "\nSection 8 projection at 1024 nodes (tau = {:.1}): {:.0} scenario-years need {:.2} years of wall time",
+        pt.tau,
+        sim_years,
+        sim_years / years_per_day / 365.25
+    );
+}
+
+fn fmt_e(x: f64) -> String {
+    format!("{x:.2e}")
+}

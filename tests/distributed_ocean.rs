@@ -1,0 +1,111 @@
+//! Distributed ocean: the barotropic CG solver runs its dot products as
+//! real cross-rank allreduces, so the trajectory matches the serial run to
+//! solver tolerance (not bitwise: reduction order differs), and the global
+//! communication volume scales with iteration count — the §5.1 bottleneck
+//! characteristic.
+
+use icongrid::{Decomposition, Field2, Grid, NoExchange, SubGrid};
+use mpisim::{RankExchange, World};
+use ocean::BarotropicSolver;
+use std::sync::Arc;
+
+fn rhs_field(g: &Grid) -> Field2 {
+    Field2::from_fn(g.n_cells, |c| {
+        g.cell_area[c] * (g.cell_center[c].x + 0.4 * g.cell_center[c].z)
+    })
+}
+
+#[test]
+fn distributed_cg_matches_serial_to_tolerance() {
+    let grid = Grid::build(2, icongrid::EARTH_RADIUS_M);
+    let depths = vec![3000.0; grid.n_cells];
+    let wet = vec![true; grid.n_cells];
+
+    // Serial reference.
+    let mut serial = BarotropicSolver::new(&grid, 600.0, &depths, wet.clone(), 1e-11, 500);
+    let rhs = rhs_field(&grid);
+    let mut eta_ref = Field2::zeros(grid.n_cells);
+    let stats = serial.solve(&grid, &NoExchange, &rhs, &mut eta_ref, grid.n_cells);
+    assert!(stats.converged);
+
+    let np = 3;
+    let decomp = Decomposition::new(&grid, np);
+    let subs: Vec<Arc<SubGrid>> = (0..np)
+        .map(|p| Arc::new(SubGrid::build(&grid, &decomp, p)))
+        .collect();
+    let eta_ref = Arc::new(eta_ref);
+
+    let (_, traffic) = World::run_with_stats(np, |comm| {
+        let sub = subs[comm.rank()].clone();
+        let x = RankExchange::new(&comm, &sub, 50);
+        let depths_l = vec![3000.0; sub.n_cells];
+        let wet_l = vec![true; sub.n_cells];
+        let mut solver =
+            BarotropicSolver::new(sub.as_ref(), 600.0, &depths_l, wet_l, 1e-11, 500);
+        let rhs_l = Field2::from_fn(sub.n_cells, |lc| {
+            let gc = sub.cell_l2g[lc] as usize;
+            grid.cell_area[gc] * (grid.cell_center[gc].x + 0.4 * grid.cell_center[gc].z)
+        });
+        let mut eta = Field2::zeros(sub.n_cells);
+        let st = solver.solve(sub.as_ref(), &x, &rhs_l, &mut eta, sub.n_owned_cells);
+        assert!(st.converged, "distributed CG failed: {st:?}");
+        for lc in 0..sub.n_owned_cells {
+            let gc = sub.cell_l2g[lc] as usize;
+            assert!(
+                (eta[lc] - eta_ref[gc]).abs() < 1e-7,
+                "cell {gc}: {} vs {}",
+                eta[lc],
+                eta_ref[gc]
+            );
+        }
+        st.iterations
+    });
+
+    // Every iteration performed global reductions (3 dots) and a halo
+    // exchange: the collective count must reflect that.
+    assert!(
+        traffic.collectives > 10,
+        "CG must be dominated by global communication, saw {} collectives",
+        traffic.collectives
+    );
+    assert!(traffic.p2p_messages > 0, "halo exchanges must flow");
+}
+
+#[test]
+fn solver_communication_grows_with_iterations() {
+    // Stiffer system (deeper ocean / longer dt) -> more CG iterations ->
+    // more allreduces: the scaling-limiting behaviour of §7.
+    let grid = Grid::build(2, icongrid::EARTH_RADIUS_M);
+    let wet = vec![true; grid.n_cells];
+    let count_collectives = |depth: f64| -> u64 {
+        let decomp = Decomposition::new(&grid, 2);
+        let subs: Vec<Arc<SubGrid>> = (0..2)
+            .map(|p| Arc::new(SubGrid::build(&grid, &decomp, p)))
+            .collect();
+        let wet = wet.clone();
+        let grid = &grid;
+        let (_, traffic) = World::run_with_stats(2, |comm| {
+            let sub = subs[comm.rank()].clone();
+            let x = RankExchange::new(&comm, &sub, 9);
+            let depths_l = vec![depth; sub.n_cells];
+            let wet_l = vec![true; sub.n_cells];
+            let mut solver =
+                BarotropicSolver::new(sub.as_ref(), 600.0, &depths_l, wet_l, 1e-10, 800);
+            let rhs_l = Field2::from_fn(sub.n_cells, |lc| {
+                let gc = sub.cell_l2g[lc] as usize;
+                grid.cell_area[gc] * grid.cell_center[gc].y
+            });
+            let mut eta = Field2::zeros(sub.n_cells);
+            let st = solver.solve(sub.as_ref(), &x, &rhs_l, &mut eta, sub.n_owned_cells);
+            assert!(st.converged);
+        });
+        let _ = wet;
+        traffic.collectives
+    };
+    let shallow = count_collectives(100.0);
+    let deep = count_collectives(6000.0);
+    assert!(
+        deep > shallow,
+        "deeper ocean should need more global communication: {shallow} vs {deep}"
+    );
+}

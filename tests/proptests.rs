@@ -1,0 +1,147 @@
+//! Property-based tests over the core invariants (DESIGN.md §5).
+
+use dace_mini::{exec, sdfg::Sdfg, suite, transforms};
+use icongrid::column::thomas_solve;
+use icongrid::geom::Vec3;
+use icongrid::{ops, Decomposition, Field3, Grid};
+use proptest::prelude::*;
+
+fn small_grid() -> Grid {
+    Grid::build(2, icongrid::EARTH_RADIUS_M)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The DaCe-mini backends agree bitwise for any input data seed.
+    #[test]
+    fn dace_backends_equivalent_on_random_data(seed in 0u64..1_000_000) {
+        let prog = suite::dycore_program();
+        let topo = suite::synthetic_topology(40);
+        let mut d1 = suite::synthetic_data(&topo, 4, seed);
+        let mut d2 = d1.clone();
+        exec::run_naive(&prog, &topo, &mut d1);
+        let (opt, _) = transforms::gh200_pipeline(&Sdfg::from_program("t", &prog));
+        exec::compile(&opt).run(&topo, &mut d2);
+        prop_assert_eq!(d1, d2);
+    }
+
+    /// Upwind flux divergence conserves tracer mass for arbitrary smooth
+    /// velocity fields and tracer distributions.
+    #[test]
+    fn upwind_advection_conserves_for_random_flows(
+        ax in -1.0f64..1.0, ay in -1.0f64..1.0, az in -1.0f64..1.0,
+        amp in 0.1f64..30.0, phase in 0.0f64..6.28,
+    ) {
+        prop_assume!(ax * ax + ay * ay + az * az > 1e-4);
+        let g = small_grid();
+        let axis = Vec3::new(ax, ay, az).normalized();
+        let vn = Field3::from_fn(g.n_edges, 1, |e, _| {
+            axis.cross(&g.edge_midpoint[e]).scale(amp).dot(&g.edge_normal[e])
+        });
+        let q = Field3::from_fn(g.n_cells, 1, |c, _| {
+            1.0 + (3.0 * g.cell_center[c].x + phase).sin()
+        });
+        let mut tend = Field3::zeros(g.n_cells, 1);
+        ops::flux_divergence_upwind(&g, &vn, &q, &mut tend);
+        let total = tend.weighted_sum(&g.cell_area);
+        let scale = q.weighted_sum(&g.cell_area).abs() * amp / 1e5;
+        prop_assert!(total.abs() < 1e-9 * scale.max(1.0), "total {}", total);
+    }
+
+    /// The Thomas solver solves every diagonally dominant system.
+    #[test]
+    fn thomas_solves_diagonally_dominant_systems(
+        n in 2usize..40,
+        seed in 0u64..10_000,
+    ) {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut rnd = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let a: Vec<f64> = (0..n).map(|i| if i == 0 { 0.0 } else { -rnd() }).collect();
+        let c: Vec<f64> = (0..n).map(|i| if i == n - 1 { 0.0 } else { -rnd() }).collect();
+        let b: Vec<f64> = (0..n)
+            .map(|i| a[i].abs() + c[i].abs() + 0.5 + rnd())
+            .collect();
+        let rhs: Vec<f64> = (0..n).map(|_| rnd() * 4.0 - 2.0).collect();
+        let mut x = rhs.clone();
+        let mut scratch = vec![0.0; n];
+        thomas_solve(&a, &b, &c, &mut x, &mut scratch);
+        for i in 0..n {
+            let mut acc = b[i] * x[i];
+            if i > 0 { acc += a[i] * x[i - 1]; }
+            if i + 1 < n { acc += c[i] * x[i + 1]; }
+            prop_assert!((acc - rhs[i]).abs() < 1e-9, "row {} residual {}", i, acc - rhs[i]);
+        }
+    }
+
+    /// Every decomposition is a disjoint cover with symmetric exchanges.
+    #[test]
+    fn decompositions_are_always_consistent(np in 1usize..24) {
+        let g = small_grid();
+        let d = Decomposition::new(&g, np);
+        let mut owned = vec![false; g.n_cells];
+        for pl in &d.parts {
+            for &c in &pl.owned_cells {
+                prop_assert!(!owned[c as usize]);
+                owned[c as usize] = true;
+            }
+            prop_assert_eq!(pl.cell_exchange.recv_count(), pl.halo_cells.len());
+        }
+        prop_assert!(owned.iter().all(|&o| o));
+        let total_sent: usize = d.parts.iter().map(|p| p.cell_exchange.send_count()).sum();
+        let total_recv: usize = d.parts.iter().map(|p| p.cell_exchange.recv_count()).sum();
+        prop_assert_eq!(total_sent, total_recv);
+    }
+
+    /// Conservative remapping preserves area integrals for random fields.
+    #[test]
+    fn remap_conserves_random_fields(seed in 0u64..100_000) {
+        use coupler::Remapper;
+        let fine = Grid::build(2, icongrid::EARTH_RADIUS_M);
+        let coarse = Grid::build(1, icongrid::EARTH_RADIUS_M);
+        let r = Remapper::new(&fine, &coarse);
+        let mut state = seed | 1;
+        let mut vals = Vec::with_capacity(fine.n_cells);
+        for _ in 0..fine.n_cells {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            vals.push(((state >> 11) as f64 / (1u64 << 53) as f64 - 0.5) * 10.0);
+        }
+        let f = icongrid::Field2::from_vec(vals);
+        let mut c = icongrid::Field2::zeros(coarse.n_cells);
+        r.fine_to_coarse(&f, &mut c);
+        let fi = f.weighted_sum(&fine.cell_area);
+        let ci = c.weighted_sum(&coarse.cell_area);
+        prop_assert!((fi - ci).abs() < 1e-9 * fi.abs().max(1.0), "{} vs {}", fi, ci);
+    }
+
+    /// Ocean sea-ice thermodynamics conserve energy for any surface state.
+    #[test]
+    fn seaice_updates_conserve_energy(
+        t0 in -6.0f64..8.0,
+        s0 in 30.0f64..37.0,
+        ice in 0.0f64..1.5,
+    ) {
+        use ocean::params::{OceanParams, CP_OCEAN, L_FUSION, RHO0, RHO_ICE};
+        use ocean::seaice::update_ice;
+        let p = OceanParams::new(6, 600.0);
+        let dz0 = p.dz[0];
+        let u = update_ice(&p, t0, s0, ice, dz0);
+        // Enthalpy closure: sensible heat gained by the water equals the
+        // latent heat released by freezing (ice carries negative latent
+        // enthalpy), so heat_change - L*rho_i*d(ice) = 0.
+        let heat_change = RHO0 * CP_OCEAN * dz0 * (u.t_surface - t0);
+        let ice_change = (u.ice_thickness - ice) * RHO_ICE * L_FUSION;
+        prop_assert!(
+            (heat_change - ice_change).abs() < 1e-6 * (heat_change.abs() + ice_change.abs()).max(1.0),
+            "heat {} vs ice {}", heat_change, ice_change
+        );
+        prop_assert!(u.ice_thickness >= 0.0);
+    }
+}
