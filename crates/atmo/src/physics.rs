@@ -173,11 +173,11 @@ pub fn apply_physics<G: CGrid>(
 
             // --- 5. O3 chemistry stand-in: relax toward the initial
             // profile shape (a source/sink, excluded from conservation).
-            for k in 0..nlev {
+            for (k, o3k) in o3.iter_mut().enumerate().take(nlev) {
                 let x = k as f64 / (nlev - 1).max(1) as f64;
                 let target =
                     crate::state::O3_PEAK * (-(x - 0.15) * (x - 0.15) / 0.02).exp();
-                o3[k] += (target - o3[k]) * (dt / TAU_O3);
+                *o3k += (target - *o3k) * (dt / TAU_O3);
             }
 
             ColumnOut { precip, evap }

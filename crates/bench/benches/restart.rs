@@ -7,7 +7,7 @@ use iosys::{read_checkpoint, restart::scratch_dir, write_checkpoint, Snapshot};
 fn snapshot() -> Snapshot {
     let mut s = Snapshot::new();
     for i in 0..32 {
-        s.push(format!("field{i:02}"), vec![i as f64 * 0.5; 100_000]);
+        s.push(format!("field{i:02}"), vec![i as f64 * 0.5; 100_000]).unwrap();
     }
     s
 }

@@ -377,7 +377,7 @@ pub fn io() -> Value {
     let dir = iosys::restart::scratch_dir("figures_io");
     let mut snap = Snapshot::new();
     for i in 0..24 {
-        snap.push(format!("var{i:02}"), vec![i as f64; 250_000]);
+        snap.push(format!("var{i:02}"), vec![i as f64; 250_000]).unwrap();
     }
     let bytes = snap.payload_bytes() as f64;
     let t0 = std::time::Instant::now();

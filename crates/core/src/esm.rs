@@ -209,6 +209,7 @@ impl CoupledEsm {
         self.windows_run as f64 * self.cfg.coupling_s
     }
 
+    /// Coupling windows completed since construction.
     pub fn windows_run(&self) -> u64 {
         self.windows_run
     }
@@ -269,7 +270,19 @@ impl CoupledEsm {
 
     /// Full model state as a checkpoint snapshot (bit-exact restart).
     pub fn snapshot(&self) -> iosys::Snapshot {
-        let mut s = iosys::Snapshot::new();
+        // The variable names below are distinct by construction, so the
+        // duplicate check in `iosys::Snapshot::push` cannot fire; this
+        // wrapper keeps the builder ergonomic while iosys reports real
+        // errors to callers that assemble snapshots dynamically.
+        struct Snap(iosys::Snapshot);
+        impl Snap {
+            fn push(&mut self, name: impl Into<String>, data: Vec<f64>) {
+                self.0
+                    .push(name, data)
+                    .expect("checkpoint variable names are unique");
+            }
+        }
+        let mut s = Snap(iosys::Snapshot::new());
         let a = &self.atm.state;
         for (n, f) in [
             ("atm.delta", &a.delta),
@@ -374,7 +387,7 @@ impl CoupledEsm {
                 self.ocean.state.time_s,
             ],
         );
-        s
+        s.0
     }
 
     /// Restore from a snapshot produced by [`CoupledEsm::snapshot`] on an
@@ -548,8 +561,8 @@ fn fast_window(
             atm.state.land_moisture_flux[gc] = land.state.evapotranspiration[i] * 1000.0;
             atm.state.co2_surface_flux[gc] = land.state.nee[i] * KG_CO2_PER_KG_C;
         }
-        for c in 0..n {
-            discharge_m3[c] += land.discharge_m3[c];
+        for (c, d) in discharge_m3.iter_mut().enumerate().take(n) {
+            *d += land.discharge_m3[c];
         }
         atm.step(&NoExchange);
         for c in 0..n {
@@ -564,10 +577,10 @@ fn fast_window(
     // --- pack fluxes for the ocean window.
     let kb = atm.params.nlev - 1;
     let mut wind_stress = vec![0.0; g.n_edges];
-    for e in 0..g.n_edges {
+    for (e, ws) in wind_stress.iter_mut().enumerate() {
         let [c0, c1] = g.edge_cells[e];
         let speed = 0.5 * (atm.wind_lowest[c0 as usize] + atm.wind_lowest[c1 as usize]);
-        wind_stress[e] = RHO_AIR * C_DRAG * speed * atm.state.vn.at(e, kb);
+        *ws = RHO_AIR * C_DRAG * speed * atm.state.vn.at(e, kb);
     }
     let mut heat = vec![0.0; n];
     let mut fw = vec![0.0; n];

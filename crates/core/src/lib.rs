@@ -10,6 +10,9 @@
 //!   either sequentially or **concurrently** (ocean+BGC on their own
 //!   thread — the structure that lets the paper run the ocean "for free"
 //!   on the Grace CPUs);
+//! * [`resilience`] — fault-absorbing driver loop: checkpoint ring,
+//!   distributed blow-up guard over fault-injectable `mpisim` messages,
+//!   and rollback-replay (`run_windows_resilient`);
 //! * [`budgets`] — cross-component conservation ledgers (carbon, water);
 //! * [`timers`] — per-component wall-clock timing and the temporal
 //!   compression tau.
@@ -18,9 +21,11 @@ pub mod budgets;
 pub mod diagnostics;
 pub mod config;
 pub mod esm;
+pub mod resilience;
 pub mod solar;
 pub mod timers;
 
 pub use config::EsmConfig;
 pub use esm::CoupledEsm;
+pub use resilience::{EsmError, ResilienceConfig, ResilienceReport};
 pub use timers::Timers;

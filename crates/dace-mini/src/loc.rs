@@ -145,12 +145,12 @@ pub fn annotate_legacy(clean: &str) -> String {
             out.push_str("!$OMP PARALLEL DO PRIVATE(jb, jc, jk)\n");
             out.push_str("!$ACC PARALLEL DEFAULT(PRESENT) ASYNC(1)\n");
             out.push_str("!$ACC LOOP GANG VECTOR TILE(32, 4)\n");
-            if kernel_idx % 2 == 0 {
+            if kernel_idx.is_multiple_of(2) {
                 out.push_str("!DIR$ IVDEP\n");
             } else {
                 out.push_str("!$NEC outerloop_unroll(4)\n");
             }
-            if kernel_idx % 4 == 0 {
+            if kernel_idx.is_multiple_of(4) {
                 // Duplicated loop-order variant.
                 out.push_str("#ifndef _LOOP_EXCHANGE\n");
                 out.push_str(line);
@@ -172,7 +172,7 @@ pub fn annotate_legacy(clean: &str) -> String {
             out.push_str("!$OMP END PARALLEL DO\n");
         } else if !t.is_empty() && !t.starts_with('#') {
             // Statement lines: occasionally annotated.
-            if fxhash(t) % 5 == 0 {
+            if fxhash(t).is_multiple_of(5) {
                 out.push_str("!$ACC LOOP SEQ\n");
             }
             out.push_str(line);

@@ -152,7 +152,7 @@ pub fn build_topology(
 /// cells), adequate for semantics and performance tests without a real
 /// sphere.
 pub fn synthetic_topology(n_cells: usize) -> TopologyContext {
-    assert!(n_cells >= 4 && n_cells % 2 == 0);
+    assert!(n_cells >= 4 && n_cells.is_multiple_of(2));
     let n_edges = 3 * n_cells / 2;
     // Edge e connects cells (e mod n) and ((e*2+1) mod n) — every cell
     // appears in exactly 3 edges (counting both endpoints over the

@@ -193,9 +193,9 @@ pub fn ecosystem_column(
 
         // Floor everything at zero (clipped mass is negligible; the
         // budget test tolerance covers it).
-        for t in 0..N_TRACERS {
-            if tr[t][k] < 0.0 {
-                tr[t][k] = 0.0;
+        for tv in tr.iter_mut().take(N_TRACERS) {
+            if tv[k] < 0.0 {
+                tv[k] = 0.0;
             }
         }
     }

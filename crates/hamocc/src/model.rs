@@ -146,10 +146,10 @@ impl<G: CGrid> Hamocc<G> {
                 let col = field.col_mut(c);
                 // Downward upwind transport between layers.
                 let mut flux_in = 0.0; // from above
-                for k in 0..na {
+                for (k, ck) in col.iter_mut().enumerate().take(na) {
                     // Amount leaving downward this step (units * m).
-                    let out = (ws * dt / p.dz[k]).min(1.0) * col[k] * p.dz[k];
-                    col[k] += (flux_in - out) / p.dz[k];
+                    let out = (ws * dt / p.dz[k]).min(1.0) * *ck * p.dz[k];
+                    *ck += (flux_in - out) / p.dz[k];
                     flux_in = out;
                 }
                 // flux_in now exits the column floor: burial.

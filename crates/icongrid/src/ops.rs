@@ -321,13 +321,13 @@ pub fn tangential_velocity<G: CGrid>(g: &G, cell_vec: &[Field3; 3], out: &mut Fi
             let [c0, c1] = g.edge_cells(e);
             let t = g.edge_tangent(e);
             let (c0, c1) = (c0 as usize, c1 as usize);
-            for k in 0..nlev {
+            for (k, ck) in col.iter_mut().enumerate().take(nlev) {
                 let v = Vec3::new(
                     0.5 * (vx.at(c0, k) + vx.at(c1, k)),
                     0.5 * (vy.at(c0, k) + vy.at(c1, k)),
                     0.5 * (vz.at(c0, k) + vz.at(c1, k)),
                 );
-                col[k] = v.dot(&t);
+                *ck = v.dot(&t);
             }
         });
 }

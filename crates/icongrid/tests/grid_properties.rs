@@ -1,7 +1,7 @@
 //! Property tests of the grid invariants (DESIGN.md §5) across refinement
 //! levels and decompositions.
 
-use icongrid::{ops::CGrid, Decomposition, Grid, SubGrid};
+use icongrid::{Decomposition, Grid, SubGrid};
 use proptest::prelude::*;
 use std::f64::consts::PI;
 

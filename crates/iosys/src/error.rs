@@ -1,0 +1,166 @@
+//! Typed errors for the checkpoint/restart path.
+//!
+//! Every failure mode the reader can hit — missing files, wrong magic,
+//! unsupported version, truncation, checksum mismatch, nonsense lengths —
+//! maps to a dedicated [`RestartError`] variant instead of a panic, so the
+//! resilience driver can distinguish "this generation is corrupt, fall
+//! back" from "the directory is gone, give up".
+
+use std::path::PathBuf;
+
+/// Why a checkpoint could not be written or read back.
+#[derive(Debug)]
+pub enum RestartError {
+    /// Underlying file-system failure (open/read/write/rename).
+    Io(std::io::Error),
+    /// No file of the requested stem/generation exists in the directory.
+    NotFound { dir: PathBuf, stem: String },
+    /// File does not begin with the `ESMR` magic.
+    BadMagic { path: PathBuf, found: [u8; 4] },
+    /// Magic is right but the version is one this reader cannot parse.
+    UnsupportedVersion { path: PathBuf, version: u32 },
+    /// File ends mid-record (torn write, truncation).
+    Truncated { path: PathBuf, context: &'static str },
+    /// Structurally invalid contents: lengths that exceed the file,
+    /// non-UTF-8 variable names, trailing garbage.
+    Corrupt { path: PathBuf, context: String },
+    /// Stored CRC-32 does not match the recomputed one. `var` is the
+    /// variable whose record failed, or `None` for the file trailer.
+    ChecksumMismatch {
+        path: PathBuf,
+        var: Option<String>,
+        stored: u32,
+        computed: u32,
+    },
+    /// Two variables with the same name pushed into one snapshot.
+    DuplicateVariable { name: String },
+    /// Every generation in the ring failed to read intact.
+    NoIntactGeneration {
+        dir: PathBuf,
+        stem: String,
+        /// Generation numbers that were tried, newest first.
+        tried: Vec<u64>,
+    },
+}
+
+impl std::fmt::Display for RestartError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RestartError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            RestartError::NotFound { dir, stem } => {
+                write!(f, "no checkpoint files for stem '{stem}' in {}", dir.display())
+            }
+            RestartError::BadMagic { path, found } => write!(
+                f,
+                "{}: bad magic {found:02x?} (expected b\"ESMR\")",
+                path.display()
+            ),
+            RestartError::UnsupportedVersion { path, version } => {
+                write!(f, "{}: unsupported checkpoint version {version}", path.display())
+            }
+            RestartError::Truncated { path, context } => {
+                write!(f, "{}: truncated while reading {context}", path.display())
+            }
+            RestartError::Corrupt { path, context } => {
+                write!(f, "{}: corrupt checkpoint: {context}", path.display())
+            }
+            RestartError::ChecksumMismatch {
+                path,
+                var,
+                stored,
+                computed,
+            } => match var {
+                Some(v) => write!(
+                    f,
+                    "{}: CRC mismatch in variable '{v}' (stored {stored:#010x}, computed {computed:#010x})",
+                    path.display()
+                ),
+                None => write!(
+                    f,
+                    "{}: file trailer CRC mismatch (stored {stored:#010x}, computed {computed:#010x})",
+                    path.display()
+                ),
+            },
+            RestartError::DuplicateVariable { name } => {
+                write!(f, "duplicate checkpoint variable '{name}'")
+            }
+            RestartError::NoIntactGeneration { dir, stem, tried } => write!(
+                f,
+                "no intact checkpoint generation for stem '{stem}' in {} (tried {} generation(s): {tried:?})",
+                dir.display(),
+                tried.len()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RestartError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RestartError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for RestartError {
+    fn from(e: std::io::Error) -> RestartError {
+        RestartError::Io(e)
+    }
+}
+
+/// Corrupt data surfaces as `InvalidData` for callers that work in
+/// `io::Result`; missing checkpoints keep their `NotFound` kind.
+impl From<RestartError> for std::io::Error {
+    fn from(e: RestartError) -> std::io::Error {
+        match e {
+            RestartError::Io(io) => io,
+            RestartError::NotFound { .. } => {
+                std::io::Error::new(std::io::ErrorKind::NotFound, e.to_string())
+            }
+            other => std::io::Error::new(std::io::ErrorKind::InvalidData, other.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn io_error_kinds_map_sensibly() {
+        let nf: std::io::Error = RestartError::NotFound {
+            dir: PathBuf::from("/tmp/x"),
+            stem: "restart".into(),
+        }
+        .into();
+        assert_eq!(nf.kind(), std::io::ErrorKind::NotFound);
+
+        let bad: std::io::Error = RestartError::BadMagic {
+            path: PathBuf::from("/tmp/x/restart_000.esmr"),
+            found: *b"JUNK",
+        }
+        .into();
+        assert_eq!(bad.kind(), std::io::ErrorKind::InvalidData);
+
+        let passthrough: std::io::Error = RestartError::Io(std::io::Error::new(
+            std::io::ErrorKind::PermissionDenied,
+            "denied",
+        ))
+        .into();
+        assert_eq!(passthrough.kind(), std::io::ErrorKind::PermissionDenied);
+    }
+
+    #[test]
+    fn display_names_the_failing_variable() {
+        let e = RestartError::ChecksumMismatch {
+            path: PathBuf::from("r_000.esmr"),
+            var: Some("oce.temp".into()),
+            stored: 1,
+            computed: 2,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("oce.temp"), "{msg}");
+        assert!(msg.contains("0x00000001"), "{msg}");
+    }
+}

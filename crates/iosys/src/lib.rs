@@ -17,8 +17,11 @@
 //! file-system model; this crate provides the real, laptop-scale
 //! implementation of the same architecture.
 
+pub mod crc;
+pub mod error;
 pub mod output;
 pub mod restart;
 
+pub use error::RestartError;
 pub use output::{OutputRequest, OutputServer, Reduction};
-pub use restart::{read_checkpoint, write_checkpoint, Snapshot};
+pub use restart::{read_checkpoint, write_checkpoint, CheckpointRing, Snapshot};

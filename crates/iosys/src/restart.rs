@@ -1,18 +1,48 @@
-//! Synchronous multi-file checkpoint/restart.
+//! Synchronous multi-file checkpoint/restart with integrity checking and
+//! generation fallback.
 //!
-//! Format (per file, little-endian): magic `ESMR`, version u32, variable
-//! count u32, then per variable: name length u32, UTF-8 name, element
-//! count u64, raw f64 data. Variables are distributed round-robin over
-//! `n_files` files; reading opens the files with a stagger (each reader
-//! group starts at a different file), the scheme the paper uses to reach
-//! 615 GiB/s.
+//! ## `.esmr` v2 format (per file, little-endian)
+//!
+//! ```text
+//! magic        b"ESMR"
+//! version      u32 = 2
+//! file_index   u32            which round-robin shard this file is
+//! n_files      u32            how many shards the generation has
+//! nvars        u32            variable records in this file
+//! record*      name_len u32 | name | count u64 | f64 payload | var_crc u32
+//! trailer      file_crc u32 | b"RMSE"
+//! ```
+//!
+//! `var_crc` is the CRC-32 of the record bytes from `name_len` through the
+//! payload, so corruption is reported per variable; `file_crc` covers every
+//! byte before the trailer, so truncation and header damage are always
+//! caught. The `(file_index, n_files)` pair lets the reader prove a
+//! generation is complete rather than silently reassembling a partial one.
+//!
+//! Writes are **atomic**: each shard is written to `<name>.tmp`, synced,
+//! and renamed into place, so a writer killed mid-checkpoint never leaves
+//! a file the reader would select as valid. [`CheckpointRing`] stacks
+//! generation-numbered checkpoints (`restart.g0001_000.esmr`, …), keeps
+//! the newest K, and on read falls back generation by generation until an
+//! intact one is found.
+//!
+//! Variables are distributed round-robin over `n_files` files; reading
+//! opens the files with a stagger (each reader group starts at a different
+//! file), the scheme the paper uses to reach 615 GiB/s. Version-1 files
+//! (no checksums, no shard header) remain readable.
 
 use std::fs::{self, File};
-use std::io::{BufReader, BufWriter, Read, Write};
+use std::io::Write;
 use std::path::{Path, PathBuf};
 
+use crate::crc::crc32;
+use crate::error::RestartError;
+
 const MAGIC: &[u8; 4] = b"ESMR";
-const VERSION: u32 = 1;
+const TRAILER_MAGIC: &[u8; 4] = b"RMSE";
+const VERSION: u32 = 2;
+/// Oldest on-disk version the reader still understands.
+const MIN_VERSION: u32 = 1;
 
 /// A named collection of state variables — the unit of checkpointing.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -25,13 +55,15 @@ impl Snapshot {
         Snapshot::default()
     }
 
-    pub fn push(&mut self, name: impl Into<String>, data: Vec<f64>) {
+    /// Add a variable. Duplicate names are a real, propagated error (a
+    /// duplicate would silently shadow state on restore).
+    pub fn push(&mut self, name: impl Into<String>, data: Vec<f64>) -> Result<(), RestartError> {
         let name = name.into();
-        debug_assert!(
-            self.get(&name).is_none(),
-            "duplicate checkpoint variable {name}"
-        );
+        if self.get(&name).is_some() {
+            return Err(RestartError::DuplicateVariable { name });
+        }
         self.vars.push((name, data));
+        Ok(())
     }
 
     pub fn get(&self, name: &str) -> Option<&[f64]> {
@@ -52,59 +84,240 @@ impl Snapshot {
     }
 }
 
+/// Encode the shard `f` of `n_files` as a complete v2 file image.
+fn encode_file_v2(snapshot: &Snapshot, f: usize, n_files: usize) -> Vec<u8> {
+    let mine: Vec<&(String, Vec<f64>)> = snapshot
+        .vars
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| i % n_files == f)
+        .map(|(_, v)| v)
+        .collect();
+
+    let payload: usize = mine.iter().map(|(n, d)| 4 + n.len() + 8 + d.len() * 8 + 4).sum();
+    let mut out = Vec::with_capacity(20 + payload + 8);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&(f as u32).to_le_bytes());
+    out.extend_from_slice(&(n_files as u32).to_le_bytes());
+    out.extend_from_slice(&(mine.len() as u32).to_le_bytes());
+    for (name, data) in mine {
+        let record_start = out.len();
+        let nb = name.as_bytes();
+        out.extend_from_slice(&(nb.len() as u32).to_le_bytes());
+        out.extend_from_slice(nb);
+        out.extend_from_slice(&(data.len() as u64).to_le_bytes());
+        for v in data {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        let var_crc = crc32(&out[record_start..]);
+        out.extend_from_slice(&var_crc.to_le_bytes());
+    }
+    let file_crc = crc32(&out);
+    out.extend_from_slice(&file_crc.to_le_bytes());
+    out.extend_from_slice(TRAILER_MAGIC);
+    out
+}
+
+/// Write `bytes` to `path` atomically: temp file in the same directory,
+/// flush + fsync, then rename. A crash at any point leaves either the old
+/// file or no file — never a torn one under the final name.
+fn atomic_write(path: &Path, bytes: &[u8]) -> Result<(), RestartError> {
+    let tmp = path.with_extension("esmr.tmp");
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.flush()?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    Ok(())
+}
+
 /// Write `snapshot` as `n_files` files named `<stem>_NNN.esmr` in `dir`.
-/// Variables are assigned round-robin, mirroring ICON's
-/// "subset of ranks collects the variables and writes them to one file
-/// each".
+/// Variables are assigned round-robin, mirroring ICON's "subset of ranks
+/// collects the variables and writes them to one file each". Every shard
+/// is checksummed and written atomically.
 pub fn write_checkpoint(
     dir: &Path,
     stem: &str,
     snapshot: &Snapshot,
     n_files: usize,
-) -> std::io::Result<Vec<PathBuf>> {
+) -> Result<Vec<PathBuf>, RestartError> {
     assert!(n_files >= 1);
     fs::create_dir_all(dir)?;
     let mut paths = Vec::with_capacity(n_files);
     for f in 0..n_files {
         let path = dir.join(format!("{stem}_{f:03}.esmr"));
-        let mut w = BufWriter::new(File::create(&path)?);
-        w.write_all(MAGIC)?;
-        w.write_all(&VERSION.to_le_bytes())?;
-        let mine: Vec<&(String, Vec<f64>)> = snapshot
-            .vars
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| i % n_files == f)
-            .map(|(_, v)| v)
-            .collect();
-        w.write_all(&(mine.len() as u32).to_le_bytes())?;
-        for (name, data) in mine {
-            let nb = name.as_bytes();
-            w.write_all(&(nb.len() as u32).to_le_bytes())?;
-            w.write_all(nb)?;
-            w.write_all(&(data.len() as u64).to_le_bytes())?;
-            // Bulk little-endian write.
-            let mut buf = Vec::with_capacity(data.len() * 8);
-            for v in data {
-                buf.extend_from_slice(&v.to_le_bytes());
-            }
-            w.write_all(&buf)?;
-        }
-        w.flush()?;
+        atomic_write(&path, &encode_file_v2(snapshot, f, n_files))?;
         paths.push(path);
     }
     Ok(paths)
+}
+
+/// Bounds-checked parse cursor over an in-memory file image.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    path: &'a Path,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], RestartError> {
+        if self.pos + n > self.bytes.len() {
+            return Err(RestartError::Truncated {
+                path: self.path.to_path_buf(),
+                context,
+            });
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u32(&mut self, context: &'static str) -> Result<u32, RestartError> {
+        Ok(u32::from_le_bytes(self.take(4, context)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self, context: &'static str) -> Result<u64, RestartError> {
+        Ok(u64::from_le_bytes(self.take(8, context)?.try_into().unwrap()))
+    }
+}
+
+/// One parsed shard: `(file_index, n_files)` if the file declares them
+/// (v2), plus its variable records in file order.
+struct ParsedFile {
+    shard: Option<(usize, usize)>,
+    vars: Vec<(String, Vec<f64>)>,
+}
+
+fn parse_file(path: &Path, bytes: &[u8]) -> Result<ParsedFile, RestartError> {
+    let mut c = Cursor { bytes, pos: 0, path };
+
+    let magic: [u8; 4] = c.take(4, "magic")?.try_into().unwrap();
+    if &magic != MAGIC {
+        return Err(RestartError::BadMagic {
+            path: path.to_path_buf(),
+            found: magic,
+        });
+    }
+    let version = c.u32("version")?;
+    if !(MIN_VERSION..=VERSION).contains(&version) {
+        return Err(RestartError::UnsupportedVersion {
+            path: path.to_path_buf(),
+            version,
+        });
+    }
+
+    // v2 carries the shard header and is fully checksummed; verify the
+    // file-level CRC up front so any damage — header, records, trailer —
+    // is caught even if record parsing would happen to succeed.
+    let shard = if version >= 2 {
+        let fi = c.u32("file index")? as usize;
+        let nf = c.u32("file count")? as usize;
+        if nf == 0 || fi >= nf {
+            return Err(RestartError::Corrupt {
+                path: path.to_path_buf(),
+                context: format!("shard index {fi} out of range for {nf} file(s)"),
+            });
+        }
+        if bytes.len() < 8 || &bytes[bytes.len() - 4..] != TRAILER_MAGIC {
+            return Err(RestartError::Truncated {
+                path: path.to_path_buf(),
+                context: "file trailer",
+            });
+        }
+        let trailer = bytes.len() - 8;
+        let stored = u32::from_le_bytes(bytes[trailer..trailer + 4].try_into().unwrap());
+        let computed = crc32(&bytes[..trailer]);
+        if stored != computed {
+            return Err(RestartError::ChecksumMismatch {
+                path: path.to_path_buf(),
+                var: None,
+                stored,
+                computed,
+            });
+        }
+        Some((fi, nf))
+    } else {
+        None
+    };
+    let body_end = if shard.is_some() { bytes.len() - 8 } else { bytes.len() };
+
+    let nvars = c.u32("variable count")? as usize;
+    // A record is at least 16 bytes; a count that cannot fit is corrupt
+    // (and would otherwise drive a huge allocation).
+    if nvars > (body_end - c.pos.min(body_end)) / 12 + 1 {
+        return Err(RestartError::Corrupt {
+            path: path.to_path_buf(),
+            context: format!("implausible variable count {nvars}"),
+        });
+    }
+
+    let mut vars = Vec::with_capacity(nvars);
+    for _ in 0..nvars {
+        let record_start = c.pos;
+        let name_len = c.u32("variable name length")? as usize;
+        if name_len > body_end - c.pos.min(body_end) {
+            return Err(RestartError::Corrupt {
+                path: path.to_path_buf(),
+                context: format!("variable name length {name_len} exceeds file"),
+            });
+        }
+        let name_bytes = c.take(name_len, "variable name")?;
+        let name = String::from_utf8(name_bytes.to_vec()).map_err(|e| RestartError::Corrupt {
+            path: path.to_path_buf(),
+            context: format!("variable name is not UTF-8: {e}"),
+        })?;
+        let count = c.u64("element count")? as usize;
+        if count.checked_mul(8).map(|b| b > body_end - c.pos.min(body_end)).unwrap_or(true) {
+            return Err(RestartError::Corrupt {
+                path: path.to_path_buf(),
+                context: format!("element count {count} for '{name}' exceeds file"),
+            });
+        }
+        let payload = c.take(count * 8, "variable payload")?;
+        let data: Vec<f64> = payload
+            .chunks_exact(8)
+            .map(|b| f64::from_le_bytes(b.try_into().unwrap()))
+            .collect();
+        if version >= 2 {
+            let computed = crc32(&bytes[record_start..c.pos]);
+            let stored = c.u32("variable checksum")?;
+            if stored != computed {
+                return Err(RestartError::ChecksumMismatch {
+                    path: path.to_path_buf(),
+                    var: Some(name),
+                    stored,
+                    computed,
+                });
+            }
+        }
+        vars.push((name, data));
+    }
+
+    if c.pos != body_end {
+        return Err(RestartError::Corrupt {
+            path: path.to_path_buf(),
+            context: format!(
+                "record region ends at byte {} but should end at {body_end}",
+                c.pos
+            ),
+        });
+    }
+
+    Ok(ParsedFile { shard, vars })
 }
 
 /// Read a multi-file checkpoint back. `n_readers` groups open the files
 /// with a stagger (group `r` starts at file `r * files/n_readers`), which
 /// is what spreads metadata and OST load in the paper's staggered-reading
 /// scheme; the result is independent of `n_readers`.
-pub fn read_checkpoint(
-    dir: &Path,
-    stem: &str,
-    n_readers: usize,
-) -> std::io::Result<Snapshot> {
+///
+/// Every failure mode — missing files, torn writes, flipped bits, an
+/// incomplete generation — returns a typed [`RestartError`]; this path
+/// never panics on bad input.
+pub fn read_checkpoint(dir: &Path, stem: &str, n_readers: usize) -> Result<Snapshot, RestartError> {
     assert!(n_readers >= 1);
     // Discover the files.
     let mut files: Vec<PathBuf> = fs::read_dir(dir)?
@@ -118,10 +331,10 @@ pub fn read_checkpoint(
         .collect();
     files.sort();
     if files.is_empty() {
-        return Err(std::io::Error::new(
-            std::io::ErrorKind::NotFound,
-            format!("no checkpoint files for stem {stem}"),
-        ));
+        return Err(RestartError::NotFound {
+            dir: dir.to_path_buf(),
+            stem: stem.to_string(),
+        });
     }
 
     // Staggered order: reader r begins at offset r*len/n, wrapping.
@@ -147,47 +360,175 @@ pub fn read_checkpoint(
     }
 
     let mut pieces: Vec<(usize, String, Vec<f64>)> = Vec::new();
+    let mut declared_n_files: Option<usize> = None;
+    let mut seen_shards: Vec<usize> = Vec::new();
     for &fi in order.iter().take(n) {
-        let mut r = BufReader::new(File::open(&files[fi])?);
-        let mut magic = [0u8; 4];
-        r.read_exact(&mut magic)?;
-        assert_eq!(&magic, MAGIC, "bad checkpoint magic");
-        let version = read_u32(&mut r)?;
-        assert_eq!(version, VERSION, "unsupported checkpoint version");
-        let nvars = read_u32(&mut r)? as usize;
-        for v in 0..nvars {
-            let name_len = read_u32(&mut r)? as usize;
-            let mut name = vec![0u8; name_len];
-            r.read_exact(&mut name)?;
-            let name = String::from_utf8(name)
-                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
-            let len = read_u64(&mut r)? as usize;
-            let mut buf = vec![0u8; len * 8];
-            r.read_exact(&mut buf)?;
-            let data: Vec<f64> = buf
-                .chunks_exact(8)
-                .map(|b| f64::from_le_bytes(b.try_into().unwrap()))
-                .collect();
-            // Original index = file_index + v * n_files (round-robin).
-            pieces.push((fi + v * n, name, data));
+        let bytes = fs::read(&files[fi])?;
+        let parsed = parse_file(&files[fi], &bytes)?;
+        // v2 files name their shard; v1 falls back to sorted position.
+        let (shard_index, shard_count) = match parsed.shard {
+            Some((s, c)) => (s, c),
+            None => (fi, n),
+        };
+        if let Some(prev) = declared_n_files {
+            if prev != shard_count {
+                return Err(RestartError::Corrupt {
+                    path: files[fi].clone(),
+                    context: format!(
+                        "shard count {shard_count} disagrees with {prev} from sibling files"
+                    ),
+                });
+            }
+        }
+        declared_n_files = Some(shard_count);
+        if seen_shards.contains(&shard_index) {
+            return Err(RestartError::Corrupt {
+                path: files[fi].clone(),
+                context: format!("duplicate shard index {shard_index}"),
+            });
+        }
+        seen_shards.push(shard_index);
+        for (v, (name, data)) in parsed.vars.into_iter().enumerate() {
+            // Original index = shard_index + v * n_files (round-robin).
+            pieces.push((shard_index + v * shard_count, name, data));
         }
     }
+
+    // A generation is only valid if every shard it declares is present —
+    // a writer killed between renames must not yield a silently smaller
+    // snapshot.
+    let expected = declared_n_files.unwrap_or(n);
+    if seen_shards.len() != expected {
+        return Err(RestartError::Corrupt {
+            path: dir.to_path_buf(),
+            context: format!(
+                "incomplete generation: found {} of {expected} shard file(s) for stem '{stem}'",
+                seen_shards.len()
+            ),
+        });
+    }
+
     pieces.sort_by_key(|(i, _, _)| *i);
-    Ok(Snapshot {
-        vars: pieces.into_iter().map(|(_, n, d)| (n, d)).collect(),
-    })
+    let mut snap = Snapshot::new();
+    for (_, name, data) in pieces {
+        snap.push(name, data)?;
+    }
+    Ok(snap)
 }
 
-fn read_u32<R: Read>(r: &mut R) -> std::io::Result<u32> {
-    let mut b = [0u8; 4];
-    r.read_exact(&mut b)?;
-    Ok(u32::from_le_bytes(b))
+/// Generation-numbered checkpoint ring: `stem.g0001_000.esmr`, keeping the
+/// newest `keep` generations and falling back on read until an intact one
+/// is found.
+pub struct CheckpointRing {
+    dir: PathBuf,
+    stem: String,
+    keep: usize,
+    next_gen: u64,
 }
 
-fn read_u64<R: Read>(r: &mut R) -> std::io::Result<u64> {
-    let mut b = [0u8; 8];
-    r.read_exact(&mut b)?;
-    Ok(u64::from_le_bytes(b))
+impl CheckpointRing {
+    /// Open (or start) a ring in `dir`. Scans for existing generations so
+    /// a restarted writer continues the numbering instead of overwriting.
+    pub fn new(
+        dir: impl Into<PathBuf>,
+        stem: impl Into<String>,
+        keep: usize,
+    ) -> Result<CheckpointRing, RestartError> {
+        assert!(keep >= 1, "must keep at least one generation");
+        let mut ring = CheckpointRing {
+            dir: dir.into(),
+            stem: stem.into(),
+            keep,
+            next_gen: 1,
+        };
+        if let Some(&newest) = ring.generations()?.last() {
+            ring.next_gen = newest + 1;
+        }
+        Ok(ring)
+    }
+
+    fn gen_stem(&self, generation: u64) -> String {
+        format!("{}.g{generation:04}", self.stem)
+    }
+
+    /// Generation numbers currently on disk, sorted ascending.
+    pub fn generations(&self) -> Result<Vec<u64>, RestartError> {
+        let mut gens: Vec<u64> = Vec::new();
+        let entries = match fs::read_dir(&self.dir) {
+            Ok(e) => e,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(gens),
+            Err(e) => return Err(e.into()),
+        };
+        let prefix = format!("{}.g", self.stem);
+        for entry in entries.filter_map(|e| e.ok()) {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if !name.starts_with(&prefix) || !name.ends_with(".esmr") {
+                continue;
+            }
+            let rest = &name[prefix.len()..];
+            if let Some((gen_str, _)) = rest.split_once('_') {
+                if let Ok(g) = gen_str.parse::<u64>() {
+                    if !gens.contains(&g) {
+                        gens.push(g);
+                    }
+                }
+            }
+        }
+        gens.sort_unstable();
+        Ok(gens)
+    }
+
+    /// Write the next generation atomically, then prune down to the newest
+    /// `keep` generations. Returns the generation number written.
+    pub fn write(&mut self, snapshot: &Snapshot, n_files: usize) -> Result<u64, RestartError> {
+        let generation = self.next_gen;
+        write_checkpoint(&self.dir, &self.gen_stem(generation), snapshot, n_files)?;
+        self.next_gen += 1;
+
+        // Prune only after the new generation is fully in place.
+        let gens = self.generations()?;
+        if gens.len() > self.keep {
+            for &old in &gens[..gens.len() - self.keep] {
+                let stem = self.gen_stem(old);
+                for entry in fs::read_dir(&self.dir)?.filter_map(|e| e.ok()) {
+                    let name = entry.file_name();
+                    let Some(name) = name.to_str() else { continue };
+                    if name.starts_with(&format!("{stem}_")) && name.ends_with(".esmr") {
+                        // Best-effort: a vanished file is already pruned.
+                        let _ = fs::remove_file(entry.path());
+                    }
+                }
+            }
+        }
+        Ok(generation)
+    }
+
+    /// Read back the newest generation that passes every integrity check,
+    /// walking backwards over damaged ones. Returns the generation number
+    /// actually loaded alongside the snapshot.
+    pub fn read_latest_intact(&self, n_readers: usize) -> Result<(u64, Snapshot), RestartError> {
+        let gens = self.generations()?;
+        if gens.is_empty() {
+            return Err(RestartError::NotFound {
+                dir: self.dir.clone(),
+                stem: self.stem.clone(),
+            });
+        }
+        let mut tried = Vec::new();
+        for &g in gens.iter().rev() {
+            tried.push(g);
+            match read_checkpoint(&self.dir, &self.gen_stem(g), n_readers) {
+                Ok(snap) => return Ok((g, snap)),
+                Err(_) => continue,
+            }
+        }
+        Err(RestartError::NoIntactGeneration {
+            dir: self.dir.clone(),
+            stem: self.stem.clone(),
+            tried,
+        })
+    }
 }
 
 /// A unique scratch directory for tests/examples.
@@ -206,11 +547,11 @@ mod tests {
 
     fn sample() -> Snapshot {
         let mut s = Snapshot::new();
-        s.push("atm.delta", (0..1000).map(|i| i as f64 * 0.5).collect());
-        s.push("atm.vn", vec![-1.5; 777]);
-        s.push("oce.temp", (0..500).map(|i| (i as f64).sin()).collect());
-        s.push("oce.salt", vec![35.0; 500]);
-        s.push("land.pools", (0..231).map(|i| 1.0 / (i + 1) as f64).collect());
+        s.push("atm.delta", (0..1000).map(|i| i as f64 * 0.5).collect()).unwrap();
+        s.push("atm.vn", vec![-1.5; 777]).unwrap();
+        s.push("oce.temp", (0..500).map(|i| (i as f64).sin()).collect()).unwrap();
+        s.push("oce.salt", vec![35.0; 500]).unwrap();
+        s.push("land.pools", (0..231).map(|i| 1.0 / (i + 1) as f64).collect()).unwrap();
         s
     }
 
@@ -256,7 +597,10 @@ mod tests {
     fn missing_checkpoint_errors() {
         let dir = scratch_dir("missing");
         fs::create_dir_all(&dir).unwrap();
-        assert!(read_checkpoint(&dir, "nope", 1).is_err());
+        assert!(matches!(
+            read_checkpoint(&dir, "nope", 1),
+            Err(RestartError::NotFound { .. })
+        ));
         fs::remove_dir_all(&dir).ok();
     }
 
@@ -267,11 +611,215 @@ mod tests {
         snap.push(
             "weird",
             vec![0.0, -0.0, f64::MIN_POSITIVE, f64::MAX, 1e-300, -1e300],
-        );
+        )
+        .unwrap();
         write_checkpoint(&dir, "restart", &snap, 2).unwrap();
         let back = read_checkpoint(&dir, "restart", 2).unwrap();
         for (a, b) in back.expect("weird").iter().zip(snap.expect("weird")) {
             assert_eq!(a.to_bits(), b.to_bits(), "bit-exactness");
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn duplicate_variable_is_a_real_error() {
+        let mut s = Snapshot::new();
+        s.push("x", vec![1.0]).unwrap();
+        assert!(matches!(
+            s.push("x", vec![2.0]),
+            Err(RestartError::DuplicateVariable { name }) if name == "x"
+        ));
+        // The snapshot is unchanged by the failed push.
+        assert_eq!(s.vars.len(), 1);
+        assert_eq!(s.expect("x"), &[1.0]);
+    }
+
+    #[test]
+    fn no_tmp_files_survive_a_write() {
+        let dir = scratch_dir("atomic");
+        write_checkpoint(&dir, "restart", &sample(), 3).unwrap();
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files left behind: {leftovers:?}");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn payload_bit_flip_is_detected_per_variable() {
+        let dir = scratch_dir("flip");
+        let paths = write_checkpoint(&dir, "restart", &sample(), 2).unwrap();
+        // Flip one bit in the middle of the first file's payload region.
+        let mut bytes = fs::read(&paths[0]).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        fs::write(&paths[0], &bytes).unwrap();
+        match read_checkpoint(&dir, "restart", 1) {
+            Err(RestartError::ChecksumMismatch { stored, computed, .. }) => {
+                assert_ne!(stored, computed);
+            }
+            other => panic!("expected checksum mismatch, got {other:?}"),
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncated_file_is_detected() {
+        let dir = scratch_dir("trunc");
+        let paths = write_checkpoint(&dir, "restart", &sample(), 1).unwrap();
+        let bytes = fs::read(&paths[0]).unwrap();
+        // Simulate torn writes of every severity: cut anywhere from the
+        // magic through one byte short of complete.
+        for cut in [2, 10, 19, 40, bytes.len() / 2, bytes.len() - 1] {
+            fs::write(&paths[0], &bytes[..cut]).unwrap();
+            let err = read_checkpoint(&dir, "restart", 1).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    RestartError::Truncated { .. } | RestartError::ChecksumMismatch { .. }
+                ),
+                "cut at {cut}: unexpected {err:?}"
+            );
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_typed_errors() {
+        let dir = scratch_dir("magic");
+        let paths = write_checkpoint(&dir, "restart", &sample(), 1).unwrap();
+        let good = fs::read(&paths[0]).unwrap();
+
+        let mut bad = good.clone();
+        bad[..4].copy_from_slice(b"JUNK");
+        fs::write(&paths[0], &bad).unwrap();
+        assert!(matches!(
+            read_checkpoint(&dir, "restart", 1),
+            Err(RestartError::BadMagic { .. })
+        ));
+
+        let mut bad = good.clone();
+        bad[4..8].copy_from_slice(&99u32.to_le_bytes());
+        fs::write(&paths[0], &bad).unwrap();
+        assert!(matches!(
+            read_checkpoint(&dir, "restart", 1),
+            Err(RestartError::UnsupportedVersion { version: 99, .. })
+        ));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn header_corruption_is_detected() {
+        let dir = scratch_dir("hdr");
+        let paths = write_checkpoint(&dir, "restart", &sample(), 2).unwrap();
+        // Corrupt the declared variable count (header is CRC-covered too).
+        let mut bytes = fs::read(&paths[0]).unwrap();
+        bytes[16] = bytes[16].wrapping_add(1);
+        fs::write(&paths[0], &bytes).unwrap();
+        assert!(read_checkpoint(&dir, "restart", 1).is_err());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Old v1 files (no shard header, no checksums) still read back.
+    #[test]
+    fn v1_files_remain_readable() {
+        let dir = scratch_dir("v1");
+        fs::create_dir_all(&dir).unwrap();
+        let snap = sample();
+        let n_files = 2usize;
+        for f in 0..n_files {
+            let mut out = Vec::new();
+            out.extend_from_slice(MAGIC);
+            out.extend_from_slice(&1u32.to_le_bytes());
+            let mine: Vec<&(String, Vec<f64>)> = snap
+                .vars
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % n_files == f)
+                .map(|(_, v)| v)
+                .collect();
+            out.extend_from_slice(&(mine.len() as u32).to_le_bytes());
+            for (name, data) in mine {
+                out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+                out.extend_from_slice(name.as_bytes());
+                out.extend_from_slice(&(data.len() as u64).to_le_bytes());
+                for v in data {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            fs::write(dir.join(format!("restart_{f:03}.esmr")), &out).unwrap();
+        }
+        let back = read_checkpoint(&dir, "restart", 2).unwrap();
+        assert_eq!(back, snap);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn incomplete_generation_is_rejected() {
+        let dir = scratch_dir("partial");
+        let paths = write_checkpoint(&dir, "restart", &sample(), 3).unwrap();
+        // A writer killed between renames leaves fewer shards than declared.
+        fs::remove_file(&paths[1]).unwrap();
+        match read_checkpoint(&dir, "restart", 1) {
+            Err(RestartError::Corrupt { context, .. }) => {
+                assert!(context.contains("incomplete"), "{context}");
+            }
+            other => panic!("expected incomplete-generation error, got {other:?}"),
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn ring_keeps_newest_generations_and_prunes() {
+        let dir = scratch_dir("ring");
+        let mut ring = CheckpointRing::new(&dir, "restart", 3).unwrap();
+        for i in 0..5u64 {
+            let mut s = Snapshot::new();
+            s.push("v", vec![i as f64]).unwrap();
+            assert_eq!(ring.write(&s, 2).unwrap(), i + 1);
+        }
+        assert_eq!(ring.generations().unwrap(), vec![3, 4, 5]);
+        let (g, snap) = ring.read_latest_intact(1).unwrap();
+        assert_eq!(g, 5);
+        assert_eq!(snap.expect("v"), &[4.0]);
+        // A reopened ring continues the numbering.
+        let ring2 = CheckpointRing::new(&dir, "restart", 3).unwrap();
+        assert_eq!(ring2.next_gen, 6);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn ring_falls_back_over_corrupt_generations() {
+        let dir = scratch_dir("ringfb");
+        let mut ring = CheckpointRing::new(&dir, "restart", 3).unwrap();
+        for i in 0..3u64 {
+            let mut s = Snapshot::new();
+            s.push("v", vec![i as f64]).unwrap();
+            ring.write(&s, 2).unwrap();
+        }
+        // Corrupt the newest generation (bit flip) and tear the middle one
+        // (drop a shard): the ring must fall back to generation 1.
+        let flip = dir.join("restart.g0003_001.esmr");
+        let mut bytes = fs::read(&flip).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        fs::write(&flip, &bytes).unwrap();
+        fs::remove_file(dir.join("restart.g0002_000.esmr")).unwrap();
+
+        let (g, snap) = ring.read_latest_intact(1).unwrap();
+        assert_eq!(g, 1);
+        assert_eq!(snap.expect("v"), &[0.0]);
+
+        // Destroy generation 1 too: now every generation fails, typed.
+        fs::remove_file(dir.join("restart.g0001_000.esmr")).unwrap();
+        fs::remove_file(dir.join("restart.g0001_001.esmr")).unwrap();
+        match ring.read_latest_intact(1) {
+            Err(RestartError::NoIntactGeneration { tried, .. }) => {
+                assert_eq!(tried, vec![3, 2]);
+            }
+            other => panic!("expected NoIntactGeneration, got {other:?}"),
         }
         fs::remove_dir_all(&dir).ok();
     }

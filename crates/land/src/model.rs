@@ -83,8 +83,8 @@ impl<G: CGrid> LandModel<G> {
         // Precipitation forcing is in m/s of water.
         let precip_m: Vec<f64> = self.state.precip_rate.iter().map(|&r| r * dt).collect();
         soil::hydrology_step(p, &mut self.state.w_liquid, &precip_m, &mut self.runoff_m);
-        for i in 0..n {
-            self.state.precip_acc[i] += precip_m[i];
+        for (i, &pm) in precip_m.iter().enumerate().take(n) {
+            self.state.precip_acc[i] += pm;
             self.state.runoff_acc[i] += self.runoff_m[i];
         }
 
@@ -183,7 +183,7 @@ impl<G: CGrid> LandModel<G> {
                 self.recorder.launch("decay");
                 let tau = pl.decay_tau().expect("dead pool decays");
                 let target = pl.decay_target();
-                for i in 0..n {
+                for (i, resp) in resp_cell.iter_mut().enumerate().take(n) {
                     if self.pft_frac[i][pft] <= 0.001 {
                         continue;
                     }
@@ -195,9 +195,9 @@ impl<G: CGrid> LandModel<G> {
                         Some(tgt) => {
                             let humified = p.humification * d;
                             *self.state.pool_mut(i, pft, tgt) += humified;
-                            resp_cell[i] += d - humified;
+                            *resp += d - humified;
                         }
-                        None => resp_cell[i] += d,
+                        None => *resp += d,
                     }
                 }
             }
@@ -304,13 +304,9 @@ mod tests {
         for _ in 0..20 {
             m.step();
         }
-        for i in 0..m.n_land_cells() {
+        for (i, &b) in before.iter().enumerate() {
             let after = m.state.water_inventory(i);
-            assert!(
-                (after - before[i]).abs() < 1e-12,
-                "cell {i}: {} -> {after}",
-                before[i]
-            );
+            assert!((after - b).abs() < 1e-12, "cell {i}: {b} -> {after}");
         }
     }
 
@@ -341,8 +337,8 @@ mod tests {
             m.step();
         }
         for i in (0..m.n_land_cells()).step_by(13) {
-            for pft in 0..N_PFT {
-                let expect = m.state.pool(i, pft, CarbonPool::Leaf) * PFT_TABLE[pft].sla;
+            for (pft, traits) in PFT_TABLE.iter().enumerate() {
+                let expect = m.state.pool(i, pft, CarbonPool::Leaf) * traits.sla;
                 assert!((m.state.lai[i * N_PFT + pft] - expect).abs() < 1e-12);
             }
         }

@@ -47,7 +47,7 @@ impl RiverNetwork {
                     continue;
                 }
                 let h = elevation[n];
-                if h < elevation[c] && best.map_or(true, |(bh, _)| h < bh) {
+                if h < elevation[c] && best.is_none_or(|(bh, _)| h < bh) {
                     best = Some((h, n as u32));
                 }
             }

@@ -95,8 +95,8 @@ pub fn water_stress(p: &LandParams, w_liquid: &Field3, cell: usize) -> f64 {
     let w = w_liquid.col(cell);
     let mut have = 0.0;
     let mut cap = 0.0;
-    for k in 0..3 {
-        have += w[k];
+    for (k, &wk) in w.iter().enumerate().take(3) {
+        have += wk;
         cap += p.soil_dz[k] * p.field_capacity;
     }
     (have / cap).clamp(0.0, 1.0)

@@ -132,11 +132,11 @@ mod tests {
 
     #[test]
     fn constants_are_physical() {
-        assert!(GPU_DRAM_EFF_AVG > 0.0 && GPU_DRAM_EFF_AVG < GPU_DRAM_EFF_OPENACC);
-        assert!(GPU_DRAM_EFF_OPENACC < GPU_DRAM_EFF_DACE);
-        assert!(GPU_DRAM_EFF_DACE <= 1.0);
-        assert!(GRAPH_REPLAY_PER_KERNEL_S < KERNEL_LAUNCH_S);
-        assert!(ALPHA_COLL_S < ALPHA_P2P_S);
-        assert!(CPU_EFF_AMD < CPU_EFF_GRACE);
+        const { assert!(GPU_DRAM_EFF_AVG > 0.0 && GPU_DRAM_EFF_AVG < GPU_DRAM_EFF_OPENACC) };
+        const { assert!(GPU_DRAM_EFF_OPENACC < GPU_DRAM_EFF_DACE) };
+        const { assert!(GPU_DRAM_EFF_DACE <= 1.0) };
+        const { assert!(GRAPH_REPLAY_PER_KERNEL_S < KERNEL_LAUNCH_S) };
+        const { assert!(ALPHA_COLL_S < ALPHA_P2P_S) };
+        const { assert!(CPU_EFF_AMD < CPU_EFF_GRACE) };
     }
 }

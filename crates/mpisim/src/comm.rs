@@ -2,30 +2,49 @@
 //! splitting.
 
 use crate::collective::{combine_max, combine_min, combine_sum, CollectiveCtx};
+use crate::fault::{msg_checksum, CommError, FaultAction, FaultPlan};
 use crate::stats::TrafficStats;
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 use std::cell::RefCell;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// A point-to-point message. Payloads are `f64` vectors — every field and
 /// flux in the model is `f64`, and the traffic meter charges 8 bytes per
-/// element, matching the double-precision claim of the paper.
+/// element, matching the double-precision claim of the paper. Each message
+/// carries a per-edge sequence number (receiver-side deduplication of
+/// injected duplicates) and an FNV checksum (detection of corruption).
 #[derive(Debug)]
 struct Message {
     src: usize,
     tag: u64,
+    seq: u64,
+    checksum: u64,
     data: Vec<f64>,
 }
 
 /// Shared state of a world: one collective context per communicator
-/// (created lazily on `split`) and the traffic meter.
+/// (created lazily on `split`), the traffic meter, per-edge sequence
+/// counters, and the optional fault plan.
 struct WorldShared {
     stats: Arc<TrafficStats>,
     /// Communicator registry: `(parent namespace, split series, color) ->
     /// context`.
     split_ctx: Mutex<HashMap<(u64, u64, i64), Arc<CollectiveCtx>>>,
+    /// Next sequence number per (src, dst) world-rank edge.
+    seq: Mutex<HashMap<(usize, usize), u64>>,
+    faults: Option<Arc<FaultPlan>>,
+}
+
+impl WorldShared {
+    fn next_seq(&self, src: usize, dst: usize) -> u64 {
+        let mut seqs = self.seq.lock();
+        let s = seqs.entry((src, dst)).or_insert(0);
+        *s += 1;
+        *s
+    }
 }
 
 /// An SPMD world: `n` ranks running concurrently on threads.
@@ -43,11 +62,32 @@ impl World {
         n: usize,
         f: impl Fn(Comm) -> T + Sync,
     ) -> (Vec<T>, crate::TrafficSnapshot) {
+        Self::run_full(n, None, f)
+    }
+
+    /// Run `f` on `n` ranks with `plan`'s faults injected into the
+    /// point-to-point layer. The plan is shared: its edge counters and
+    /// one-shot faults persist across successive worlds run with it.
+    pub fn run_with_faults<T: Send>(
+        n: usize,
+        plan: Arc<FaultPlan>,
+        f: impl Fn(Comm) -> T + Sync,
+    ) -> Vec<T> {
+        Self::run_full(n, Some(plan), f).0
+    }
+
+    fn run_full<T: Send>(
+        n: usize,
+        faults: Option<Arc<FaultPlan>>,
+        f: impl Fn(Comm) -> T + Sync,
+    ) -> (Vec<T>, crate::TrafficSnapshot) {
         assert!(n >= 1);
         let stats = Arc::new(TrafficStats::new());
         let shared = Arc::new(WorldShared {
             stats: stats.clone(),
             split_ctx: Mutex::new(HashMap::new()),
+            seq: Mutex::new(HashMap::new()),
+            faults,
         });
         let world_ctx = Arc::new(CollectiveCtx::new(n));
 
@@ -80,7 +120,7 @@ impl World {
                             tag_ns: 0,
                             senders,
                             rx: Arc::new(rx),
-                            pending: Arc::new(RefCellSend(RefCell::new(VecDeque::new()))),
+                            pending: Arc::new(RefCellSend(RefCell::new(Mailbox::default()))),
                             ctx,
                             shared,
                             split_counter: Arc::new(Mutex::new(1)),
@@ -100,10 +140,18 @@ impl World {
     }
 }
 
+/// Per-rank receive-side state: out-of-order arrivals plus the set of
+/// `(src, seq)` pairs already delivered, for duplicate suppression.
+#[derive(Default)]
+struct Mailbox {
+    pending: VecDeque<Message>,
+    delivered: HashSet<(usize, u64)>,
+}
+
 /// `RefCell` wrapper that is `Send` (each rank's pending queue is only ever
 /// touched by its own thread; the `Arc` exists so `Comm` can be cloned into
 /// sub-communicators on the same thread).
-struct RefCellSend(RefCell<VecDeque<Message>>);
+struct RefCellSend(RefCell<Mailbox>);
 // SAFETY: every `Comm` (and every sub-communicator derived from it) lives
 // on the thread that `World::run` spawned for the rank; the queue is never
 // shared across threads.
@@ -152,37 +200,150 @@ impl Comm {
     }
 
     /// Non-blocking send of an `f64` payload to local rank `dst` with a
-    /// user `tag` (buffered, like MPI eager sends).
+    /// user `tag` (buffered, like MPI eager sends). If the world carries a
+    /// fault plan, the message may be dropped, delayed, duplicated, or
+    /// bit-flipped here.
     pub fn send(&self, dst: usize, tag: u64, data: &[f64]) {
         let world_dst = self.group[dst];
+        let world_src = self.group[self.rank];
+        let tag = self.tag_ns ^ tag;
+        let seq = self.shared.next_seq(world_src, world_dst);
+        let mut data = data.to_vec();
+        // Checksum covers the payload as sent; a bit flip below happens
+        // *after* checksumming, so the receiver sees the mismatch.
+        let checksum = msg_checksum(tag, seq, &data);
+        let mut copies = 1;
+        if let Some(plan) = &self.shared.faults {
+            match plan.take_action(world_src, world_dst) {
+                None => {}
+                Some(FaultAction::Drop) => return,
+                Some(FaultAction::Delay(d)) => std::thread::sleep(d),
+                Some(FaultAction::Duplicate) => copies = 2,
+                Some(FaultAction::BitFlip { bit }) if !data.is_empty() => {
+                    let i = (bit / 64) % data.len();
+                    data[i] = f64::from_bits(data[i].to_bits() ^ (1u64 << (bit % 64)));
+                }
+                Some(FaultAction::BitFlip { .. }) => {}
+            }
+        }
         self.shared.stats.record_send(data.len() * 8);
-        self.senders[world_dst]
-            .send(Message {
-                src: self.group[self.rank],
-                tag: self.tag_ns ^ tag,
-                data: data.to_vec(),
-            })
-            .expect("receiver alive for the world's lifetime");
+        for _ in 0..copies {
+            self.senders[world_dst]
+                .send(Message {
+                    src: world_src,
+                    tag,
+                    seq,
+                    checksum,
+                    data: data.clone(),
+                })
+                .expect("receiver alive for the world's lifetime");
+        }
     }
 
     /// Blocking receive of the next message from local rank `src` with
     /// `tag`. Out-of-order arrivals (other sources/tags) are buffered.
+    /// Panics on corruption or disconnect — use [`Comm::recv_timeout`] in
+    /// fault-aware code.
     pub fn recv(&self, src: usize, tag: u64) -> Vec<f64> {
-        let world_src = self.group[src];
-        let tag = self.tag_ns ^ tag;
-        // Check the pending buffer first.
-        {
-            let mut pend = self.pending.0.borrow_mut();
-            if let Some(pos) = pend.iter().position(|m| m.src == world_src && m.tag == tag) {
-                return pend.remove(pos).unwrap().data;
+        self.recv_inner(self.group[src], self.tag_ns ^ tag, None)
+            .unwrap_or_else(|e| panic!("recv failed: {e}"))
+    }
+
+    /// Receive with a deadline and typed errors. Waits in exponentially
+    /// growing slices (bounded backoff) until `timeout` has elapsed, then
+    /// reports [`CommError::Timeout`]. Injected duplicates are suppressed
+    /// by sequence number; corrupted payloads surface as
+    /// [`CommError::Corrupt`].
+    pub fn recv_timeout(&self, src: usize, tag: u64, timeout: Duration) -> Result<Vec<f64>, CommError> {
+        self.recv_inner(self.group[src], self.tag_ns ^ tag, Some(timeout))
+    }
+
+    /// Deliver a matched message: `None` if it is a duplicate to skip,
+    /// `Some(Err)` if its checksum fails, `Some(Ok)` with the payload.
+    fn deliver(&self, msg: Message) -> Option<Result<Vec<f64>, CommError>> {
+        let mut mbox = self.pending.0.borrow_mut();
+        if !mbox.delivered.insert((msg.src, msg.seq)) {
+            return None; // duplicate of an already-delivered message
+        }
+        if msg_checksum(msg.tag, msg.seq, &msg.data) != msg.checksum {
+            return Some(Err(CommError::Corrupt {
+                src: msg.src,
+                tag: msg.tag,
+                seq: msg.seq,
+            }));
+        }
+        Some(Ok(msg.data))
+    }
+
+    fn recv_inner(
+        &self,
+        world_src: usize,
+        tag: u64,
+        timeout: Option<Duration>,
+    ) -> Result<Vec<f64>, CommError> {
+        // Drain matches already sitting in the pending buffer.
+        loop {
+            let msg = {
+                let mut mbox = self.pending.0.borrow_mut();
+                match mbox
+                    .pending
+                    .iter()
+                    .position(|m| m.src == world_src && m.tag == tag)
+                {
+                    Some(pos) => mbox.pending.remove(pos).unwrap(),
+                    None => break,
+                }
+            };
+            if let Some(outcome) = self.deliver(msg) {
+                return outcome;
             }
         }
+
+        let deadline = timeout.map(|t| Instant::now() + t);
+        let start = Instant::now();
+        let mut slice = Duration::from_millis(1);
+        let mut attempts = 0u32;
         loop {
-            let msg = self.rx.recv().expect("world alive");
+            let received = match deadline {
+                None => self.rx.recv().map_err(|_| CommError::Disconnected {
+                    src: world_src,
+                    tag,
+                }),
+                Some(deadline) => {
+                    attempts += 1;
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return Err(CommError::Timeout {
+                            src: world_src,
+                            tag,
+                            waited: start.elapsed(),
+                            attempts,
+                        });
+                    }
+                    match self.rx.recv_timeout(slice.min(deadline - now)) {
+                        Ok(m) => Ok(m),
+                        Err(RecvTimeoutError::Timeout) => {
+                            // Bounded exponential backoff: wait a little
+                            // longer each round, capped per slice.
+                            slice = (slice * 2).min(Duration::from_millis(16));
+                            continue;
+                        }
+                        Err(RecvTimeoutError::Disconnected) => Err(CommError::Disconnected {
+                            src: world_src,
+                            tag,
+                        }),
+                    }
+                }
+            };
+            let msg = received?;
             if msg.src == world_src && msg.tag == tag {
-                return msg.data;
+                match self.deliver(msg) {
+                    Some(outcome) => return outcome,
+                    None => continue, // duplicate — keep waiting
+                }
+            } else {
+                self.pending.0.borrow_mut().pending.push_back(msg);
             }
-            self.pending.0.borrow_mut().push_back(msg);
         }
     }
 
@@ -415,5 +576,97 @@ mod tests {
                 panic!("boom");
             }
         });
+    }
+
+    #[test]
+    fn dropped_message_times_out_with_backoff() {
+        let plan = Arc::new(FaultPlan::new().inject(0, 1, 1, FaultAction::Drop));
+        let results = World::run_with_faults(2, plan.clone(), |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 3, &[42.0]);
+                Ok(vec![])
+            } else {
+                comm.recv_timeout(0, 3, Duration::from_millis(30))
+            }
+        });
+        match &results[1] {
+            Err(CommError::Timeout { src: 0, attempts, waited, .. }) => {
+                assert!(*attempts > 1, "expected multiple backoff attempts");
+                assert!(*waited >= Duration::from_millis(30));
+            }
+            other => panic!("expected timeout, got {other:?}"),
+        }
+        assert_eq!(plan.report().dropped, 1);
+    }
+
+    #[test]
+    fn delayed_message_rides_through_within_budget() {
+        let plan = Arc::new(FaultPlan::new().inject(
+            0,
+            1,
+            1,
+            FaultAction::Delay(Duration::from_millis(10)),
+        ));
+        let results = World::run_with_faults(2, plan.clone(), |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 3, &[7.0]);
+                Ok(vec![])
+            } else {
+                comm.recv_timeout(0, 3, Duration::from_millis(500))
+            }
+        });
+        assert_eq!(results[1], Ok(vec![7.0]));
+        assert_eq!(plan.report().delayed, 1);
+    }
+
+    #[test]
+    fn duplicates_are_delivered_exactly_once() {
+        let plan = Arc::new(FaultPlan::new().inject(0, 1, 1, FaultAction::Duplicate));
+        let results = World::run_with_faults(2, plan.clone(), |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 3, &[1.0]);
+                comm.send(1, 3, &[2.0]);
+                (vec![], vec![])
+            } else {
+                // The duplicate of the first message must not shadow the
+                // second: sequence-number dedup skips it.
+                let a = comm.recv(0, 3);
+                let b = comm.recv(0, 3);
+                (a, b)
+            }
+        });
+        assert_eq!(results[1], (vec![1.0], vec![2.0]));
+        assert_eq!(plan.report().duplicated, 1);
+    }
+
+    #[test]
+    fn bit_flip_is_caught_by_checksum() {
+        let plan = Arc::new(FaultPlan::new().inject(0, 1, 1, FaultAction::BitFlip { bit: 77 }));
+        let results = World::run_with_faults(2, plan.clone(), |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 3, &[1.0, 2.0, 3.0]);
+                Ok(vec![])
+            } else {
+                comm.recv_timeout(0, 3, Duration::from_millis(200))
+            }
+        });
+        assert!(
+            matches!(results[1], Err(CommError::Corrupt { src: 0, seq: 1, .. })),
+            "expected corruption, got {:?}",
+            results[1]
+        );
+        assert_eq!(plan.report().bit_flipped, 1);
+    }
+
+    #[test]
+    fn faultless_plan_is_transparent() {
+        let plan = Arc::new(FaultPlan::seeded(99, 4, 0));
+        let results = World::run_with_faults(4, plan, |comm| {
+            let next = (comm.rank() + 1) % comm.size();
+            let prev = (comm.rank() + comm.size() - 1) % comm.size();
+            comm.send(next, 7, &[comm.rank() as f64]);
+            comm.recv_timeout(prev, 7, Duration::from_secs(5)).unwrap()[0]
+        });
+        assert_eq!(results, vec![3.0, 0.0, 1.0, 2.0]);
     }
 }

@@ -15,11 +15,13 @@
 
 pub mod collective;
 pub mod comm;
+pub mod fault;
 pub mod halo;
 pub mod rank_exchange;
 pub mod stats;
 
 pub use comm::{Comm, World};
+pub use fault::{CommError, FaultAction, FaultPlan, FaultReport, PlannedFault};
 pub use halo::HaloExchanger;
 pub use rank_exchange::RankExchange;
 pub use stats::{TrafficSnapshot, TrafficStats};

@@ -83,8 +83,8 @@ mod tests {
         let mut press = Field3::zeros(n, p.nlev);
         hydrostatic_pressure(&p, &temp, &salt, &eta, &mut press);
         const G: f64 = 9.80665;
-        for c in 0..n {
-            let mut acc = eta[c];
+        for (c, &eta_c) in eta.iter().enumerate().take(n) {
+            let mut acc = eta_c;
             for k in 0..p.nlev {
                 acc += 0.5 * density_anomaly(&p, temp.at(c, k), salt.at(c, k)) * p.dz[k];
                 assert!(

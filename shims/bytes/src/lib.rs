@@ -1,0 +1,8 @@
+//! Minimal offline stand-in for the `bytes` crate (see `shims/README.md`).
+//!
+//! The workspace declares `bytes` as a dependency of `iosys` but uses no
+//! API from it; this empty shim lets the manifest resolve without network
+//! access. A tiny `Bytes` alias is provided should future code want one.
+
+/// Cheap byte-buffer alias standing in for `bytes::Bytes`.
+pub type Bytes = std::sync::Arc<[u8]>;

@@ -1,0 +1,254 @@
+//! Minimal offline stand-in for `criterion` (see `shims/README.md`).
+//!
+//! Implements the benchmarking surface the workspace's benches use —
+//! `Criterion::bench_function`, `benchmark_group` with `sample_size` /
+//! `throughput`, `BenchmarkId`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros — as a straightforward
+//! wall-clock timer: warm-up, then `sample_size` samples of an
+//! auto-calibrated iteration count, reporting min/median/mean and
+//! derived throughput. No statistics beyond that, no HTML reports.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, preventing the optimizer from deleting the
+/// benchmarked computation.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Hierarchical benchmark identifier (`function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// Per-iteration timer handle passed to the benchmark closure.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<Duration>,
+    sample_size: usize,
+    target_sample_time: Duration,
+}
+
+impl Bencher<'_> {
+    /// Time `routine`, auto-calibrating iterations per sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: run once to estimate cost, then pick an iteration
+        // count that fills the per-sample time budget.
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let iters = (self.target_sample_time.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples.push(t.elapsed() / iters as u32);
+        }
+    }
+}
+
+fn report(name: &str, samples: &[Duration], throughput: Option<Throughput>) {
+    if samples.is_empty() {
+        return;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort();
+    let median = sorted[sorted.len() / 2];
+    let mean: Duration = sorted.iter().sum::<Duration>() / sorted.len() as u32;
+    let min = sorted[0];
+    let rate = |per: Duration| -> String {
+        match throughput {
+            Some(Throughput::Bytes(b)) => {
+                let gibs = b as f64 / per.as_secs_f64() / (1u64 << 30) as f64;
+                format!("  {gibs:8.2} GiB/s")
+            }
+            Some(Throughput::Elements(n)) => {
+                let me = n as f64 / per.as_secs_f64() / 1e6;
+                format!("  {me:8.2} Melem/s")
+            }
+            None => String::new(),
+        }
+    };
+    println!(
+        "bench {name:<40} min {min:>10.3?}  median {median:>10.3?}  mean {mean:>10.3?}{}",
+        rate(median)
+    );
+}
+
+/// Group of related benchmarks sharing sample/throughput settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn measurement_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn warm_up_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut samples = Vec::new();
+        let mut b = Bencher {
+            samples: &mut samples,
+            sample_size: self.sample_size,
+            target_sample_time: Duration::from_millis(10),
+        };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id), &samples, self.throughput);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// The harness entry point.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn configure_from_args(self) -> Criterion {
+        // CLI filtering/baselines are not supported by the shim; flags
+        // passed by `cargo bench` are ignored.
+        self
+    }
+
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.default_sample_size = n.max(2);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.default_sample_size,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: impl std::fmt::Display, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut samples = Vec::new();
+        let mut b = Bencher {
+            samples: &mut samples,
+            sample_size: self.default_sample_size,
+            target_sample_time: Duration::from_millis(10),
+        };
+        f(&mut b);
+        report(&name.to_string(), &samples, None);
+        self
+    }
+
+    pub fn final_summary(&mut self) {}
+}
+
+/// Declare a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Generate `main` running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.throughput(Throughput::Bytes(8 * 1024));
+        group.bench_function(BenchmarkId::new("sum", 1024), |b| {
+            let data = vec![1.0f64; 1024];
+            b.iter(|| black_box(data.iter().sum::<f64>()));
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs_end_to_end() {
+        criterion_group!(benches, sample_bench);
+        benches();
+    }
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("write", 4).to_string(), "write/4");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+}

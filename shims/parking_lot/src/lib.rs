@@ -1,0 +1,172 @@
+//! Minimal offline stand-in for `parking_lot` (see `shims/README.md`).
+//!
+//! Wraps `std::sync` primitives behind parking_lot's panic-free API:
+//! `lock()` returns the guard directly (poisoning is swallowed, matching
+//! parking_lot's no-poisoning semantics) and `Condvar::wait_while` takes
+//! the guard by `&mut` reference.
+
+use std::ops::{Deref, DerefMut};
+use std::time::Duration;
+
+pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+
+pub struct MutexGuard<'a, T: ?Sized> {
+    // `Option` so `Condvar` can temporarily take ownership for std's
+    // by-value wait API while callers hold only `&mut MutexGuard`.
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T> Mutex<T> {
+    pub const fn new(value: T) -> Mutex<T> {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard {
+            inner: Some(self.0.lock().unwrap_or_else(|p| p.into_inner())),
+        }
+    }
+
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(g) => Some(MutexGuard { inner: Some(g) }),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(MutexGuard {
+                inner: Some(p.into_inner()),
+            }),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_deref().expect("guard present")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_deref_mut().expect("guard present")
+    }
+}
+
+#[derive(Default)]
+pub struct Condvar(std::sync::Condvar);
+
+impl Condvar {
+    pub const fn new() -> Condvar {
+        Condvar(std::sync::Condvar::new())
+    }
+
+    /// Block until `condition` returns false (parking_lot semantics:
+    /// `condition` true means "keep waiting").
+    pub fn wait_while<'a, T, F>(&self, guard: &mut MutexGuard<'a, T>, condition: F)
+    where
+        F: FnMut(&mut T) -> bool,
+    {
+        let g = guard.inner.take().expect("guard present");
+        let g = self
+            .0
+            .wait_while(g, condition)
+            .unwrap_or_else(|p| p.into_inner());
+        guard.inner = Some(g);
+    }
+
+    /// Like [`Condvar::wait_while`] with a timeout; returns true if the
+    /// wait timed out with the condition still holding.
+    pub fn wait_while_timeout<'a, T, F>(
+        &self,
+        guard: &mut MutexGuard<'a, T>,
+        condition: F,
+        timeout: Duration,
+    ) -> bool
+    where
+        F: FnMut(&mut T) -> bool,
+    {
+        let g = guard.inner.take().expect("guard present");
+        let (g, res) = self
+            .0
+            .wait_timeout_while(g, timeout, condition)
+            .unwrap_or_else(|p| p.into_inner());
+        guard.inner = Some(g);
+        res.timed_out()
+    }
+
+    pub fn wait<'a, T>(&self, guard: &mut MutexGuard<'a, T>) {
+        let g = guard.inner.take().expect("guard present");
+        let g = self.0.wait(g).unwrap_or_else(|p| p.into_inner());
+        guard.inner = Some(g);
+    }
+
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+}
+
+pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
+
+impl<T> RwLock<T> {
+    pub const fn new(value: T) -> RwLock<T> {
+        RwLock(std::sync::RwLock::new(value))
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    pub fn read(&self) -> std::sync::RwLockReadGuard<'_, T> {
+        self.0.read().unwrap_or_else(|p| p.into_inner())
+    }
+
+    pub fn write(&self) -> std::sync::RwLockWriteGuard<'_, T> {
+        self.0.write().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_and_condvar_rendezvous() {
+        let m = Arc::new(Mutex::new(0usize));
+        let cv = Arc::new(Condvar::new());
+        let (m2, cv2) = (m.clone(), cv.clone());
+        let h = std::thread::spawn(move || {
+            let mut g = m2.lock();
+            *g += 1;
+            cv2.notify_all();
+            cv2.wait_while(&mut g, |v| *v < 2);
+            *g
+        });
+        let mut g = m.lock();
+        cv.wait_while(&mut g, |v| *v < 1);
+        *g += 1;
+        cv.notify_all();
+        drop(g);
+        assert_eq!(h.join().unwrap(), 2);
+    }
+
+    #[test]
+    fn wait_timeout_reports_timeout() {
+        let m = Mutex::new(false);
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let timed_out = cv.wait_while_timeout(&mut g, |done| !*done, Duration::from_millis(20));
+        assert!(timed_out);
+    }
+}

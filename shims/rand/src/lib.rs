@@ -1,0 +1,84 @@
+//! Minimal offline stand-in for the `rand` crate.
+//!
+//! The build container has no crates.io access, so every external
+//! dependency of the workspace is replaced by a small in-repo shim that
+//! implements exactly the API surface this repository uses (see
+//! `shims/README.md`). The workspace currently uses no `rand` API at all —
+//! the crate exists so that `rand.workspace = true` manifests resolve —
+//! but a deterministic splitmix/xoshiro generator is provided for future
+//! use and for parity with `rand::rngs::SmallRng` seeding idioms.
+
+/// A small, fast, deterministic RNG (xoshiro256**-like quality via
+/// splitmix64 expansion). Not cryptographic.
+#[derive(Debug, Clone)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+impl SmallRng {
+    /// Seed deterministically (mirrors `SeedableRng::seed_from_u64`).
+    pub fn seed_from_u64(seed: u64) -> SmallRng {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        SmallRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let r = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        r
+    }
+
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform f64 in [0, 1).
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in [lo, hi).
+    pub fn gen_range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(hi > lo);
+        lo + self.next_u64() % (hi - lo)
+    }
+}
+
+pub mod rngs {
+    pub use super::SmallRng;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_uniform_ish() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(7);
+        let mean: f64 = (0..10_000).map(|_| c.gen_f64()).sum::<f64>() / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+}

@@ -1,0 +1,103 @@
+//! Minimal offline stand-in for `rayon` (see `shims/README.md`).
+//!
+//! Every `par_*` entry point returns the corresponding **sequential**
+//! standard-library iterator, so downstream adaptor chains
+//! (`.zip(..).enumerate().for_each(..)`, `.map(..).collect()`, …) compile
+//! and run unchanged — std's `Iterator` provides the same combinators the
+//! workspace uses from rayon's parallel iterators. Model results are
+//! bitwise identical to a rayon build because every kernel in this
+//! repository is element-wise disjoint; only wall-clock parallelism is
+//! lost, which the laptop-scale tests do not rely on.
+
+pub mod prelude {
+    /// `par_iter`/`par_chunks` on shared slices (and anything that derefs
+    /// to a slice, e.g. `Vec`).
+    pub trait ParallelSlice<T> {
+        fn par_iter(&self) -> std::slice::Iter<'_, T>;
+        fn par_chunks(&self, chunk: usize) -> std::slice::Chunks<'_, T>;
+    }
+
+    /// `par_iter_mut`/`par_chunks_mut` on mutable slices.
+    pub trait ParallelSliceMut<T> {
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+        fn par_chunks_mut(&mut self, chunk: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        #[inline]
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.iter()
+        }
+        #[inline]
+        fn par_chunks(&self, chunk: usize) -> std::slice::Chunks<'_, T> {
+            self.chunks(chunk)
+        }
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        #[inline]
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+            self.iter_mut()
+        }
+        #[inline]
+        fn par_chunks_mut(&mut self, chunk: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(chunk)
+        }
+    }
+
+    /// `into_par_iter` on ranges and collections: the sequential iterator.
+    pub trait IntoParallelIterator {
+        type Iter;
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Iter = I::IntoIter;
+        #[inline]
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+}
+
+/// Sequential stand-in for `rayon::join`.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// Sequential stand-in for `rayon::scope`-free spawning helper: runs the
+/// closure immediately.
+pub fn spawn_inline<F: FnOnce()>(f: F) {
+    f()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn slice_adaptors_match_sequential() {
+        let v = [1.0f64, 2.0, 3.0, 4.0];
+        let s: f64 = v.par_iter().sum();
+        assert_eq!(s, 10.0);
+        let mut w = vec![0.0; 4];
+        w.par_iter_mut()
+            .zip(v.par_iter())
+            .enumerate()
+            .for_each(|(i, (o, x))| *o = x * i as f64);
+        assert_eq!(w, vec![0.0, 2.0, 6.0, 12.0]);
+        let mut cols = vec![1.0; 6];
+        cols.par_chunks_mut(3).for_each(|c| c[0] = 9.0);
+        assert_eq!(cols, vec![9.0, 1.0, 1.0, 9.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn join_runs_both() {
+        let (a, b) = super::join(|| 2 + 2, || "ok");
+        assert_eq!((a, b), (4, "ok"));
+    }
+}

@@ -1,0 +1,199 @@
+//! Minimal offline stand-in for `serde` (see `shims/README.md`).
+//!
+//! The workspace only ever serializes plain-old-data structs and unit
+//! enums into JSON artifacts, so the shim collapses serde's data model to
+//! one self-describing [`Content`] tree. `#[derive(Serialize)]` (from the
+//! sibling `serde_derive` shim) generates a `to_content` that maps named
+//! fields to a JSON object and unit enum variants to their names —
+//! exactly the encoding real serde+serde_json produce for these types.
+
+pub use serde_derive::Serialize;
+
+/// Self-describing serialized value: the shim's entire data model. The
+/// `serde_json` shim re-exports this as its `Value`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    Null,
+    Bool(bool),
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Str(String),
+    Seq(Vec<Content>),
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Content::F64(x) => Some(*x),
+            Content::U64(n) => Some(*n as f64),
+            Content::I64(n) => Some(*n as f64),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&Vec<Content>> {
+        match self {
+            Content::Seq(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Content::U64(n) => Some(*n),
+            Content::I64(n) => u64::try_from(*n).ok(),
+            _ => None,
+        }
+    }
+
+    pub fn is_object(&self) -> bool {
+        matches!(self, Content::Map(_))
+    }
+
+    /// Object field lookup (`value["key"]`-style, but total).
+    pub fn get(&self, key: &str) -> Option<&Content> {
+        match self {
+            Content::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Missing keys index to `Null`, matching serde_json's `Value` indexing.
+impl std::ops::Index<&str> for Content {
+    type Output = Content;
+    fn index(&self, key: &str) -> &Content {
+        const NULL: Content = Content::Null;
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+/// Types that can serialize themselves into a [`Content`] tree.
+pub trait Serialize {
+    fn to_content(&self) -> Content;
+}
+
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+macro_rules! impl_ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::I64(*self as i64)
+            }
+        }
+    )*};
+}
+
+impl_ser_uint!(u8, u16, u32, u64, usize);
+impl_ser_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self as f64)
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            None => Content::Null,
+            Some(v) => v.to_content(),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_content(&self) -> Content {
+        Content::Seq(vec![self.0.to_content(), self.1.to_content()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_map_to_expected_nodes() {
+        assert_eq!(3u32.to_content(), Content::U64(3));
+        assert_eq!((-3i64).to_content(), Content::I64(-3));
+        assert_eq!(1.5f64.to_content(), Content::F64(1.5));
+        assert_eq!("x".to_content(), Content::Str("x".into()));
+        assert_eq!(None::<f64>.to_content(), Content::Null);
+        assert_eq!(
+            vec![1u8, 2].to_content(),
+            Content::Seq(vec![Content::U64(1), Content::U64(2)])
+        );
+    }
+}

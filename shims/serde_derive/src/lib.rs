@@ -1,0 +1,169 @@
+//! `#[derive(Serialize)]` without syn/quote (see `shims/README.md`).
+//!
+//! The workspace derives `Serialize` only for
+//!
+//! * structs with named fields whose types contain no exotic syntax, and
+//! * enums whose variants are all unit variants,
+//!
+//! so the derive hand-parses the token stream: it finds the item keyword,
+//! the type name, and then either the field names (the identifier before
+//! each top-level `:` in the braced body, tracking `<...>` nesting so
+//! generic field types cannot desynchronize the comma splitting) or the
+//! variant names. Output is generated as source text and re-parsed, which
+//! keeps the whole macro dependency-free.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+
+    let mut kind = None; // "struct" | "enum"
+    let mut name = None;
+    let mut body = None;
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Ident(id) if kind.is_none() => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    kind = Some(s);
+                    if let Some(TokenTree::Ident(n)) = tokens.get(i + 1) {
+                        name = Some(n.to_string());
+                    }
+                }
+            }
+            TokenTree::Group(g)
+                if kind.is_some() && g.delimiter() == Delimiter::Brace && body.is_none() =>
+            {
+                body = Some(g.stream());
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+
+    let kind = kind.expect("derive(Serialize): expected struct or enum");
+    let name = name.expect("derive(Serialize): expected type name");
+    let body = body.expect("derive(Serialize): expected braced body (tuple/unit items unsupported)");
+
+    let impl_src = if kind == "struct" {
+        let fields = named_fields(body);
+        assert!(
+            !fields.is_empty(),
+            "derive(Serialize) shim: struct {name} has no named fields"
+        );
+        let pushes: String = fields
+            .iter()
+            .map(|f| {
+                format!(
+                    "m.push((\"{f}\".to_string(), ::serde::Serialize::to_content(&self.{f})));"
+                )
+            })
+            .collect();
+        format!(
+            "impl ::serde::Serialize for {name} {{\
+               fn to_content(&self) -> ::serde::Content {{\
+                 let mut m: Vec<(String, ::serde::Content)> = Vec::new();\
+                 {pushes}\
+                 ::serde::Content::Map(m)\
+               }}\
+             }}"
+        )
+    } else {
+        let variants = unit_variants(body);
+        assert!(
+            !variants.is_empty(),
+            "derive(Serialize) shim: enum {name} has no unit variants"
+        );
+        let arms: String = variants
+            .iter()
+            .map(|v| {
+                format!("{name}::{v} => ::serde::Content::Str(\"{v}\".to_string()),")
+            })
+            .collect();
+        format!(
+            "impl ::serde::Serialize for {name} {{\
+               fn to_content(&self) -> ::serde::Content {{\
+                 match self {{ {arms} }}\
+               }}\
+             }}"
+        )
+    };
+
+    impl_src.parse().expect("derive(Serialize): generated impl parses")
+}
+
+/// Field names of a named-field struct body: for each chunk between
+/// top-level commas, the identifier immediately before the first `:` that
+/// is not part of a `::` path (field declarations place the name before
+/// the first colon; attribute tokens live inside `#[...]` groups and are
+/// invisible at this level).
+fn named_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut angle_depth = 0i32;
+    let mut last_ident: Option<String> = None;
+    let mut in_type = false; // between the field's `:` and the next top-level `,`
+    let mut toks = body.into_iter().peekable();
+    while let Some(t) = toks.next() {
+        match &t {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' if in_type => angle_depth += 1,
+                '>' if in_type => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    in_type = false;
+                    last_ident = None;
+                }
+                ':' if !in_type => {
+                    // Distinguish `name: Type` from a `::` path (none occur
+                    // before the first colon of a field, but be safe).
+                    let double = matches!(
+                        toks.peek(),
+                        Some(TokenTree::Punct(q)) if q.as_char() == ':'
+                    );
+                    if double {
+                        toks.next();
+                    } else if let Some(f) = last_ident.take() {
+                        fields.push(f);
+                        in_type = true;
+                    }
+                }
+                _ => {}
+            },
+            TokenTree::Ident(id) if !in_type => {
+                let s = id.to_string();
+                if s != "pub" {
+                    last_ident = Some(s);
+                }
+            }
+            _ => {}
+        }
+    }
+    fields
+}
+
+/// Variant names of an all-unit-variant enum body. Panics on payload
+/// variants: the shim intentionally refuses shapes real serde would
+/// accept but this derive would mis-serialize.
+fn unit_variants(body: TokenStream) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut expect_name = true;
+    for t in body {
+        match &t {
+            TokenTree::Ident(id) if expect_name => {
+                variants.push(id.to_string());
+                expect_name = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => expect_name = true,
+            TokenTree::Group(g) if g.delimiter() != Delimiter::Bracket => {
+                panic!(
+                    "derive(Serialize) shim supports only unit enum variants; \
+                     found a payload near `{}`",
+                    variants.last().map(String::as_str).unwrap_or("?")
+                )
+            }
+            _ => {}
+        }
+    }
+    variants
+}

@@ -1,0 +1,235 @@
+//! Minimal offline stand-in for `serde_json` (see `shims/README.md`).
+//!
+//! `Value` is the `serde` shim's [`serde::Content`] tree; the [`json!`]
+//! macro supports the object/array/expression grammar the workspace uses,
+//! and [`to_string_pretty`] emits standard JSON (NaN/infinities as
+//! `null`, matching serde_json's lossy float policy).
+
+pub use serde::Content as Value;
+
+/// Serialization error (the shim's writer is infallible in practice, but
+/// the signature mirrors serde_json for drop-in use).
+#[derive(Debug)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convert any `Serialize` value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Value {
+    value.to_content()
+}
+
+/// Compact JSON text.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_content(), None, 0, &mut out);
+    Ok(out)
+}
+
+/// Pretty-printed JSON text (two-space indent, like serde_json).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_content(), Some(2), 0, &mut out);
+    Ok(out)
+}
+
+fn write_value(v: &Value, indent: Option<usize>, depth: usize, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::F64(x) => {
+            if x.is_finite() {
+                // Round-trippable shortest representation; ensure a JSON
+                // number (Rust prints integral floats without ".0", which
+                // is still valid JSON).
+                out.push_str(&format!("{x}"));
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_escaped(s, out),
+        Value::Seq(items) => write_seq('[', ']', items.len(), indent, depth, out, |i, out| {
+            write_value(&items[i], indent, depth + 1, out)
+        }),
+        Value::Map(entries) => {
+            write_seq('{', '}', entries.len(), indent, depth, out, |i, out| {
+                write_escaped(&entries[i].0, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(&entries[i].1, indent, depth + 1, out)
+            })
+        }
+    }
+}
+
+fn write_seq(
+    open: char,
+    close: char,
+    len: usize,
+    indent: Option<usize>,
+    depth: usize,
+    out: &mut String,
+    mut item: impl FnMut(usize, &mut String),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(w) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', w * (depth + 1)));
+        }
+        item(i, out);
+    }
+    if let Some(w) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', w * depth));
+    }
+    out.push(close);
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Build a [`Value`] from JSON-like syntax. Supports the subset the
+/// workspace uses: object literals with string-literal keys, array
+/// literals, `null`, and arbitrary Rust expressions implementing
+/// `serde::Serialize` in value position (including nested objects/arrays).
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($tt:tt)* ]) => {{
+        #[allow(unused_mut, clippy::vec_init_then_push)]
+        let items: Vec<$crate::Value> = {
+            let mut items: Vec<$crate::Value> = Vec::new();
+            $crate::json_items!(items; $($tt)*);
+            items
+        };
+        $crate::Value::Seq(items)
+    }};
+    ({ $($tt:tt)* }) => {{
+        #[allow(unused_mut, clippy::vec_init_then_push)]
+        let entries: Vec<(String, $crate::Value)> = {
+            let mut entries: Vec<(String, $crate::Value)> = Vec::new();
+            $crate::json_entries!(entries; $($tt)*);
+            entries
+        };
+        $crate::Value::Map(entries)
+    }};
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+/// Internal: comma-separated array elements. An element is either a
+/// nested JSON form (single token tree: `{...}`, `[...]`, a literal, an
+/// identifier) or a general Rust expression.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_items {
+    ($items:ident;) => {};
+    ($items:ident; $val:tt , $($rest:tt)*) => {
+        $items.push($crate::json!($val));
+        $crate::json_items!($items; $($rest)*);
+    };
+    ($items:ident; $val:tt) => {
+        $items.push($crate::json!($val));
+    };
+    ($items:ident; $val:expr , $($rest:tt)*) => {
+        $items.push($crate::json!($val));
+        $crate::json_items!($items; $($rest)*);
+    };
+    ($items:ident; $val:expr) => {
+        $items.push($crate::json!($val));
+    };
+}
+
+/// Internal: comma-separated `"key": value` object entries.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_entries {
+    ($entries:ident;) => {};
+    ($entries:ident; $key:literal : $val:tt , $($rest:tt)*) => {
+        $entries.push(($key.to_string(), $crate::json!($val)));
+        $crate::json_entries!($entries; $($rest)*);
+    };
+    ($entries:ident; $key:literal : $val:tt) => {
+        $entries.push(($key.to_string(), $crate::json!($val)));
+    };
+    ($entries:ident; $key:literal : $val:expr , $($rest:tt)*) => {
+        $entries.push(($key.to_string(), $crate::json!($val)));
+        $crate::json_entries!($entries; $($rest)*);
+    };
+    ($entries:ident; $key:literal : $val:expr) => {
+        $entries.push(($key.to_string(), $crate::json!($val)));
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_builds_nested_trees() {
+        let rows = vec![json!({"a": 1.0}), json!({"a": 2.0})];
+        let tau = 145.7f64;
+        let v = json!({
+            "name": "jupiter",
+            "tau": tau,
+            "expr": tau * 2.0,
+            "rows": rows,
+            "nested": {"km10": 1.2e10, "list": [1, 2, 3]},
+            "nothing": null,
+        });
+        assert_eq!(v.get("name").unwrap().as_str(), Some("jupiter"));
+        assert_eq!(v.get("expr").unwrap().as_f64(), Some(291.4));
+        assert_eq!(v.get("rows").unwrap().as_array().unwrap().len(), 2);
+        assert_eq!(
+            v.get("nested").unwrap().get("list").unwrap(),
+            &Value::Seq(vec![Value::I64(1), Value::I64(2), Value::I64(3)])
+        );
+        assert_eq!(v.get("nothing"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn pretty_output_is_valid_json_shape() {
+        let v = json!({"x": [1.5, null], "s": "a\"b"});
+        let s = to_string_pretty(&v).unwrap();
+        assert!(s.contains("\"x\": ["));
+        assert!(s.contains("\\\"b\""));
+        let compact = to_string(&v).unwrap();
+        assert_eq!(compact, "{\"x\":[1.5,null],\"s\":\"a\\\"b\"}");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+        assert_eq!(to_string(&f64::INFINITY).unwrap(), "null");
+    }
+}

@@ -31,7 +31,7 @@ proptest! {
     #[test]
     fn upwind_advection_conserves_for_random_flows(
         ax in -1.0f64..1.0, ay in -1.0f64..1.0, az in -1.0f64..1.0,
-        amp in 0.1f64..30.0, phase in 0.0f64..6.28,
+        amp in 0.1f64..30.0, phase in 0.0f64..std::f64::consts::TAU,
     ) {
         prop_assume!(ax * ax + ay * ay + az * az > 1e-4);
         let g = small_grid();
