@@ -1,0 +1,142 @@
+//! Thread-scaling bench for the deterministic rayon pool (ISSUE 2).
+//!
+//! Runs the same coupled configuration at a sweep of pool widths, checks
+//! the runs are **bitwise identical** (the shim's determinism contract),
+//! and writes wall time / speedup / tau / pool utilization per width to
+//! `results/parallel_scaling.json`.
+//!
+//! Not a criterion bench: the pool width is process-global state that must
+//! be swept in a fixed order, and the artifact is a JSON file, so this is
+//! a plain `harness = false` main.
+//!
+//! Environment knobs (all optional):
+//! * `SCALING_WINDOWS`  — timed coupling windows per width (default 6)
+//! * `SCALING_THREADS`  — comma-separated widths (default `1,2,4`)
+//! * `SCALING_BISECT`   — grid bisections (default 4, the demo grid)
+
+use esm_core::{CoupledEsm, EsmConfig};
+use serde::Serialize;
+use std::fs;
+use std::path::PathBuf;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct WidthResult {
+    threads: usize,
+    wall_s: f64,
+    speedup_vs_1: f64,
+    tau: f64,
+    atm_land_utilization: f64,
+    ocean_bgc_utilization: f64,
+    bitwise_equal_to_width_1: bool,
+}
+
+#[derive(Serialize)]
+struct ScalingReport {
+    /// Hardware threads the host actually has. Speedup beyond this number
+    /// of pool threads is not physically possible; a 1-core CI runner will
+    /// legitimately report ~1.0 across the sweep.
+    host_threads: usize,
+    grid_bisections: u32,
+    cells: usize,
+    windows: usize,
+    widths: Vec<WidthResult>,
+}
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn set_width(n: usize) {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(n)
+        .build_global()
+        .expect("shim build_global is infallible");
+}
+
+fn main() {
+    // `cargo bench` passes harness flags; ignore them.
+    let windows = env_usize("SCALING_WINDOWS", 6);
+    let bisect = env_usize("SCALING_BISECT", 4) as u32;
+    let widths: Vec<usize> = std::env::var("SCALING_THREADS")
+        .unwrap_or_else(|_| "1,2,4".into())
+        .split(',')
+        .filter_map(|t| t.trim().parse().ok())
+        .collect();
+
+    let mut cfg = EsmConfig::demo();
+    cfg.bisections = bisect;
+
+    let host_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let mut reference: Option<iosys::Snapshot> = None;
+    let mut wall_1 = None;
+    let mut results = Vec::new();
+
+    for &threads in &widths {
+        set_width(threads);
+        let mut esm = CoupledEsm::new(cfg.clone());
+        // One warm-up window outside the timed span.
+        esm.run_windows(1, false);
+        let t0 = Instant::now();
+        esm.run_windows(windows, false);
+        let wall = t0.elapsed().as_secs_f64();
+
+        let snap = esm.snapshot();
+        let bitwise = match &reference {
+            None => {
+                reference = Some(snap);
+                true
+            }
+            Some(r) => *r == snap,
+        };
+        assert!(
+            bitwise,
+            "run at {threads} threads diverged bitwise from width 1"
+        );
+
+        if threads == 1 || wall_1.is_none() {
+            wall_1.get_or_insert(wall);
+        }
+        let speedup = wall_1.map(|w1| w1 / wall).unwrap_or(1.0);
+        println!(
+            "threads={threads:2}  wall={wall:8.3}s  speedup={speedup:5.2}x  \
+             tau={:9.1}  util(atm)={:4.2} util(oce)={:4.2}",
+            esm.timers.tau(),
+            esm.timers.atm_land_utilization(),
+            esm.timers.ocean_bgc_utilization(),
+        );
+        results.push(WidthResult {
+            threads,
+            wall_s: wall,
+            speedup_vs_1: speedup,
+            tau: esm.timers.tau(),
+            atm_land_utilization: esm.timers.atm_land_utilization(),
+            ocean_bgc_utilization: esm.timers.ocean_bgc_utilization(),
+            bitwise_equal_to_width_1: bitwise,
+        });
+    }
+
+    let report = ScalingReport {
+        host_threads,
+        grid_bisections: cfg.bisections,
+        cells: CoupledEsm::new(cfg.clone()).grid.n_cells,
+        windows,
+        widths: results,
+    };
+
+    let out_dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    fs::create_dir_all(&out_dir).expect("create results dir");
+    let path = out_dir.join("parallel_scaling.json");
+    fs::write(
+        &path,
+        serde_json::to_string_pretty(&report).expect("serialize report"),
+    )
+    .expect("write parallel_scaling.json");
+    println!("wrote {}", path.display());
+}

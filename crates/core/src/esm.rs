@@ -114,14 +114,24 @@ impl CoupledEsm {
     }
 
     /// Run `n` coupling windows. `concurrent` moves ocean+BGC to their
-    /// own thread; the physics is bitwise identical either way.
+    /// own thread; the physics is bitwise identical either way (and also
+    /// bitwise invariant to the rayon pool width — the shim's determinism
+    /// contract).
     pub fn run_windows(&mut self, n: usize, concurrent: bool) {
         let t0 = std::time::Instant::now();
         let cfg = self.cfg.clone();
         let grid = self.grid.clone();
         let window0 = self.windows_run;
+        self.timers.threads = rayon::current_num_threads();
 
         if concurrent {
+            // The two sides run on different threads, so neither may hold
+            // `&mut` into the shared timer buckets: each side accumulates
+            // wall/busy into its own locals, merged after the join.
+            let mut fast_wall = 0.0;
+            let mut fast_busy = 0.0;
+            let mut slow_wall = 0.0;
+            let mut slow_busy = 0.0;
             let CoupledEsm {
                 atm,
                 land,
@@ -141,31 +151,43 @@ impl CoupledEsm {
                 let g = grid.as_ref();
                 let last_fast_out = &mut last_fast_out;
                 let last_slow_out = &mut last_slow_out;
+                let fast_wall = &mut fast_wall;
+                let fast_busy = &mut fast_busy;
+                let slow_wall = &mut slow_wall;
+                let slow_busy = &mut slow_busy;
                 run_concurrent_windows(
                     n,
                     pending_to_fast.clone(),
                     pending_to_slow.clone(),
                     move |w, incoming| {
-                        let out = fast_window(
-                            atm,
-                            land,
-                            g,
-                            land_pos,
-                            &cfg,
-                            window0 + w as u64,
-                            incoming,
-                            ocean_water_received_kg,
-                        );
+                        let out = Timers::time_with_busy(fast_wall, fast_busy, || {
+                            fast_window(
+                                atm,
+                                land,
+                                g,
+                                land_pos,
+                                &cfg,
+                                window0 + w as u64,
+                                incoming,
+                                ocean_water_received_kg,
+                            )
+                        });
                         *last_fast_out = out.clone();
                         out
                     },
                     move |_w, incoming| {
-                        let out = slow_window(ocean, hamocc, g, cfg_slow.oce_steps_per_window(), incoming);
+                        let out = Timers::time_with_busy(slow_wall, slow_busy, || {
+                            slow_window(ocean, hamocc, g, cfg_slow.oce_steps_per_window(), incoming)
+                        });
                         *last_slow_out = out.clone();
                         out
                     },
                 )
             };
+            timers.atm_land_s += fast_wall;
+            timers.atm_land_busy_s += fast_busy;
+            timers.ocean_bgc_s += slow_wall;
+            timers.ocean_bgc_busy_s += slow_busy;
             timers.atm_wait_s += fast_stats.wait_s;
             timers.oce_wait_s += slow_stats.wait_s;
             self.pending_to_slow = last_fast_out;
@@ -174,27 +196,35 @@ impl CoupledEsm {
             for w in 0..n {
                 let incoming_fast = self.pending_to_fast.clone();
                 let incoming_slow = self.pending_to_slow.clone();
-                let fast_out = Timers::time(&mut self.timers.atm_land_s, || {
-                    fast_window(
-                        &mut self.atm,
-                        &mut self.land,
-                        grid.as_ref(),
-                        &self.land_pos,
-                        &cfg,
-                        window0 + w as u64,
-                        &incoming_fast,
-                        &mut self.ocean_water_received_kg,
-                    )
-                });
-                let slow_out = Timers::time(&mut self.timers.ocean_bgc_s, || {
-                    slow_window(
-                        &mut self.ocean,
-                        &mut self.hamocc,
-                        grid.as_ref(),
-                        cfg.oce_steps_per_window(),
-                        &incoming_slow,
-                    )
-                });
+                let fast_out = Timers::time_with_busy(
+                    &mut self.timers.atm_land_s,
+                    &mut self.timers.atm_land_busy_s,
+                    || {
+                        fast_window(
+                            &mut self.atm,
+                            &mut self.land,
+                            grid.as_ref(),
+                            &self.land_pos,
+                            &cfg,
+                            window0 + w as u64,
+                            &incoming_fast,
+                            &mut self.ocean_water_received_kg,
+                        )
+                    },
+                );
+                let slow_out = Timers::time_with_busy(
+                    &mut self.timers.ocean_bgc_s,
+                    &mut self.timers.ocean_bgc_busy_s,
+                    || {
+                        slow_window(
+                            &mut self.ocean,
+                            &mut self.hamocc,
+                            grid.as_ref(),
+                            cfg.oce_steps_per_window(),
+                            &incoming_slow,
+                        )
+                    },
+                );
                 self.pending_to_slow = fast_out;
                 self.pending_to_fast = slow_out;
             }
@@ -796,6 +826,34 @@ mod tests {
         assert!(esm.timers.ocean_bgc_s > 0.0);
         assert_eq!(esm.timers.simulated_s, 2.0 * esm.cfg.coupling_s);
         assert!(esm.timers.tau() > 0.0);
+        assert_eq!(esm.timers.threads, rayon::current_num_threads());
+    }
+
+    /// Concurrent coupling must record the same compute buckets as the
+    /// sequential path (via per-side locals merged after the join), and
+    /// neither side's bucket may absorb the other's wall time.
+    #[test]
+    fn concurrent_mode_records_compute_buckets() {
+        let mut esm = tiny();
+        esm.run_windows(2, true);
+        assert!(esm.timers.atm_land_s > 0.0, "{:?}", esm.timers);
+        assert!(esm.timers.ocean_bgc_s > 0.0, "{:?}", esm.timers);
+        // Each side runs on its own thread for the whole span, so a bucket
+        // that double-counted the other side would exceed total wall time.
+        assert!(
+            esm.timers.atm_land_s <= esm.timers.total_s + 1e-3,
+            "atm bucket exceeds wall span: {:?}",
+            esm.timers
+        );
+        assert!(
+            esm.timers.ocean_bgc_s <= esm.timers.total_s + 1e-3,
+            "ocean bucket exceeds wall span: {:?}",
+            esm.timers
+        );
+        // Busy time only accrues when kernels actually run in the pool;
+        // never negative either way.
+        assert!(esm.timers.atm_land_busy_s >= 0.0);
+        assert!(esm.timers.ocean_bgc_busy_s >= 0.0);
     }
 
     #[test]

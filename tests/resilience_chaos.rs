@@ -3,6 +3,12 @@
 //! generation silently corrupted on disk — and still finishes bit-exact
 //! with a fault-free run.
 //!
+//! Both scenarios run at every pool width in [`THREAD_COUNTS`]: rollback
+//! and replay must compose with the work-stealing rayon shim, whose
+//! determinism contract makes the replayed windows bitwise identical at
+//! any width. The width is process-global, so tests serialize on
+//! [`WIDTH_LOCK`].
+//!
 //! Fault schedule (guard traffic is one partial per non-zero rank per
 //! window on edge `(r, 0)`, one verdict per rank on edge `(0, r)`):
 //!
@@ -20,8 +26,21 @@
 
 use esm_core::{CoupledEsm, EsmConfig, ResilienceConfig};
 use mpisim::{FaultAction, FaultPlan};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
+
+/// Pool widths every chaos scenario is repeated at.
+const THREAD_COUNTS: [usize; 2] = [1, 4];
+
+/// Serializes tests that reconfigure the process-global pool width.
+static WIDTH_LOCK: Mutex<()> = Mutex::new(());
+
+fn set_width(n: usize) {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(n)
+        .build_global()
+        .expect("shim build_global is infallible");
+}
 
 fn scratch(tag: &str) -> std::path::PathBuf {
     let dir = std::env::temp_dir().join(format!("esm_chaos_{tag}_{}", std::process::id()));
@@ -29,10 +48,9 @@ fn scratch(tag: &str) -> std::path::PathBuf {
     dir
 }
 
-#[test]
-fn chaos_run_survives_drops_kills_and_corrupt_checkpoints_bit_exact() {
+fn chaos_full_schedule_at(threads: usize) {
     let cfg = EsmConfig::tiny();
-    let dir = scratch("full");
+    let dir = scratch(&format!("full_t{threads}"));
 
     let plan = Arc::new(
         FaultPlan::new()
@@ -84,7 +102,7 @@ fn chaos_run_survives_drops_kills_and_corrupt_checkpoints_bit_exact() {
     assert_eq!(
         chaotic.snapshot(),
         clean.snapshot(),
-        "chaotic run must end bit-exact with the fault-free run"
+        "chaotic run at {threads} threads must end bit-exact with the fault-free run"
     );
 
     // Atomic writes: no temp files survive, and the ring's final state is
@@ -100,14 +118,22 @@ fn chaos_run_survives_drops_kills_and_corrupt_checkpoints_bit_exact() {
 }
 
 #[test]
-fn seeded_fault_storm_is_either_absorbed_or_typed() {
+fn chaos_run_survives_drops_kills_and_corrupt_checkpoints_bit_exact() {
+    let _guard = WIDTH_LOCK.lock().unwrap();
+    for threads in THREAD_COUNTS {
+        set_width(threads);
+        chaos_full_schedule_at(threads);
+    }
+}
+
+fn fault_storm_at(threads: usize) {
     // A randomized (but seeded, hence reproducible) storm of 6 message
     // faults across the 3 guard ranks. Whatever the storm does, the driver
     // must either absorb it completely — finishing bit-exact — or give up
     // with a typed error. It must never panic or return corrupted state.
     let cfg = EsmConfig::tiny();
     for seed in [7u64, 19, 23] {
-        let dir = scratch(&format!("storm{seed}"));
+        let dir = scratch(&format!("storm{seed}_t{threads}"));
         let plan = Arc::new(FaultPlan::seeded(seed, 3, 6));
         let rcfg = ResilienceConfig {
             checkpoint_every: 2,
@@ -121,14 +147,27 @@ fn seeded_fault_storm_is_either_absorbed_or_typed() {
                 assert_eq!(report.windows_run, 4);
                 let mut clean = CoupledEsm::new(cfg.clone());
                 clean.run_windows(4, false);
-                assert_eq!(chaotic.snapshot(), clean.snapshot(), "seed {seed}");
+                assert_eq!(
+                    chaotic.snapshot(),
+                    clean.snapshot(),
+                    "seed {seed} at {threads} threads"
+                );
             }
             Err(e) => {
                 // Typed failure is acceptable for a hostile storm; silent
                 // corruption or a panic is not.
-                eprintln!("seed {seed}: gave up with typed error: {e}");
+                eprintln!("seed {seed} at {threads} threads: gave up with typed error: {e}");
             }
         }
         std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn seeded_fault_storm_is_either_absorbed_or_typed() {
+    let _guard = WIDTH_LOCK.lock().unwrap();
+    for threads in THREAD_COUNTS {
+        set_width(threads);
+        fault_storm_at(threads);
     }
 }
