@@ -1,0 +1,122 @@
+//! Stencil-DSL mirrors of the atmosphere hot kernels, registered for
+//! static dataflow verification.
+//!
+//! The Rust kernels in [`crate::dycore`] are the executable truth; these
+//! DSL sources restate their *access structure* (which fields, through
+//! which neighbor relations, at which level offsets) in the form the
+//! `dace-mini` analyzer can prove things about. `esm-lint` parses and
+//! verifies them on every CI run, so a stencil edit that introduces a
+//! race, an out-of-bounds halo access, or a dead field is caught at lint
+//! time even though the production implementation is hand-written Rust.
+//!
+//! This crate deliberately does NOT depend on `dace-mini`: the sources
+//! and declarations are plain data; the lint driver (`crates/lint`)
+//! assembles them into an analysis context.
+
+/// DSL restatement of the atmosphere dynamical-core cell/edge/vertical
+/// passes (divergence, kinetic-energy gather `z_ekinh`, Montgomery
+/// gradient, vorticity-like edge terms, vertical derivative).
+pub const DSL_SRC: &str = r#"
+# Atmosphere dycore access structure (see atmo/src/dycore.rs).
+kernel atm_cells over cells
+  mass_div(p,k)  = geofac1(p) * mflux(edge(p,0),k) + geofac2(p) * mflux(edge(p,1),k) + geofac3(p) * mflux(edge(p,2),k);
+  z_ekinh(p,k)   = ew1(p) * vn(edge(p,0),k) * vn(edge(p,0),k) + ew2(p) * vn(edge(p,1),k) * vn(edge(p,1),k) + ew3(p) * vn(edge(p,2),k) * vn(edge(p,2),k);
+  delta_t(p,k)   = delta(p,k) - dt(p) * mass_div(p,k);
+  montg(p,k)     = montg_s(p) + gk(p,k) * delta_t(p,k);
+end
+
+kernel atm_edges over edges
+  grad_m(p,k)    = (montg(ecell(p,1),k) - montg(ecell(p,0),k)) * inv_dual(p);
+  grad_e(p,k)    = (z_ekinh(ecell(p,1),k) - z_ekinh(ecell(p,0),k)) * inv_dual(p);
+  vn_t(p,k)      = vn(p,k) - dt_e(p) * (grad_m(p,k) + grad_e(p,k) - fcor(p) * vt(p,k));
+end
+
+kernel atm_vertical over cells
+  dtheta(p,k)    = theta(p,k+1) - theta(p,k-1);
+  w_tend(p,k)    = dtheta(p,k) * inv_dz(p) + buoy(p,k);
+end
+"#;
+
+/// Field declarations of [`DSL_SRC`]: `(name, domain, is_3d, io)` with
+/// `io` one of `"in"`, `"out"`, `"tmp"`.
+pub fn dsl_fields() -> Vec<(&'static str, &'static str, bool, &'static str)> {
+    vec![
+        ("mflux", "edges", true, "in"),
+        ("vn", "edges", true, "in"),
+        ("vt", "edges", true, "in"),
+        ("delta", "cells", true, "in"),
+        ("theta", "cells", true, "in"),
+        ("buoy", "cells", true, "in"),
+        ("gk", "cells", true, "in"),
+        ("geofac1", "cells", false, "in"),
+        ("geofac2", "cells", false, "in"),
+        ("geofac3", "cells", false, "in"),
+        ("ew1", "cells", false, "in"),
+        ("ew2", "cells", false, "in"),
+        ("ew3", "cells", false, "in"),
+        ("dt", "cells", false, "in"),
+        ("montg_s", "cells", false, "in"),
+        ("inv_dz", "cells", false, "in"),
+        ("inv_dual", "edges", false, "in"),
+        ("dt_e", "edges", false, "in"),
+        ("fcor", "edges", false, "in"),
+        ("mass_div", "cells", true, "out"),
+        ("z_ekinh", "cells", true, "out"),
+        ("delta_t", "cells", true, "out"),
+        ("montg", "cells", true, "out"),
+        ("grad_m", "edges", true, "out"),
+        ("grad_e", "edges", true, "out"),
+        ("vn_t", "edges", true, "out"),
+        ("dtheta", "cells", true, "out"),
+        ("w_tend", "cells", true, "out"),
+    ]
+}
+
+/// Neighbor relations used by [`DSL_SRC`]: `(name, source, target, arity)`.
+pub fn dsl_relations() -> Vec<(&'static str, &'static str, &'static str, usize)> {
+    vec![
+        ("edge", "cells", "edges", 3),
+        ("neighbor", "cells", "cells", 3),
+        ("ecell", "edges", "cells", 2),
+    ]
+}
+
+/// Vertical halo width the dycore guarantees (k±1 column derivative).
+pub const DSL_HALO: i32 = 1;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn declarations_cover_every_identifier_in_the_source() {
+        // Cheap structural check without a parser dependency: every
+        // `name(` occurrence in the DSL must be a declared field, a
+        // declared relation, or the kernel header keywords.
+        let declared: Vec<&str> = dsl_fields()
+            .iter()
+            .map(|(n, _, _, _)| *n)
+            .chain(dsl_relations().iter().map(|(n, _, _, _)| *n))
+            .collect();
+        for line in DSL_SRC.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') || line.starts_with("kernel") || line == "end" {
+                continue;
+            }
+            let mut ident = String::new();
+            for ch in line.chars() {
+                if ch.is_alphanumeric() || ch == '_' {
+                    ident.push(ch);
+                } else {
+                    if ch == '(' && !ident.is_empty() && !ident.chars().next().unwrap().is_numeric() {
+                        assert!(
+                            declared.contains(&ident.as_str()),
+                            "`{ident}` used in DSL but not declared"
+                        );
+                    }
+                    ident.clear();
+                }
+            }
+        }
+    }
+}

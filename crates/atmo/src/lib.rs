@@ -36,6 +36,7 @@
 //! cross-layer mass transfer (the isentropic-coordinate form of heating),
 //! giving a closed, conservative water and energy cycle.
 
+pub mod dsl;
 pub mod dycore;
 pub mod model;
 pub mod params;

@@ -5,6 +5,8 @@
 //! appear) executing its statements **sequentially per point** — exactly
 //! the semantics of the original Fortran loop nests the paper parses.
 
+use crate::loc::Span;
+
 /// A whole source file.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Program {
@@ -19,6 +21,8 @@ pub struct Kernel {
     /// against the topology context at execution time.
     pub domain: String,
     pub statements: Vec<Statement>,
+    /// Source span of the kernel name (synthetic for programmatic IR).
+    pub span: Span,
 }
 
 /// `target = expr;`
@@ -26,6 +30,8 @@ pub struct Kernel {
 pub struct Statement {
     pub target: FieldAccess,
     pub expr: Expr,
+    /// Source span anchoring the statement (its target access).
+    pub span: Span,
 }
 
 /// A field reference with a point index and a vertical index.
@@ -34,6 +40,8 @@ pub struct FieldAccess {
     pub field: String,
     pub point: PointIndex,
     pub level: LevelIndex,
+    /// Source span of the whole access, e.g. `vn(edge(p,0), k)`.
+    pub span: Span,
 }
 
 /// Horizontal index: the loop point itself, or a neighbor looked up
@@ -169,6 +177,7 @@ mod tests {
             field: field.into(),
             point,
             level,
+            span: Span::synthetic(),
         }
     }
 
@@ -196,6 +205,7 @@ mod tests {
     #[test]
     fn index_lookup_counting() {
         let s = Statement {
+            span: Span::synthetic(),
             target: acc("out", PointIndex::Own, LevelIndex::K),
             expr: Expr::Bin(
                 BinOp::Mul,
@@ -219,9 +229,11 @@ mod tests {
             name: "t".into(),
             domain: "cells".into(),
             statements: vec![Statement {
+                span: Span::synthetic(),
                 target: acc("out", PointIndex::Own, LevelIndex::K),
                 expr: Expr::Access(acc("inp", PointIndex::Own, LevelIndex::K)),
             }],
+            span: Span::synthetic(),
         };
         let p = Program { kernels: vec![k] };
         assert_eq!(p.written_fields(), vec!["out"]);

@@ -15,8 +15,10 @@
 //! the semantic-equivalence property the paper's separation of concerns
 //! rests on (tested here and by proptest in `tests/`).
 
+use crate::analysis::{AnalysisReport, Certification};
 use crate::ast::{BinOp, Expr, FieldAccess, LevelIndex, PointIndex, Program};
 use crate::sdfg::{Schedule, Sdfg};
+use rayon::prelude::*;
 use std::collections::HashMap;
 
 /// Topology tables: named entity domains and named neighbor relations.
@@ -276,6 +278,10 @@ struct CompiledState {
     idx_lookups: Vec<(String, usize)>,
     loads: Vec<LoadSlot>,
     tasklets: Vec<CompiledTasklet>,
+    /// Run entity-parallel. Set ONLY by [`compile_certified`] for states
+    /// the analysis certified [`Certification::ParallelSafe`]; `compile`
+    /// always produces the sequential schedule.
+    parallel: bool,
 }
 
 /// A compiled SDFG, ready to run repeatedly.
@@ -348,6 +354,7 @@ pub fn compile(sdfg: &Sdfg) -> CompiledSdfg {
                 idx_lookups,
                 loads,
                 tasklets,
+                parallel: false,
             }
         })
         .collect();
@@ -427,19 +434,179 @@ fn access_register(
     }
 }
 
+/// Compile with the analysis report in hand: states the verifier
+/// certified [`Certification::ParallelSafe`] get the entity-parallel
+/// execution schedule (disjoint per-task buffer splits over the
+/// deterministic `rayon::task_ranges` boundaries); everything else —
+/// `Reduction`, `Sequential`, or merely parallel-*ineligible* (a memory
+/// load of a field the same state writes, which the split-buffer scheme
+/// cannot serve) — falls back to the sequential schedule. The report must
+/// be index-aligned with `sdfg.states` (i.e. produced by
+/// `analysis::verify_sdfg` on this exact graph).
+pub fn compile_certified(sdfg: &Sdfg, report: &AnalysisReport) -> CompiledSdfg {
+    assert_eq!(
+        report.states.len(),
+        sdfg.states.len(),
+        "analysis report is not aligned with this SDFG"
+    );
+    let mut compiled = compile(sdfg);
+    for (i, cs) in compiled.states.iter_mut().enumerate() {
+        cs.parallel = report.cert(i) == Certification::ParallelSafe && parallel_eligible(cs);
+    }
+    compiled
+}
+
+/// The split-buffer parallel runner hands each task exclusive slices of
+/// the *written* fields and a shared view of everything else; a memory
+/// load of a written field (e.g. the self-read of `x(p,k) = x(p,k) * 2`
+/// at a different level, which forwarding cannot serve) would need the
+/// split-out buffer — run those states sequentially.
+fn parallel_eligible(cs: &CompiledState) -> bool {
+    let written: Vec<&str> = cs.tasklets.iter().map(|t| t.write_field.as_str()).collect();
+    cs.loads.iter().all(|l| !written.contains(&l.field.as_str()))
+}
+
 impl CompiledSdfg {
     /// Execute over the given data, counting actual memory traffic.
     pub fn run(&self, topo: &TopologyContext, data: &mut DataContext) -> ExecStats {
         let mut stats = ExecStats::default();
         for st in &self.states {
             stats.map_launches += 1;
-            run_state(st, topo, data, &mut stats);
+            if st.parallel {
+                run_state_parallel(st, topo, data, &mut stats);
+            } else {
+                run_state(st, topo, data, &mut stats);
+            }
         }
         stats
     }
 
     pub fn n_states(&self) -> usize {
         self.states.len()
+    }
+
+    /// How many states carry the entity-parallel schedule.
+    pub fn n_parallel_states(&self) -> usize {
+        self.states.iter().filter(|s| s.parallel).count()
+    }
+}
+
+/// Entity-parallel execution of one certified state.
+///
+/// Written fields are taken out of the [`DataContext`] and pre-split at
+/// the deterministic task boundaries (`rayon::task_ranges`, a function of
+/// the entity count only), so each task owns disjoint slices — no
+/// locking, no unsafe. Reads go against the remaining shared context
+/// (certification + eligibility guarantee no load touches a written
+/// field). Per-task [`ExecStats`] are summed in task index order, so
+/// counters are bitwise invariant to thread count, like the results.
+fn run_state_parallel(
+    st: &CompiledState,
+    topo: &TopologyContext,
+    data: &mut DataContext,
+    stats: &mut ExecStats,
+) {
+    let n = topo.domain_size(&st.domain);
+    let nlev = if st.over_levels { data.nlev } else { 1 };
+
+    // Take the written buffers out of the context.
+    let mut written: Vec<String> = st.tasklets.iter().map(|t| t.write_field.clone()).collect();
+    written.sort();
+    written.dedup();
+    let mut bufs: Vec<(String, FieldBuf)> = written
+        .iter()
+        .map(|f| {
+            let buf = data
+                .fields
+                .remove(f)
+                .unwrap_or_else(|| panic!("unknown field '{f}'"));
+            (f.clone(), buf)
+        })
+        .collect();
+    // Slot order of written fields for the task body (bufs is built from
+    // `written` in order, so indices agree).
+    let strides: Vec<usize> = bufs.iter().map(|(_, b)| b.nlev).collect();
+    let field_slot: HashMap<&str, usize> = written
+        .iter()
+        .enumerate()
+        .map(|(i, f)| (f.as_str(), i))
+        .collect();
+
+    // Pre-split every written buffer at the fixed entity boundaries.
+    let ranges = rayon::task_ranges(n);
+    let mut tasks: Vec<Vec<&mut [f64]>> = ranges.iter().map(|_| Vec::new()).collect();
+    for (fi, (_, buf)) in bufs.iter_mut().enumerate() {
+        let stride = strides[fi];
+        let mut rest: &mut [f64] = &mut buf.data;
+        for (t, &(s, e)) in ranges.iter().enumerate() {
+            let (head, tail) = rest.split_at_mut((e - s) * stride);
+            rest = tail;
+            tasks[t].push(head);
+        }
+    }
+
+    let shared: &DataContext = data;
+    let task_stats: Vec<ExecStats> = tasks
+        .par_iter_mut()
+        .enumerate()
+        .map(|(t, slices)| {
+            let (start, end) = ranges[t];
+            let mut local = ExecStats::default();
+            let n_regs = st.loads.len() + st.tasklets.len();
+            let mut regs = vec![0.0f64; n_regs];
+            let mut idx = vec![0usize; st.idx_lookups.len()];
+            let mut stack: Vec<f64> = Vec::with_capacity(16);
+            for e in start..end {
+                for (i, (rel, slot)) in st.idx_lookups.iter().enumerate() {
+                    idx[i] = topo.lookup(rel, e, *slot);
+                    local.index_lookups += 1;
+                }
+                for (i, l) in st.loads.iter().enumerate() {
+                    if !l.level_dependent {
+                        regs[i] = load(l, e, 0, &idx, shared, &mut local);
+                    }
+                }
+                for k in 0..nlev {
+                    for (i, l) in st.loads.iter().enumerate() {
+                        if l.level_dependent {
+                            regs[i] = load(l, e, k, &idx, shared, &mut local);
+                        }
+                    }
+                    for tl in &st.tasklets {
+                        let v = eval_ops(&tl.ops, &regs, &mut stack);
+                        regs[tl.result_reg as usize] = v;
+                        let fi = field_slot[tl.write_field.as_str()];
+                        let stride = strides[fi];
+                        let kk = match tl.write_level {
+                            LevelIndex::Surface => 0,
+                            LevelIndex::K => k.min(stride - 1),
+                            LevelIndex::KOffset(o) => {
+                                (k as i64 + o as i64).clamp(0, stride as i64 - 1) as usize
+                            }
+                            LevelIndex::Fixed(f) => f.min(stride - 1),
+                        };
+                        slices[fi][(e - start) * stride + kk] = v;
+                        local.field_stores += 1;
+                    }
+                }
+            }
+            local
+        })
+        .collect();
+
+    // Release the split borrows before handing the buffers back.
+    drop(tasks);
+
+    // Task-order summation: width-invariant counters.
+    for ts in task_stats {
+        stats.index_lookups += ts.index_lookups;
+        stats.field_reads += ts.field_reads;
+        stats.field_stores += ts.field_stores;
+    }
+
+    // Hand the written buffers back.
+    for (f, buf) in bufs {
+        data.fields.insert(f, buf);
     }
 }
 
@@ -710,6 +877,94 @@ mod tests {
         compile(&opt).run(&topo, &mut d1);
         let tiled = crate::transforms::set_schedule(&opt, Schedule::Tiled(7));
         compile(&tiled).run(&topo, &mut d2);
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn certified_parallel_run_matches_sequential_bitwise() {
+        use crate::analysis::{self, AnalysisContext, FieldIo};
+        let prog = parse(EKINH).unwrap();
+        let topo = ring_topology(300); // enough entities to split tasks
+        let mut d_seq = data(300, 5);
+        let mut d_par = d_seq.clone();
+        let (opt, _) = gh200_pipeline(&Sdfg::from_program("ekinh", &prog));
+
+        let ctx = AnalysisContext::new()
+            .domain("cells")
+            .relation("edge", "cells", "cells", 3)
+            .field("kin", "cells", true, FieldIo::Input)
+            .field("f1", "cells", true, FieldIo::Input)
+            .field("f2", "cells", true, FieldIo::Input)
+            .field("w1", "cells", false, FieldIo::Input)
+            .field("w2", "cells", false, FieldIo::Input)
+            .field("w3", "cells", false, FieldIo::Input)
+            .field("ekin", "cells", true, FieldIo::Output)
+            .field("out", "cells", true, FieldIo::Output)
+            .field("out2", "cells", true, FieldIo::Output);
+        let report = analysis::verify_sdfg(&opt, &ctx);
+        assert!(report.is_clean(), "{:?}", report.diagnostics);
+        assert!(report.all_parallel_safe());
+
+        let seq = compile(&opt);
+        let par = compile_certified(&opt, &report);
+        assert_eq!(seq.n_parallel_states(), 0);
+        assert!(par.n_parallel_states() > 0, "certified states go parallel");
+
+        let s1 = seq.run(&topo, &mut d_seq);
+        let s2 = par.run(&topo, &mut d_par);
+        assert_eq!(d_seq, d_par, "parallel schedule is bitwise identical");
+        assert_eq!(s1, s2, "stats summed in task order are width-invariant");
+    }
+
+    #[test]
+    fn uncertified_states_fall_back_to_sequential() {
+        use crate::analysis::verify_sdfg;
+        use crate::fixtures::verifier_fixtures;
+        for f in verifier_fixtures() {
+            let report = verify_sdfg(&f.sdfg, &f.ctx);
+            let compiled = compile_certified(&f.sdfg, &report);
+            for (i, v) in report.states.iter().enumerate() {
+                if v.cert != crate::analysis::Certification::ParallelSafe {
+                    assert!(
+                        !compiled.states[i].parallel,
+                        "fixture `{}` state {i} must not run parallel",
+                        f.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn self_read_state_is_parallel_ineligible_but_correct() {
+        // `x(p,k) = x(p,k) * 2` is race-free (ParallelSafe) but the
+        // split-buffer runner cannot serve the memory load of the split-
+        // out field: eligibility forces the sequential path.
+        use crate::analysis::{self, AnalysisContext, FieldIo};
+        let src = "kernel t over cells f1(p,k) = f1(p,k) * 2; end";
+        let prog = parse(src).unwrap();
+        let sdfg = Sdfg::from_program("t", &prog);
+        let ctx = AnalysisContext::new()
+            .domain("cells")
+            .field("f1", "cells", true, FieldIo::Output);
+        // In-place update: suppress the read-before-write error by
+        // declaring it input+output is not allowed (write-to-input), so
+        // just certify the scope directly.
+        let scopes = crate::memlet::sdfg_memlets(&sdfg);
+        let mut diags = Vec::new();
+        let verdict = analysis::certify_scope(&scopes[0], &mut diags);
+        assert_eq!(verdict.cert, analysis::Certification::ParallelSafe);
+        assert!(diags.is_empty());
+
+        let report = analysis::verify_sdfg(&sdfg, &ctx);
+        let compiled = compile_certified(&sdfg, &report);
+        assert_eq!(compiled.n_parallel_states(), 0, "load of written field");
+
+        let topo = ring_topology(40);
+        let mut d1 = data(40, 3);
+        let mut d2 = d1.clone();
+        run_naive(&prog, &topo, &mut d1);
+        compiled.run(&topo, &mut d2);
         assert_eq!(d1, d2);
     }
 

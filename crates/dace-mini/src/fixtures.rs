@@ -1,0 +1,307 @@
+//! Deliberately-broken kernels for exercising the verifier.
+//!
+//! Each fixture is a small SDFG (usually lowered from DSL source, so the
+//! diagnostics carry real spans; the racy-scatter one is programmatic
+//! because the parser — correctly — refuses lookup write targets) paired
+//! with the diagnostic codes the analysis must produce. `esm-lint` runs
+//! all of them and fails if any expected finding goes undetected;
+//! `analysis_properties.rs` mutates clean kernels into these shapes and
+//! checks rejection.
+
+use crate::analysis::{AnalysisContext, DiagCode, FieldIo};
+use crate::ast::{Expr, FieldAccess, LevelIndex, PointIndex};
+use crate::loc::Span;
+use crate::parser::parse;
+use crate::sdfg::{MapScope, Schedule, Sdfg, State, Tasklet};
+
+/// A negative (or warning) fixture for the whole-SDFG verifier.
+pub struct Fixture {
+    pub name: &'static str,
+    /// DSL source when the kernel is expressible in the DSL (shown by
+    /// `esm-lint` next to the diagnostics); empty for programmatic IR.
+    pub source: &'static str,
+    pub sdfg: Sdfg,
+    pub ctx: AnalysisContext,
+    /// Codes that MUST appear in the report.
+    pub expect: Vec<DiagCode>,
+}
+
+/// A negative fixture for the fusion-legality check: states `pair.0`
+/// and `pair.1` must refuse to fuse with the given code.
+pub struct FusionFixture {
+    pub name: &'static str,
+    pub source: &'static str,
+    pub sdfg: Sdfg,
+    pub pair: (usize, usize),
+    pub expect: DiagCode,
+}
+
+fn base_ctx() -> AnalysisContext {
+    AnalysisContext::new()
+        .domain("cells")
+        .domain("edges")
+        .relation("edge", "cells", "edges", 3)
+        .relation("neighbor", "cells", "cells", 3)
+        .field("inp", "cells", true, FieldIo::Input)
+        .field("x", "cells", true, FieldIo::Input)
+        .field("vn_e", "edges", true, FieldIo::Input)
+        .field("th", "cells", true, FieldIo::Input)
+        .field("out", "cells", true, FieldIo::Output)
+        .field("out2", "cells", true, FieldIo::Output)
+        .with_halo(1)
+        .with_nlev(30)
+}
+
+fn lower(name: &str, src: &str) -> Sdfg {
+    Sdfg::from_program(name, &parse(src).expect("fixture source must parse"))
+}
+
+fn own(field: &str, level: LevelIndex) -> FieldAccess {
+    FieldAccess {
+        field: field.into(),
+        point: PointIndex::Own,
+        level,
+        span: Span::synthetic(),
+    }
+}
+
+fn lookup(field: &str, relation: &str, slot: usize, level: LevelIndex) -> FieldAccess {
+    FieldAccess {
+        field: field.into(),
+        point: PointIndex::Lookup {
+            relation: relation.into(),
+            slot,
+        },
+        level,
+        span: Span::synthetic(),
+    }
+}
+
+/// `out(neighbor(p,0),k) = inp(p,k)` — a scatter that is NOT an
+/// accumulation: two cells sharing a neighbor race on the store. The
+/// parser refuses lookup write targets, so this is programmatic IR.
+fn racy_scatter() -> Fixture {
+    let target = lookup("out", "neighbor", 0, LevelIndex::K);
+    let read = own("inp", LevelIndex::K);
+    let sdfg = Sdfg {
+        name: "racy_scatter".into(),
+        states: vec![State {
+            label: "scatter_0".into(),
+            map: MapScope {
+                domain: "cells".into(),
+                over_levels: true,
+                schedule: Schedule::EntityOuterLevelInner,
+                tasklets: vec![Tasklet {
+                    write: target,
+                    reads: vec![read.clone()],
+                    code: Expr::Access(read),
+                }],
+            },
+            span: Span::synthetic(),
+        }],
+    };
+    Fixture {
+        name: "racy_scatter",
+        source: "",
+        sdfg,
+        ctx: base_ctx(),
+        expect: vec![DiagCode::RacyWrite],
+    }
+}
+
+/// Scatter-accumulate: `out(neighbor(p,0),k) = out(neighbor(p,0),k) +
+/// inp(p,k)` — the reduction pattern. Flagged W0103, certified
+/// `Reduction` (never ParallelSafe), but not an error.
+fn scatter_reduction() -> Fixture {
+    let target = lookup("out", "neighbor", 0, LevelIndex::K);
+    let acc_read = target.clone();
+    let inp_read = own("inp", LevelIndex::K);
+    let sdfg = Sdfg {
+        name: "scatter_reduction".into(),
+        states: vec![State {
+            label: "accumulate_0".into(),
+            map: MapScope {
+                domain: "cells".into(),
+                over_levels: true,
+                schedule: Schedule::EntityOuterLevelInner,
+                tasklets: vec![Tasklet {
+                    write: target,
+                    reads: vec![acc_read.clone(), inp_read.clone()],
+                    code: Expr::Bin(
+                        crate::ast::BinOp::Add,
+                        Box::new(Expr::Access(acc_read)),
+                        Box::new(Expr::Access(inp_read)),
+                    ),
+                }],
+            },
+            span: Span::synthetic(),
+        }],
+    };
+    Fixture {
+        name: "scatter_reduction",
+        source: "",
+        sdfg,
+        ctx: base_ctx(),
+        expect: vec![DiagCode::ScatterReduction],
+    }
+}
+
+const RACY_JACOBI_SRC: &str = r#"kernel jacobi over cells
+  out(p,k) = 0.25 * out(neighbor(p,0),k) + 0.75 * inp(p,k);
+end"#;
+
+const HALO_OVERFLOW_SRC: &str = r#"kernel vertical over cells
+  out(p,k) = th(p,k+2) - th(p,k-1);
+end"#;
+
+const FIXED_OOB_SRC: &str = r#"kernel toplevel over cells
+  out(p,k) = inp(p,k) - inp(p,60);
+end"#;
+
+const DOMAIN_MISMATCH_SRC: &str = r#"kernel confused over cells
+  out(p,k) = vn_e(p,k) + inp(neighbor(p,9),k);
+end"#;
+
+const READ_BEFORE_WRITE_SRC: &str = r#"kernel ghostly over cells
+  out(p,k) = ghost(p,k) * 2;
+  dead(p,k) = inp(p,k);
+end"#;
+
+const ILLEGAL_FUSION_ANTI_SRC: &str = r#"kernel scan over cells
+  out(p,k) = x(p,k-1);
+  x(p,k) = inp(p,k);
+end"#;
+
+const ILLEGAL_FUSION_FLOW_SRC: &str = r#"kernel broadcast over cells
+  out(p,k) = inp(p,k);
+  out2(p,k) = out(p,2);
+end"#;
+
+/// All verifier fixtures: each must produce its expected codes (and the
+/// error-severity ones must make the report non-clean).
+pub fn verifier_fixtures() -> Vec<Fixture> {
+    vec![
+        racy_scatter(),
+        scatter_reduction(),
+        Fixture {
+            name: "racy_jacobi",
+            source: RACY_JACOBI_SRC,
+            sdfg: lower("racy_jacobi", RACY_JACOBI_SRC),
+            ctx: base_ctx(),
+            expect: vec![DiagCode::RacyRead],
+        },
+        Fixture {
+            name: "halo_overflow",
+            source: HALO_OVERFLOW_SRC,
+            sdfg: lower("halo_overflow", HALO_OVERFLOW_SRC),
+            ctx: base_ctx(),
+            expect: vec![DiagCode::HaloOverflow],
+        },
+        Fixture {
+            name: "fixed_level_oob",
+            source: FIXED_OOB_SRC,
+            sdfg: lower("fixed_level_oob", FIXED_OOB_SRC),
+            ctx: base_ctx(),
+            expect: vec![DiagCode::LevelOutOfBounds],
+        },
+        Fixture {
+            name: "domain_and_slot_mismatch",
+            source: DOMAIN_MISMATCH_SRC,
+            sdfg: lower("domain_and_slot_mismatch", DOMAIN_MISMATCH_SRC),
+            ctx: base_ctx(),
+            expect: vec![DiagCode::DomainMismatch, DiagCode::SlotOutOfBounds],
+        },
+        Fixture {
+            name: "read_before_write",
+            source: READ_BEFORE_WRITE_SRC,
+            sdfg: lower("read_before_write", READ_BEFORE_WRITE_SRC),
+            ctx: base_ctx()
+                .field("ghost", "cells", true, FieldIo::Intermediate)
+                .field("dead", "cells", true, FieldIo::Intermediate),
+            expect: vec![DiagCode::ReadBeforeWrite, DiagCode::DeadWrite],
+        },
+    ]
+}
+
+/// Fusion-legality fixtures: each pair must refuse to fuse. Both were
+/// silently miscompiled by the pre-analysis `can_fuse` (the fused result
+/// diverged bitwise from the naive backend).
+pub fn fusion_fixtures() -> Vec<FusionFixture> {
+    vec![
+        FusionFixture {
+            name: "illegal_fusion_anti_dep",
+            source: ILLEGAL_FUSION_ANTI_SRC,
+            sdfg: lower("illegal_fusion_anti_dep", ILLEGAL_FUSION_ANTI_SRC),
+            pair: (0, 1),
+            expect: DiagCode::FusionAntiDep,
+        },
+        FusionFixture {
+            name: "illegal_fusion_fixed_level_flow",
+            source: ILLEGAL_FUSION_FLOW_SRC,
+            sdfg: lower("illegal_fusion_fixed_level_flow", ILLEGAL_FUSION_FLOW_SRC),
+            pair: (0, 1),
+            expect: DiagCode::FusionFlowDep,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{fusion_legality, verify_sdfg, Certification};
+
+    #[test]
+    fn every_verifier_fixture_triggers_its_codes() {
+        for f in verifier_fixtures() {
+            let rep = verify_sdfg(&f.sdfg, &f.ctx);
+            for code in &f.expect {
+                assert!(
+                    rep.diagnostics.iter().any(|d| d.code == *code),
+                    "fixture `{}` missing expected {:?}; got {:?}",
+                    f.name,
+                    code,
+                    rep.diagnostics
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn racy_fixtures_are_not_parallel_safe() {
+        for f in verifier_fixtures() {
+            let rep = verify_sdfg(&f.sdfg, &f.ctx);
+            match f.name {
+                "racy_scatter" | "racy_jacobi" => {
+                    assert_eq!(rep.cert(0), Certification::Sequential, "{}", f.name)
+                }
+                "scatter_reduction" => {
+                    assert_eq!(rep.cert(0), Certification::Reduction, "{}", f.name)
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn every_fusion_fixture_is_refused_with_its_code() {
+        for f in fusion_fixtures() {
+            let (i, j) = f.pair;
+            let d = fusion_legality(&f.sdfg.states[i], &f.sdfg.states[j])
+                .expect_err(f.name);
+            assert_eq!(d.code, f.expect, "fixture `{}`", f.name);
+        }
+    }
+
+    #[test]
+    fn dsl_fixtures_carry_real_spans() {
+        for f in verifier_fixtures().iter().filter(|f| !f.source.is_empty()) {
+            let rep = verify_sdfg(&f.sdfg, &f.ctx);
+            let errs: Vec<_> = rep.errors().collect();
+            assert!(
+                errs.iter().all(|d| !d.span.is_synthetic()),
+                "fixture `{}` produced a spanless error diagnostic",
+                f.name
+            );
+        }
+    }
+}

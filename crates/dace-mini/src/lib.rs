@@ -36,14 +36,18 @@
 //! * [`suite`] — the mini dynamical-core kernel suite (the `z_ekinh`
 //!   kinetic-energy gather and friends) used by benches and examples.
 
+pub mod analysis;
 pub mod ast;
 pub mod exec;
+pub mod fixtures;
 pub mod loc;
+pub mod memlet;
 pub mod parser;
 pub mod sdfg;
 pub mod suite;
 pub mod transforms;
 
+pub use analysis::{AnalysisContext, AnalysisError, AnalysisReport, Certification};
 pub use ast::Program;
 pub use exec::{DataContext, ExecStats, TopologyContext};
 pub use sdfg::Sdfg;

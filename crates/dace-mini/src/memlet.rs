@@ -1,0 +1,372 @@
+//! Memlet extraction: per-tasklet read/write **access relations**.
+//!
+//! The verifier ([`crate::analysis`]) never looks at expression trees —
+//! it reasons over the access relations extracted here, exactly like
+//! DaCe's dataflow analysis reasons over memlets rather than tasklet
+//! code. Every access is summarized as an affine relation over the map
+//! parameters `(p, k)`:
+//!
+//! * the **point relation** is either the identity `p -> p` (injective,
+//!   so per-iteration writes are disjoint) or an indirection
+//!   `p -> table[relation](p, slot)` through a neighbor table (not
+//!   provably injective — two map iterations may land on the same
+//!   element);
+//! * the **level relation** is affine `k -> k_coef * k + offset` with
+//!   `k_coef ∈ {0, 1}`: `k` itself, constant-offset halo windows
+//!   `k ± c`, fixed levels (`k_coef = 0`), and 2-D accesses (no level
+//!   dimension at all).
+//!
+//! Each memlet keeps the source [`Span`] of the access it came from, so
+//! every diagnostic built on top of it is clickable.
+
+use crate::ast::{FieldAccess, LevelIndex, PointIndex};
+use crate::loc::Span;
+use crate::sdfg::{MapScope, Sdfg, State};
+use std::fmt;
+
+/// Read or write side of a memlet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    Read,
+    Write,
+}
+
+/// Affine vertical index relation `k -> k_coef * k + offset`.
+///
+/// `None`-like 2-D accesses are represented by [`LevelRel::Surface`];
+/// `Surface` and `Affine { k_coef: 0, offset: 0 }` are deliberately
+/// distinct: the former has no level dimension, the latter pins level 0
+/// of a 3-D field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LevelRel {
+    /// 2-D access (field has no vertical extent at this access).
+    Surface,
+    /// `k_coef * k + offset` with `k_coef ∈ {0, 1}`.
+    Affine { k_coef: i32, offset: i32 },
+}
+
+impl LevelRel {
+    pub fn from_index(li: LevelIndex) -> LevelRel {
+        match li {
+            LevelIndex::Surface => LevelRel::Surface,
+            LevelIndex::K => LevelRel::Affine { k_coef: 1, offset: 0 },
+            LevelIndex::KOffset(o) => LevelRel::Affine { k_coef: 1, offset: o },
+            LevelIndex::Fixed(f) => LevelRel::Affine {
+                k_coef: 0,
+                offset: f as i32,
+            },
+        }
+    }
+
+    /// Does the accessed level depend on the loop level `k`?
+    pub fn depends_on_k(&self) -> bool {
+        matches!(self, LevelRel::Affine { k_coef: 1, .. })
+    }
+
+    /// Constant halo offset of a `k`-dependent access (0 for `k` itself).
+    pub fn halo_offset(&self) -> i32 {
+        match self {
+            LevelRel::Affine { k_coef: 1, offset } => *offset,
+            _ => 0,
+        }
+    }
+}
+
+impl fmt::Display for LevelRel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LevelRel::Surface => write!(f, "·"),
+            LevelRel::Affine { k_coef: 1, offset: 0 } => write!(f, "k"),
+            LevelRel::Affine { k_coef: 1, offset } if *offset > 0 => write!(f, "k+{offset}"),
+            LevelRel::Affine { k_coef: 1, offset } => write!(f, "k{offset}"),
+            LevelRel::Affine { offset, .. } => write!(f, "{offset}"),
+        }
+    }
+}
+
+/// Horizontal (point) index relation over the map parameter `p`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PointRel {
+    /// Identity `p -> p`: injective, iterations touch disjoint points.
+    Identity,
+    /// Indirection through a neighbor table: `p -> relation[p, slot]`.
+    /// Not provably injective across iterations.
+    Indirect { relation: String, slot: usize },
+}
+
+impl PointRel {
+    pub fn from_index(pi: &PointIndex) -> PointRel {
+        match pi {
+            PointIndex::Own => PointRel::Identity,
+            PointIndex::Lookup { relation, slot } => PointRel::Indirect {
+                relation: relation.clone(),
+                slot: *slot,
+            },
+        }
+    }
+
+    pub fn is_injective(&self) -> bool {
+        matches!(self, PointRel::Identity)
+    }
+}
+
+impl fmt::Display for PointRel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PointRel::Identity => write!(f, "p"),
+            PointRel::Indirect { relation, slot } => write!(f, "{relation}(p,{slot})"),
+        }
+    }
+}
+
+/// One extracted access relation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Memlet {
+    pub field: String,
+    pub kind: AccessKind,
+    pub point: PointRel,
+    pub level: LevelRel,
+    /// Index of the tasklet inside the map scope this memlet belongs to.
+    pub tasklet: usize,
+    pub span: Span,
+}
+
+impl Memlet {
+    fn from_access(a: &FieldAccess, kind: AccessKind, tasklet: usize) -> Memlet {
+        Memlet {
+            field: a.field.clone(),
+            kind,
+            point: PointRel::from_index(&a.point),
+            level: LevelRel::from_index(a.level),
+            tasklet,
+            span: a.span,
+        }
+    }
+}
+
+impl fmt::Display for Memlet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let arrow = match self.kind {
+            AccessKind::Read => "<-",
+            AccessKind::Write => "->",
+        };
+        write!(f, "{} {arrow} [{}, {}]", self.field, self.point, self.level)
+    }
+}
+
+/// All access relations of one map scope (one SDFG state).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateMemlets {
+    pub label: String,
+    pub domain: String,
+    pub over_levels: bool,
+    pub writes: Vec<Memlet>,
+    pub reads: Vec<Memlet>,
+    pub span: Span,
+}
+
+impl StateMemlets {
+    /// Is `field` written anywhere in this scope?
+    pub fn writes_field(&self, field: &str) -> bool {
+        self.writes.iter().any(|m| m.field == field)
+    }
+
+    /// All writes to `field`.
+    pub fn writes_to<'a>(&'a self, field: &str) -> impl Iterator<Item = &'a Memlet> {
+        let field = field.to_string();
+        self.writes.iter().filter(move |m| m.field == field)
+    }
+
+    /// All reads of `field`.
+    pub fn reads_of<'a>(&'a self, field: &str) -> impl Iterator<Item = &'a Memlet> {
+        let field = field.to_string();
+        self.reads.iter().filter(move |m| m.field == field)
+    }
+
+    /// Is the write of tasklet `t` an accumulation into its own target
+    /// (`acc = acc ⊕ expr` — the target also read at the *same* access
+    /// relation within the same tasklet)? These are the reduction
+    /// candidates the race check flags separately.
+    pub fn is_accumulation(&self, t: usize) -> bool {
+        let Some(w) = self.writes.iter().find(|m| m.tasklet == t) else {
+            return false;
+        };
+        self.reads.iter().any(|r| {
+            r.tasklet == t && r.field == w.field && r.point == w.point && r.level == w.level
+        })
+    }
+}
+
+/// Extract the access relations of a map scope.
+pub fn scope_memlets(label: &str, map: &MapScope, span: Span) -> StateMemlets {
+    let mut writes = Vec::new();
+    let mut reads = Vec::new();
+    for (ti, t) in map.tasklets.iter().enumerate() {
+        writes.push(Memlet::from_access(&t.write, AccessKind::Write, ti));
+        for r in &t.reads {
+            reads.push(Memlet::from_access(r, AccessKind::Read, ti));
+        }
+    }
+    StateMemlets {
+        label: label.to_string(),
+        domain: map.domain.clone(),
+        over_levels: map.over_levels,
+        writes,
+        reads,
+        span,
+    }
+}
+
+/// Extract the access relations of one SDFG state.
+pub fn state_memlets(state: &State) -> StateMemlets {
+    scope_memlets(&state.label, &state.map, state.span)
+}
+
+/// Extract the access relations of every state in graph order.
+pub fn sdfg_memlets(sdfg: &Sdfg) -> Vec<StateMemlets> {
+    sdfg.states.iter().map(state_memlets).collect()
+}
+
+/// Tasklet writes whose expressions reference the loop level `k` (used
+/// by fusion legality: a level-independent surface write may re-execute
+/// per level without changing its value; a level-dependent one may not).
+pub fn tasklet_is_level_dependent(state: &StateMemlets, t: usize) -> bool {
+    state
+        .reads
+        .iter()
+        .any(|r| r.tasklet == t && r.level.depends_on_k())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::sdfg::Sdfg;
+    use crate::transforms::fuse_maps;
+
+    fn memlets_of(src: &str) -> Vec<StateMemlets> {
+        sdfg_memlets(&Sdfg::from_program("t", &parse(src).unwrap()))
+    }
+
+    #[test]
+    fn extracts_identity_and_indirect_point_relations() {
+        let m = memlets_of("kernel t over cells o(p,k) = a(p,k) + b(edge(p,2),k); end");
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].writes.len(), 1);
+        assert_eq!(m[0].writes[0].point, PointRel::Identity);
+        assert!(m[0].writes[0].point.is_injective());
+        assert_eq!(m[0].reads.len(), 2);
+        assert_eq!(
+            m[0].reads[1].point,
+            PointRel::Indirect {
+                relation: "edge".into(),
+                slot: 2
+            }
+        );
+        assert!(!m[0].reads[1].point.is_injective());
+    }
+
+    #[test]
+    fn affine_levels_cover_negative_offsets_and_fixed() {
+        let m = memlets_of("kernel t over cells o(p,k) = a(p,k-3) + a(p,k+2) + a(p,7) + s(p); end");
+        let r = &m[0].reads;
+        assert_eq!(r[0].level, LevelRel::Affine { k_coef: 1, offset: -3 });
+        assert_eq!(r[0].level.halo_offset(), -3);
+        assert_eq!(r[1].level, LevelRel::Affine { k_coef: 1, offset: 2 });
+        assert_eq!(r[2].level, LevelRel::Affine { k_coef: 0, offset: 7 });
+        assert!(!r[2].level.depends_on_k());
+        assert_eq!(r[3].level, LevelRel::Surface);
+        assert_eq!(format!("{}", r[0]), "a <- [p, k-3]");
+        assert_eq!(format!("{}", r[2]), "a <- [p, 7]");
+    }
+
+    #[test]
+    fn nested_entity_level_maps_mark_level_dependence() {
+        // The implicit (entity × level) nest: a surface-only statement
+        // inside a 3-D kernel still lowers to an over_levels map, but its
+        // tasklet is level-independent.
+        let m = memlets_of(
+            r#"
+            kernel t over cells
+              s(p) = w(p) * 2;
+              o(p,k) = s(p) + a(p,k);
+            end
+        "#,
+        );
+        assert!(m[0].over_levels, "kernel uses levels, every state does");
+        assert!(!tasklet_is_level_dependent(&m[0], 0));
+        let fused = sdfg_memlets(&fuse_maps(&Sdfg::from_program(
+            "t",
+            &parse(
+                r#"
+                kernel t over cells
+                  s(p) = w(p) * 2;
+                  o(p,k) = s(p) + a(p,k);
+                end
+            "#,
+            )
+            .unwrap(),
+        )));
+        assert_eq!(fused.len(), 1, "surface write fuses into the 3-D map");
+        assert!(!tasklet_is_level_dependent(&fused[0], 0));
+        assert!(tasklet_is_level_dependent(&fused[0], 1));
+    }
+
+    #[test]
+    fn reduction_accumulators_are_detected() {
+        let m = memlets_of(
+            r#"
+            kernel t over cells
+              acc(p) = acc(p) + q(p,k);
+              o(p,k) = q(p,k) * 2;
+            end
+        "#,
+        );
+        assert!(m[0].is_accumulation(0), "acc = acc + q is an accumulation");
+        assert!(!m[1].is_accumulation(0));
+    }
+
+    #[test]
+    fn accumulator_at_shifted_level_is_not_an_accumulation() {
+        // acc(p,k) = acc(p,k-1) + ... reads a *different* element of the
+        // target: a scan, not a pointwise accumulation.
+        let m = memlets_of("kernel t over cells acc(p,k) = acc(p,k-1) + q(p,k); end");
+        assert!(!m[0].is_accumulation(0));
+    }
+
+    #[test]
+    fn multi_statement_tasklets_aggregate_after_fusion() {
+        let sdfg = Sdfg::from_program(
+            "t",
+            &parse(
+                r#"
+                kernel t over cells
+                  x(p,k) = a(p,k) * 2;
+                  y(p,k) = x(p,k) + b(edge(p,0),k);
+                  z(p,k) = y(p,k) - x(p,k);
+                end
+            "#,
+            )
+            .unwrap(),
+        );
+        let fused = fuse_maps(&sdfg);
+        assert_eq!(fused.states.len(), 1);
+        let m = state_memlets(&fused.states[0]);
+        assert_eq!(m.writes.len(), 3);
+        assert_eq!(m.writes.iter().map(|w| w.tasklet).collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(m.reads.iter().filter(|r| r.tasklet == 2).count(), 2);
+        assert!(m.writes_field("y"));
+        assert_eq!(m.reads_of("x").count(), 2);
+        assert_eq!(m.writes_to("z").count(), 1);
+        // Spans survive fusion: every memlet still points at its source.
+        assert!(m.writes.iter().all(|w| !w.span.is_synthetic()));
+    }
+
+    #[test]
+    fn memlet_spans_point_at_the_access() {
+        let m = memlets_of("kernel t over cells\n  o(p,k) = a(p,k+1);\nend");
+        assert_eq!(m[0].writes[0].span.line, 2);
+        assert_eq!(m[0].writes[0].span.col, 3);
+        assert_eq!(m[0].reads[0].span.col, 12);
+    }
+}

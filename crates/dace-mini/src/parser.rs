@@ -16,18 +16,27 @@
 //! ```
 
 use crate::ast::{BinOp, Expr, FieldAccess, Kernel, LevelIndex, PointIndex, Program, Statement};
+use crate::loc::Span;
 use std::fmt;
 
-/// Parse error with line information.
+/// Parse error carrying a full source span (line, column, length), so
+/// diagnostics render as clickable `file:line:col`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ParseError {
-    pub line: usize,
+    pub span: Span,
     pub message: String,
+}
+
+impl ParseError {
+    /// 1-based source line of the error (0 for end-of-input).
+    pub fn line(&self) -> usize {
+        self.span.line as usize
+    }
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "line {}: {}", self.line, self.message)
+        write!(f, "{}: {}", self.span, self.message)
     }
 }
 
@@ -49,7 +58,7 @@ enum Tok {
 }
 
 struct Lexer {
-    toks: Vec<(Tok, usize)>,
+    toks: Vec<(Tok, Span)>,
     pos: usize,
 }
 
@@ -58,47 +67,60 @@ fn lex(src: &str) -> Result<Lexer, ParseError> {
     for (ln, line) in src.lines().enumerate() {
         let line = line.split('#').next().unwrap_or("");
         let mut chars = line.chars().peekable();
-        let lineno = ln + 1;
+        let lineno = (ln + 1) as u32;
+        let mut col = 1u32;
         while let Some(&c) = chars.peek() {
+            let start = col;
+            let single = |t: Tok| (t, Span::new(lineno, start, 1));
             match c {
                 ' ' | '\t' | '\r' => {
                     chars.next();
+                    col += 1;
                 }
                 '(' => {
                     chars.next();
-                    toks.push((Tok::LParen, lineno));
+                    col += 1;
+                    toks.push(single(Tok::LParen));
                 }
                 ')' => {
                     chars.next();
-                    toks.push((Tok::RParen, lineno));
+                    col += 1;
+                    toks.push(single(Tok::RParen));
                 }
                 ',' => {
                     chars.next();
-                    toks.push((Tok::Comma, lineno));
+                    col += 1;
+                    toks.push(single(Tok::Comma));
                 }
                 ';' => {
                     chars.next();
-                    toks.push((Tok::Semi, lineno));
+                    col += 1;
+                    toks.push(single(Tok::Semi));
                 }
                 '=' => {
                     chars.next();
-                    toks.push((Tok::Eq, lineno));
+                    col += 1;
+                    toks.push(single(Tok::Eq));
                 }
                 '+' => {
                     chars.next();
-                    toks.push((Tok::Plus, lineno));
+                    col += 1;
+                    toks.push(single(Tok::Plus));
                 }
                 '-' => {
                     chars.next();
-                    toks.push((Tok::Minus, lineno));
+                    col += 1;
+                    toks.push(single(Tok::Minus));
                 }
                 '*' => {
                     chars.next();
-                    toks.push((Tok::Star, lineno));
+                    col += 1;
+                    toks.push(single(Tok::Star));
                 }
                 '/' => {
                     chars.next();
-                    toks.push((Tok::Slash, lineno));
+                    col += 1;
+                    toks.push(single(Tok::Slash));
                 }
                 c if c.is_ascii_digit() || c == '.' => {
                     let mut s = String::new();
@@ -116,11 +138,13 @@ fn lex(src: &str) -> Result<Lexer, ParseError> {
                             break;
                         }
                     }
+                    col += s.chars().count() as u32;
+                    let span = Span::new(lineno, start, s.chars().count() as u32);
                     let v: f64 = s.parse().map_err(|_| ParseError {
-                        line: lineno,
+                        span,
                         message: format!("bad number '{s}'"),
                     })?;
-                    toks.push((Tok::Num(v), lineno));
+                    toks.push((Tok::Num(v), span));
                 }
                 c if c.is_ascii_alphabetic() || c == '_' => {
                     let mut s = String::new();
@@ -132,11 +156,13 @@ fn lex(src: &str) -> Result<Lexer, ParseError> {
                             break;
                         }
                     }
-                    toks.push((Tok::Ident(s.to_lowercase()), lineno));
+                    col += s.chars().count() as u32;
+                    let span = Span::new(lineno, start, s.chars().count() as u32);
+                    toks.push((Tok::Ident(s.to_lowercase()), span));
                 }
                 other => {
                     return Err(ParseError {
-                        line: lineno,
+                        span: Span::new(lineno, start, 1),
                         message: format!("unexpected character '{other}'"),
                     })
                 }
@@ -151,11 +177,12 @@ impl Lexer {
         self.toks.get(self.pos).map(|(t, _)| t)
     }
 
-    fn line(&self) -> usize {
+    /// Span of the token at the cursor (or the last token at EOF).
+    fn span(&self) -> Span {
         self.toks
             .get(self.pos.min(self.toks.len().saturating_sub(1)))
-            .map(|(_, l)| *l)
-            .unwrap_or(0)
+            .map(|(_, s)| *s)
+            .unwrap_or_else(Span::synthetic)
     }
 
     fn next(&mut self) -> Option<Tok> {
@@ -164,12 +191,13 @@ impl Lexer {
         t
     }
 
-    fn expect(&mut self, want: &Tok, what: &str) -> Result<(), ParseError> {
-        let line = self.line();
+    /// Consume the expected token, returning its span.
+    fn expect(&mut self, want: &Tok, what: &str) -> Result<Span, ParseError> {
+        let span = self.span();
         match self.next() {
-            Some(ref t) if t == want => Ok(()),
+            Some(ref t) if t == want => Ok(span),
             other => Err(ParseError {
-                line,
+                span,
                 message: format!("expected {what}, found {other:?}"),
             }),
         }
@@ -177,7 +205,7 @@ impl Lexer {
 
     fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
         Err(ParseError {
-            line: self.line(),
+            span: self.span(),
             message: message.into(),
         })
     }
@@ -198,6 +226,7 @@ fn parse_kernel(lx: &mut Lexer) -> Result<Kernel, ParseError> {
         Some(Tok::Ident(kw)) if kw == "kernel" => {}
         other => return lx.err(format!("expected 'kernel', found {other:?}")),
     }
+    let name_span = lx.span();
     let name = match lx.next() {
         Some(Tok::Ident(n)) => n,
         other => return lx.err(format!("expected kernel name, found {other:?}")),
@@ -225,21 +254,30 @@ fn parse_kernel(lx: &mut Lexer) -> Result<Kernel, ParseError> {
         name,
         domain,
         statements,
+        span: name_span,
     })
 }
 
 fn parse_statement(lx: &mut Lexer) -> Result<Statement, ParseError> {
     let target = parse_access(lx)?;
     if matches!(target.point, PointIndex::Lookup { .. }) {
-        return lx.err("assignment targets must be at the loop point 'p'");
+        return Err(ParseError {
+            span: target.span,
+            message: "assignment targets must be at the loop point 'p'".into(),
+        });
     }
     lx.expect(&Tok::Eq, "'='")?;
     let expr = parse_expr(lx)?;
     lx.expect(&Tok::Semi, "';'")?;
-    Ok(Statement { target, expr })
+    Ok(Statement {
+        span: target.span,
+        target,
+        expr,
+    })
 }
 
 fn parse_access(lx: &mut Lexer) -> Result<FieldAccess, ParseError> {
+    let field_span = lx.span();
     let field = match lx.next() {
         Some(Tok::Ident(f)) => f,
         other => return lx.err(format!("expected field name, found {other:?}")),
@@ -252,11 +290,12 @@ fn parse_access(lx: &mut Lexer) -> Result<FieldAccess, ParseError> {
     } else {
         LevelIndex::Surface
     };
-    lx.expect(&Tok::RParen, "')'")?;
+    let close = lx.expect(&Tok::RParen, "')'")?;
     Ok(FieldAccess {
         field,
         point,
         level,
+        span: field_span.to(close),
     })
 }
 
@@ -433,7 +472,23 @@ mod tests {
     fn reports_line_numbers() {
         let src = "kernel t over cells\n  x(p,k) = ??;\nend";
         let err = parse(src).unwrap_err();
-        assert_eq!(err.line, 2);
+        assert_eq!(err.line(), 2);
+        assert_eq!(err.span.col, 12, "column of the bad character");
+    }
+
+    #[test]
+    fn access_spans_cover_the_full_access() {
+        let src = "kernel t over cells\n  out(p,k) = inp(edge(p,0), k) * 2;\nend";
+        let prog = parse(src).unwrap();
+        let st = &prog.kernels[0].statements[0];
+        assert_eq!(st.target.span.line, 2);
+        assert_eq!(st.target.span.col, 3);
+        assert_eq!(st.target.span.len, "out(p,k)".len() as u32);
+        let acc = st.expr.accesses();
+        assert_eq!(acc[0].span.col, 14);
+        assert_eq!(acc[0].span.len, "inp(edge(p,0), k)".len() as u32);
+        assert_eq!(st.span, st.target.span, "statement anchored at its target");
+        assert_eq!(prog.kernels[0].span.line, 1);
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! makes the transformation passes (`transforms`) mechanical and safe.
 
 use crate::ast::{Expr, FieldAccess, Kernel, Program, Statement};
+use crate::loc::Span;
 
 /// Execution schedule of a map (set by transformation passes).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,6 +46,9 @@ pub struct MapScope {
 pub struct State {
     pub label: String,
     pub map: MapScope,
+    /// Span of the originating source statement (the first one, for
+    /// fused states); synthetic for programmatic IR.
+    pub span: Span,
 }
 
 /// The full graph: states execute in order.
@@ -74,6 +78,7 @@ impl Sdfg {
                             code: st.expr.clone(),
                         }],
                     },
+                    span: st.span,
                 });
             }
         }

@@ -125,6 +125,27 @@ pub fn output_fields() -> Vec<(&'static str, &'static str, bool)> {
     ]
 }
 
+/// The analysis declarations matching [`build_topology`] and the field
+/// tables above: what `esm-lint` and the property tests verify the suite
+/// against.
+pub fn suite_context() -> crate::analysis::AnalysisContext {
+    use crate::analysis::FieldIo;
+    let mut ctx = crate::analysis::AnalysisContext::new()
+        .domain("cells")
+        .domain("edges")
+        .relation("edge", "cells", "edges", 3)
+        .relation("neighbor", "cells", "cells", 3)
+        .relation("ecell", "edges", "cells", 2)
+        .with_halo(1);
+    for (name, domain, is3d) in input_fields() {
+        ctx = ctx.field(name, domain, is3d, FieldIo::Input);
+    }
+    for (name, domain, is3d) in output_fields() {
+        ctx = ctx.field(name, domain, is3d, FieldIo::Output);
+    }
+    ctx
+}
+
 /// Build the topology context from raw mesh tables:
 /// `cell_edges`/`cell_neighbors` have arity 3 (icosahedral triangles),
 /// `edge_cells` arity 2.
@@ -286,6 +307,39 @@ mod tests {
             after <= 4,
             "cell pass + edge pass + vertical should fuse to few states, got {after}"
         );
+    }
+
+    #[test]
+    fn suite_verifies_clean_and_certifies_parallel_safe() {
+        use crate::analysis::verify_sdfg;
+        let sdfg = Sdfg::from_program("dycore", &dycore_program());
+        let ctx = suite_context();
+        for graph in [&sdfg, &gh200_pipeline(&sdfg).0] {
+            let rep = verify_sdfg(graph, &ctx);
+            assert!(
+                rep.is_clean(),
+                "suite must lint clean: {:#?}",
+                rep.errors().collect::<Vec<_>>()
+            );
+            assert!(rep.all_parallel_safe(), "{:?}", rep.states);
+        }
+    }
+
+    #[test]
+    fn certified_suite_runs_parallel_and_matches_naive() {
+        use crate::analysis::verify_sdfg;
+        use crate::exec::compile_certified;
+        let prog = dycore_program();
+        let topo = synthetic_topology(320);
+        let mut d1 = synthetic_data(&topo, 6, 3);
+        let mut d2 = d1.clone();
+        run_naive(&prog, &topo, &mut d1);
+        let (opt, _) = gh200_pipeline(&Sdfg::from_program("dycore", &prog));
+        let report = verify_sdfg(&opt, &suite_context());
+        let compiled = compile_certified(&opt, &report);
+        assert!(compiled.n_parallel_states() > 0);
+        compiled.run(&topo, &mut d2);
+        assert_eq!(d1, d2, "certified parallel execution must agree bitwise");
     }
 
     #[test]

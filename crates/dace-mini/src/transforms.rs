@@ -6,22 +6,21 @@
 //! source**. Passes match dataflow structure, so they keep applying when
 //! the source changes shape-compatibly.
 
-use crate::ast::PointIndex;
-use crate::sdfg::{MapScope, Schedule, Sdfg, State};
-use std::collections::HashSet;
+use crate::analysis::{self, AnalysisError};
+use crate::sdfg::{Schedule, Sdfg, State};
 
-/// Fuse consecutive states with the same domain and level-ness whenever
-/// it is safe: a read of a field written by the earlier state must be a
-/// *pointwise* read (`Own`-indexed), because neighbor values of the other
-/// map points are not yet computed when the fused body runs per point.
+/// Fuse consecutive states with the same domain whenever the dataflow
+/// analysis proves it legal: [`analysis::fusion_legality`] checks that no
+/// flow, anti, or output dependence crosses the fusion boundary with a
+/// non-pointwise point relation or mismatched level window. Everything
+/// the query cannot prove safe stays unfused — the pass can only refuse
+/// an optimization, never miscompile.
 pub fn fuse_maps(sdfg: &Sdfg) -> Sdfg {
     let mut out: Vec<State> = Vec::new();
     for st in &sdfg.states {
         if let Some(prev) = out.last_mut() {
-            if can_fuse(&prev.map, &st.map) {
-                prev.label = format!("{}+{}", prev.label, st.label);
-                prev.map.over_levels |= st.map.over_levels;
-                prev.map.tasklets.extend(st.map.tasklets.iter().cloned());
+            if analysis::fusion_legality(prev, st).is_ok() {
+                merge_into(prev, st);
                 continue;
             }
         }
@@ -33,40 +32,21 @@ pub fn fuse_maps(sdfg: &Sdfg) -> Sdfg {
     }
 }
 
-fn can_fuse(a: &MapScope, b: &MapScope) -> bool {
-    if a.domain != b.domain {
-        return false;
-    }
-    // Fields written by `a`.
-    let written: HashSet<&str> = a
-        .tasklets
-        .iter()
-        .map(|t| t.write.field.as_str())
-        .collect();
-    // Every read of a written field in `b` must be pointwise at the same
-    // vertical index class (Own + not level-shifted).
-    for t in &b.tasklets {
-        for r in &t.reads {
-            if written.contains(r.field.as_str()) {
-                let pointwise = r.point == PointIndex::Own
-                    && !matches!(r.level, crate::ast::LevelIndex::KOffset(_));
-                if !pointwise {
-                    return false;
-                }
-            }
-        }
-        // A write in b to a field a also writes is fine (sequential per
-        // point); a write in b to a field a *reads* non-pointwise would
-        // reorder — reject.
-        for ta in &a.tasklets {
-            for r in &ta.reads {
-                if r.field == t.write.field && r.point != PointIndex::Own {
-                    return false;
-                }
-            }
-        }
-    }
-    true
+fn merge_into(prev: &mut State, st: &State) {
+    prev.label = format!("{}+{}", prev.label, st.label);
+    prev.map.over_levels |= st.map.over_levels;
+    prev.map.tasklets.extend(st.map.tasklets.iter().cloned());
+}
+
+/// Fuse exactly one pair, or explain precisely why not: the typed
+/// [`AnalysisError`] carries the violated dependence with its source
+/// span. This is the API for callers that *require* fusion (rather than
+/// opportunistically applying it) and want a diagnosable refusal.
+pub fn try_fuse_pair(a: &State, b: &State) -> Result<State, AnalysisError> {
+    analysis::fusion_legality(a, b).map_err(|d| AnalysisError::new(vec![d]))?;
+    let mut merged = a.clone();
+    merge_into(&mut merged, b);
+    Ok(merged)
 }
 
 /// Change the execution schedule of every (3-D) map: the loop-reordering
@@ -188,6 +168,66 @@ mod tests {
         "#,
         );
         assert_eq!(fuse_maps(&sdfg).states.len(), 2);
+    }
+
+    #[test]
+    fn fusion_blocked_by_fixed_level_read_of_written_field() {
+        // Regression: the pre-analysis `can_fuse` accepted this (Own
+        // point, not KOffset) and the fused form read stale `x(p,2)` for
+        // k < 2 — a silent miscompile vs the naive backend. The analysis
+        // rejects it as a flow dependence with mismatched level windows.
+        let sdfg = lower(
+            r#"
+            kernel a over cells
+              x(p,k) = inp(p,k);
+              y(p,k) = x(p,2);
+            end
+        "#,
+        );
+        assert_eq!(fuse_maps(&sdfg).states.len(), 2);
+    }
+
+    #[test]
+    fn fusion_blocked_by_anti_dependence_on_vertical_shift() {
+        // Regression: reading x(p,k-1) must complete before x is
+        // overwritten; the old check only looked at flow dependences and
+        // fused this, so k >= 1 read freshly-written values.
+        let sdfg = lower(
+            r#"
+            kernel a over cells
+              y(p,k) = x(p,k-1);
+              x(p,k) = inp(p,k);
+            end
+        "#,
+        );
+        assert_eq!(fuse_maps(&sdfg).states.len(), 2);
+    }
+
+    #[test]
+    fn try_fuse_pair_reports_the_violated_dependence() {
+        use crate::analysis::DiagCode;
+        let sdfg = lower(
+            r#"
+            kernel a over cells
+              x(p,k) = inp(p,k) * 2;
+              y(p,k) = x(neighbor(p,0), k);
+            end
+        "#,
+        );
+        let err = try_fuse_pair(&sdfg.states[0], &sdfg.states[1]).unwrap_err();
+        assert_eq!(err.primary().code, DiagCode::FusionFlowDep);
+        assert!(!err.primary().span.is_synthetic(), "refusal carries a span");
+
+        let ok = lower(
+            r#"
+            kernel a over cells
+              x(p,k) = inp(p,k) * 2;
+              y(p,k) = x(p,k) + 1;
+            end
+        "#,
+        );
+        let merged = try_fuse_pair(&ok.states[0], &ok.states[1]).unwrap();
+        assert_eq!(merged.map.tasklets.len(), 2);
     }
 
     #[test]

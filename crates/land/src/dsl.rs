@@ -1,0 +1,93 @@
+//! Stencil-DSL mirrors of the land hot kernels, registered for static
+//! dataflow verification (see `atmo/src/dsl.rs` for the scheme).
+//!
+//! Land kernels are column-local (no horizontal gathers — JSBach runs
+//! per grid cell), so their DSL forms exercise the analyzer's vertical
+//! checks: the soil heat/water columns read `k ± 1` within the declared
+//! halo, and every intermediate written is consumed downstream.
+
+/// DSL restatement of the soil-column and carbon-pool access structure
+/// (see `land/src/soil.rs` and `land/src/pools.rs`).
+pub const DSL_SRC: &str = r#"
+# Land component access structure: per-cell soil columns over 5 levels.
+kernel soil_heat over cells
+  t_flux(p,k)   = (t_soil(p,k-1) - t_soil(p,k)) * inv_dz_soil(p);
+  t_soil_n(p,k) = t_soil(p,k) + kappa(p) * (t_flux(p,k+1) - t_flux(p,k)) + forc_t(p,k);
+end
+
+kernel soil_water over cells
+  perc(p,k)     = w_liquid(p,k) * perc_rate(p);
+  w_liquid_n(p,k) = w_liquid(p,k) + perc(p,k-1) - perc(p,k) + infil(p,k);
+end
+
+kernel carbon over cells
+  npp_alloc(p,k)  = npp(p,k) * alloc_frac(p,k);
+  pool_n(p,k)     = pool(p,k) + npp_alloc(p,k) - pool(p,k) * turnover(p,k);
+end
+"#;
+
+/// Field declarations of [`DSL_SRC`]: `(name, domain, is_3d, io)`.
+pub fn dsl_fields() -> Vec<(&'static str, &'static str, bool, &'static str)> {
+    vec![
+        ("t_soil", "cells", true, "in"),
+        ("forc_t", "cells", true, "in"),
+        ("w_liquid", "cells", true, "in"),
+        ("infil", "cells", true, "in"),
+        ("npp", "cells", true, "in"),
+        ("alloc_frac", "cells", true, "in"),
+        ("pool", "cells", true, "in"),
+        ("turnover", "cells", true, "in"),
+        ("inv_dz_soil", "cells", false, "in"),
+        ("kappa", "cells", false, "in"),
+        ("perc_rate", "cells", false, "in"),
+        ("t_flux", "cells", true, "out"),
+        ("t_soil_n", "cells", true, "out"),
+        ("perc", "cells", true, "out"),
+        ("w_liquid_n", "cells", true, "out"),
+        ("npp_alloc", "cells", true, "out"),
+        ("pool_n", "cells", true, "out"),
+    ]
+}
+
+/// Neighbor relations used (none — land is column-local, but the domain
+/// must still be declared): `(name, source, target, arity)`.
+pub fn dsl_relations() -> Vec<(&'static str, &'static str, &'static str, usize)> {
+    Vec::new()
+}
+
+/// Soil columns read one level up/down (percolation, heat flux).
+pub const DSL_HALO: i32 = 1;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn declarations_cover_every_identifier_in_the_source() {
+        let declared: Vec<&str> = dsl_fields()
+            .iter()
+            .map(|(n, _, _, _)| *n)
+            .chain(dsl_relations().iter().map(|(n, _, _, _)| *n))
+            .collect();
+        for line in DSL_SRC.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') || line.starts_with("kernel") || line == "end" {
+                continue;
+            }
+            let mut ident = String::new();
+            for ch in line.chars() {
+                if ch.is_alphanumeric() || ch == '_' {
+                    ident.push(ch);
+                } else {
+                    if ch == '(' && !ident.is_empty() && !ident.chars().next().unwrap().is_numeric() {
+                        assert!(
+                            declared.contains(&ident.as_str()),
+                            "`{ident}` used in DSL but not declared"
+                        );
+                    }
+                    ident.clear();
+                }
+            }
+        }
+    }
+}

@@ -18,6 +18,7 @@
 //! likewise: precipitation in = soil water + river storage + discharge +
 //! evapotranspiration.
 
+pub mod dsl;
 pub mod kernels;
 pub mod model;
 pub mod params;

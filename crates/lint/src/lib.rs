@@ -1,0 +1,246 @@
+//! The `esm-lint` driver: static dataflow verification of every kernel
+//! suite registered in the workspace.
+//!
+//! For each target (the dace-mini dycore suite, the atmosphere DSL
+//! mirror, the land DSL mirror) the driver parses the DSL source, lowers
+//! it to an SDFG, runs [`dace_mini::analysis::verify_sdfg`] on both the
+//! unfused graph and the `gh200_pipeline` output, and renders every
+//! diagnostic rustc-style (code, message, source snippet with carets) so
+//! a CI failure points at the offending access. It then runs the
+//! deliberately-broken negative fixtures and fails if any expected
+//! finding goes undetected — the lint gate proves both "the kernels are
+//! clean" and "the analyzer still catches what it must".
+
+use dace_mini::analysis::{
+    fusion_legality, verify_sdfg, AnalysisContext, Certification, Diagnostic, FieldIo, Severity,
+};
+use dace_mini::loc::render_snippet;
+use dace_mini::parser::parse;
+use dace_mini::transforms::gh200_pipeline;
+use dace_mini::{suite, Sdfg};
+use std::fmt::Write as _;
+
+/// One lintable kernel suite.
+pub struct LintTarget {
+    pub name: &'static str,
+    pub source: String,
+    pub sdfg: Sdfg,
+    pub ctx: AnalysisContext,
+}
+
+fn ctx_from_tables(
+    fields: &[(&str, &str, bool, &str)],
+    relations: &[(&str, &str, &str, usize)],
+    halo: i32,
+) -> AnalysisContext {
+    let mut ctx = AnalysisContext::new().with_halo(halo);
+    for (_, domain, _, _) in fields {
+        ctx = ctx.domain(domain);
+    }
+    for (name, source, target, arity) in relations {
+        ctx = ctx.domain(source).domain(target).relation(name, source, target, *arity);
+    }
+    for (name, domain, is3d, io) in fields {
+        let io = match *io {
+            "in" => FieldIo::Input,
+            "out" => FieldIo::Output,
+            _ => FieldIo::Intermediate,
+        };
+        ctx = ctx.field(name, domain, *is3d, io);
+    }
+    ctx
+}
+
+/// All registered targets. Adding a component here puts its kernels
+/// under the CI lint gate.
+pub fn builtin_targets() -> Vec<LintTarget> {
+    let mut targets = Vec::new();
+
+    targets.push(LintTarget {
+        name: "dycore-suite",
+        source: suite::DYCORE_SRC.to_string(),
+        sdfg: Sdfg::from_program("dycore", &suite::dycore_program()),
+        ctx: suite::suite_context(),
+    });
+
+    let atmo_prog = parse(atmo::dsl::DSL_SRC).expect("atmo DSL parses");
+    targets.push(LintTarget {
+        name: "atmo-dsl",
+        source: atmo::dsl::DSL_SRC.to_string(),
+        sdfg: Sdfg::from_program("atmo", &atmo_prog),
+        ctx: ctx_from_tables(&atmo::dsl::dsl_fields(), &atmo::dsl::dsl_relations(), atmo::dsl::DSL_HALO),
+    });
+
+    let land_prog = parse(land::dsl::DSL_SRC).expect("land DSL parses");
+    targets.push(LintTarget {
+        name: "land-dsl",
+        source: land::dsl::DSL_SRC.to_string(),
+        sdfg: Sdfg::from_program("land", &land_prog),
+        ctx: ctx_from_tables(&land::dsl::dsl_fields(), &land::dsl::dsl_relations(), land::dsl::DSL_HALO),
+    });
+
+    targets
+}
+
+/// Render one diagnostic rustc-style into `out`.
+pub fn render_diagnostic(out: &mut String, target: &LintTarget, d: &Diagnostic) {
+    let code = d.code.code();
+    let sev = match d.severity() {
+        Severity::Error => "error",
+        Severity::Warning => "warning",
+    };
+    let _ = writeln!(out, "{sev}[{code}]: {} (state `{}`)", d.message, d.state);
+    if !d.span.is_synthetic() && !target.source.is_empty() {
+        let _ = writeln!(out, "{}", render_snippet(target.name, &target.source, d.span));
+    }
+}
+
+/// Outcome of a full lint run.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct LintSummary {
+    pub targets: usize,
+    pub errors: usize,
+    pub warnings: usize,
+    pub states_total: usize,
+    pub states_parallel_safe: usize,
+    /// Fixture-harness failures (an expected finding went undetected, or
+    /// a fixture produced no error at all).
+    pub fixture_failures: Vec<String>,
+}
+
+impl LintSummary {
+    pub fn clean(&self) -> bool {
+        self.errors == 0 && self.fixture_failures.is_empty()
+    }
+}
+
+/// Verify every builtin target (unfused and after the GH200 pipeline)
+/// and exercise the negative fixtures. Human-readable report goes into
+/// `out`; the summary decides the exit code.
+pub fn run_lint(out: &mut String) -> LintSummary {
+    let mut summary = LintSummary::default();
+
+    for target in builtin_targets() {
+        summary.targets += 1;
+        let (fused, _) = gh200_pipeline(&target.sdfg);
+        for (phase, graph) in [("source", &target.sdfg), ("gh200", &fused)] {
+            let report = verify_sdfg(graph, &target.ctx);
+            let n_err = report.errors().count();
+            let n_warn = report.warnings().count();
+            summary.errors += n_err;
+            summary.warnings += n_warn;
+            if phase == "source" {
+                summary.states_total += report.states.len();
+                summary.states_parallel_safe += report
+                    .states
+                    .iter()
+                    .filter(|s| s.cert == Certification::ParallelSafe)
+                    .count();
+            }
+            let _ = writeln!(
+                out,
+                "  [{phase:>6}] {}: {} states, {} ParallelSafe, {n_err} errors, {n_warn} warnings",
+                target.name,
+                report.states.len(),
+                report
+                    .states
+                    .iter()
+                    .filter(|s| s.cert == Certification::ParallelSafe)
+                    .count(),
+            );
+            for d in &report.diagnostics {
+                render_diagnostic(out, &target, d);
+            }
+        }
+    }
+
+    run_fixtures(out, &mut summary);
+    summary
+}
+
+/// Run the deliberately-broken fixtures: every expected code must be
+/// produced. A fixture that passes the verifier (or refuses with the
+/// wrong code) is an analyzer regression and fails the lint run.
+fn run_fixtures(out: &mut String, summary: &mut LintSummary) {
+    let _ = writeln!(out, "  negative fixtures:");
+    for f in dace_mini::fixtures::verifier_fixtures() {
+        let report = verify_sdfg(&f.sdfg, &f.ctx);
+        let mut missing = Vec::new();
+        for code in &f.expect {
+            if !report.diagnostics.iter().any(|d| d.code == *code) {
+                missing.push(code.code());
+            }
+        }
+        if missing.is_empty() {
+            let codes: Vec<&str> = f.expect.iter().map(|c| c.code()).collect();
+            let _ = writeln!(out, "    {:<28} rejected as expected ({})", f.name, codes.join(", "));
+        } else {
+            summary
+                .fixture_failures
+                .push(format!("{}: expected {} not reported", f.name, missing.join(", ")));
+            let _ = writeln!(out, "    {:<28} MISSED {}", f.name, missing.join(", "));
+        }
+    }
+    for f in dace_mini::fixtures::fusion_fixtures() {
+        let (i, j) = f.pair;
+        match fusion_legality(&f.sdfg.states[i], &f.sdfg.states[j]) {
+            Err(d) if d.code == f.expect => {
+                let _ = writeln!(
+                    out,
+                    "    {:<28} fusion refused as expected ({})",
+                    f.name,
+                    d.code.code()
+                );
+            }
+            Err(d) => {
+                summary.fixture_failures.push(format!(
+                    "{}: refused with {} instead of {}",
+                    f.name,
+                    d.code.code(),
+                    f.expect.code()
+                ));
+                let _ = writeln!(out, "    {:<28} WRONG CODE {}", f.name, d.code.code());
+            }
+            Ok(()) => {
+                summary
+                    .fixture_failures
+                    .push(format!("{}: illegal fusion was accepted", f.name));
+                let _ = writeln!(out, "    {:<28} ACCEPTED (analyzer regression)", f.name);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_targets_lint_clean() {
+        let mut out = String::new();
+        let summary = run_lint(&mut out);
+        assert!(summary.clean(), "lint must pass on the shipped kernels:\n{out}");
+        assert_eq!(summary.targets, 3);
+        assert!(summary.states_parallel_safe > 0);
+    }
+
+    #[test]
+    fn suite_states_all_certify() {
+        let targets = builtin_targets();
+        let suite = &targets[0];
+        let report = verify_sdfg(&suite.sdfg, &suite.ctx);
+        assert!(report.all_parallel_safe());
+    }
+
+    #[test]
+    fn a_seeded_bug_fails_the_lint() {
+        // Sanity check of the gate itself: corrupt one target context and
+        // the run must go red.
+        let targets = builtin_targets();
+        let t = &targets[0];
+        let mut ctx = t.ctx.clone();
+        ctx.halo = 0; // the vertical kernel's k±1 is now out of bounds
+        let report = verify_sdfg(&t.sdfg, &ctx);
+        assert!(!report.is_clean());
+    }
+}

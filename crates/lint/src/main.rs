@@ -1,0 +1,34 @@
+//! `esm-lint` — static dataflow verification gate.
+//!
+//! Verifies every registered kernel suite with the dace-mini analyzer
+//! and exercises the negative fixtures. Exit code 0 only when all
+//! shipped kernels lint clean AND every deliberately-broken fixture is
+//! rejected with its expected diagnostic.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut out = String::new();
+    out.push_str("esm-lint: static dataflow verification\n");
+    let summary = esm_lint::run_lint(&mut out);
+    print!("{out}");
+    println!(
+        "esm-lint: {} targets, {} states ({} ParallelSafe), {} errors, {} warnings, {} fixture failures",
+        summary.targets,
+        summary.states_total,
+        summary.states_parallel_safe,
+        summary.errors,
+        summary.warnings,
+        summary.fixture_failures.len()
+    );
+    if summary.clean() {
+        println!("esm-lint: PASS");
+        ExitCode::SUCCESS
+    } else {
+        for f in &summary.fixture_failures {
+            eprintln!("esm-lint: fixture failure: {f}");
+        }
+        eprintln!("esm-lint: FAIL");
+        ExitCode::FAILURE
+    }
+}
