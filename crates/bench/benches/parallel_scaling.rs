@@ -82,9 +82,9 @@ fn main() {
         set_width(threads);
         let mut esm = CoupledEsm::new(cfg.clone());
         // One warm-up window outside the timed span.
-        esm.run_windows(1, false);
+        esm.run_windows(1, false).unwrap();
         let t0 = Instant::now();
-        esm.run_windows(windows, false);
+        esm.run_windows(windows, false).unwrap();
         let wall = t0.elapsed().as_secs_f64();
 
         let snap = esm.snapshot();

@@ -27,7 +27,7 @@ fn bench_coupled_window(c: &mut Criterion) {
     for (label, concurrent) in [("sequential", false), ("concurrent_ocean", true)] {
         group.bench_function(BenchmarkId::from_parameter(label), |b| {
             let mut esm = CoupledEsm::new(EsmConfig::tiny());
-            b.iter(|| esm.run_windows(1, concurrent));
+            b.iter(|| esm.run_windows(1, concurrent).unwrap());
         });
     }
     group.finish();

@@ -6,7 +6,8 @@
 //! ```
 //!
 //! Artifacts: table1 table2 table3 fig2 fig4 dace loc cudagraphs io
-//! tau_limits mapping. Output is printed and written to `results/*.json`.
+//! tau_limits mapping resilience. Output is printed and written to
+//! `results/*.json`.
 
 use esm_bench::figures;
 use std::fs;
@@ -28,6 +29,7 @@ fn main() {
             "io" => Some(figures::io()),
             "tau_limits" => Some(figures::tau_limits()),
             "mapping" => Some(figures::mapping()),
+            "resilience" => Some(figures::resilience()),
             other => {
                 eprintln!("unknown artifact '{other}'");
                 None

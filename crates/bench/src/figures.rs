@@ -452,6 +452,97 @@ pub fn mapping() -> Value {
     json!({ "rows": rows })
 }
 
+/// Supervised-resilience artifact: a chaos run (ocean group killed
+/// mid-window, plus one corrupted flux field) driven by
+/// `run_windows_supervised`, with the resulting [`esm_core::ResilienceReport`]
+/// — degraded windows, quarantine events, respawns, and the
+/// suspicion/recovery timeline — surfaced as JSON.
+pub fn resilience() -> Value {
+    use esm_core::{CoupledEsm, EsmConfig, HealthConfig, SupervisorConfig};
+    use mpisim::FaultPlan;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    println!("\n== Resilience: supervised chaos runs (tiny config) ==");
+    let scfg = SupervisorConfig {
+        health: HealthConfig {
+            beat_timeout: Duration::from_millis(50),
+            hang_hold: Duration::from_millis(75),
+            suspicion_threshold: 2,
+        },
+        ..SupervisorConfig::default()
+    };
+    let scratch = |tag: &str| {
+        let d = std::env::temp_dir().join(format!("esm_bench_res_{tag}_{}", std::process::id()));
+        std::fs::remove_dir_all(&d).ok();
+        d
+    };
+    let report_json = |r: &esm_core::ResilienceReport| {
+        json!({
+            "windows_run": r.windows_run,
+            "degraded_windows": r.degraded_windows,
+            "degraded": r.degraded,
+            "respawns": r.respawns,
+            "replayed_windows": r.replayed_windows,
+            "checkpoints_written": r.checkpoints_written,
+            "generation_fallbacks": r.generation_fallbacks,
+            "quarantine_events": r.quarantine_events.iter().map(|e| json!({
+                "window": e.window, "field": e.field, "bad_values": e.bad_values,
+                "first_index": e.first_index, "action": e.action,
+            })).collect::<Vec<_>>(),
+            "timeline": r.timeline.iter().map(|e| e.to_string()).collect::<Vec<_>>(),
+        })
+    };
+
+    // Scenario 1: ocean+BGC group killed at window 3 — degrade, respawn,
+    // replay, and finish bit-exact with the fault-free run.
+    let dir = scratch("kill");
+    let plan = Arc::new(FaultPlan::new().kill_rank(2, 3));
+    let mut chaotic = CoupledEsm::new(EsmConfig::tiny());
+    let kill_report = chaotic
+        .run_windows_supervised(8, &dir, &scfg, Some(plan))
+        .expect("a single kill is absorbable");
+    std::fs::remove_dir_all(&dir).ok();
+    let mut clean = CoupledEsm::new(EsmConfig::tiny());
+    clean.run_windows(8, false).unwrap();
+    let bitwise = chaotic.snapshot() == clean.snapshot();
+    println!(
+        "kill@3: {} degraded, {} respawn(s), {} replayed, bit-exact with fault-free: {bitwise}",
+        kill_report.degraded_windows, kill_report.respawns, kill_report.replayed_windows
+    );
+    for e in &kill_report.timeline {
+        println!("  {e}");
+    }
+
+    // Scenario 2: a NaN injected into an exchanged flux field is clamped
+    // by the quarantine gate and recorded; no component ever sees it.
+    let dir = scratch("corrupt");
+    let ccfg = SupervisorConfig { corrupt_flux: vec![(2, "sst")], ..scfg.clone() };
+    let mut corrupted = CoupledEsm::new(EsmConfig::tiny());
+    let corrupt_report = corrupted
+        .run_windows_supervised(5, &dir, &ccfg, None)
+        .expect("a clamped corruption is absorbable");
+    std::fs::remove_dir_all(&dir).ok();
+    let state_finite = corrupted
+        .snapshot()
+        .vars
+        .iter()
+        .all(|(_, data)| data.iter().all(|v| v.is_finite()));
+    for e in &corrupt_report.quarantine_events {
+        println!(
+            "quarantine: window {} field {} ({} bad): {}",
+            e.window, e.field, e.bad_values, e.action
+        );
+    }
+
+    json!({
+        "kill": report_json(&kill_report),
+        "kill_bitwise_identical_to_fault_free": bitwise,
+        "corrupt_flux": report_json(&corrupt_report),
+        "corrupt_state_all_finite": state_finite,
+    })
+}
+
 /// Run everything; returns (name, value) pairs.
 pub fn all() -> Vec<(&'static str, Value)> {
     vec![
@@ -466,6 +557,7 @@ pub fn all() -> Vec<(&'static str, Value)> {
         ("io", io()),
         ("tau_limits", tau_limits()),
         ("mapping", mapping()),
+        ("resilience", resilience()),
     ]
 }
 

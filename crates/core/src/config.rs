@@ -5,7 +5,7 @@
 //! integrate on a workstation: the same component structure on a coarser
 //! `R2B(k)` grid with proportionally scaled time steps.
 
-use coupler::CouplingClock;
+use coupler::{ClockError, CouplingClock};
 
 #[derive(Debug, Clone)]
 pub struct EsmConfig {
@@ -57,18 +57,30 @@ impl EsmConfig {
         }
     }
 
-    pub fn clock(&self) -> CouplingClock {
+    /// The coupling clock, validated: an inconsistent schedule (steps not
+    /// dividing the window) is a typed [`ClockError`].
+    pub fn clock(&self) -> Result<CouplingClock, ClockError> {
         CouplingClock::new(self.dt_atm, self.dt_oce, self.coupling_s)
     }
 
-    /// Atmosphere steps per coupling window.
-    pub fn atm_steps_per_window(&self) -> usize {
-        self.clock().fast_steps()
+    /// Panic-free precondition check used by [`crate::CoupledEsm::new`].
+    pub fn validate(&self) -> Result<(), ClockError> {
+        self.clock().map(|_| ())
     }
 
-    /// Ocean steps per coupling window.
+    /// Atmosphere steps per coupling window. Assumes a validated config
+    /// (CoupledEsm::new checks at construction).
+    pub fn atm_steps_per_window(&self) -> usize {
+        self.clock()
+            .expect("EsmConfig was validated at CoupledEsm construction")
+            .fast_steps()
+    }
+
+    /// Ocean steps per coupling window. Assumes a validated config.
     pub fn oce_steps_per_window(&self) -> usize {
-        self.clock().slow_steps()
+        self.clock()
+            .expect("EsmConfig was validated at CoupledEsm construction")
+            .slow_steps()
     }
 }
 
@@ -79,11 +91,21 @@ mod tests {
     #[test]
     fn configurations_are_clock_consistent() {
         for cfg in [EsmConfig::tiny(), EsmConfig::demo()] {
-            let c = cfg.clock();
+            let c = cfg.clock().expect("shipped configs are consistent");
             assert!(c.fast_steps() >= 1);
             assert!(c.slow_steps() >= 1);
             assert!(cfg.dt_atm <= cfg.dt_oce);
         }
+    }
+
+    #[test]
+    fn inconsistent_schedule_is_a_typed_error() {
+        let cfg = EsmConfig {
+            dt_atm: 7.0,
+            ..EsmConfig::tiny()
+        };
+        assert!(cfg.validate().is_err());
+        assert!(cfg.clock().is_err());
     }
 
     #[test]

@@ -122,7 +122,7 @@ mod tests {
 
     fn esm() -> CoupledEsm {
         let mut e = CoupledEsm::new(EsmConfig::tiny());
-        e.run_windows(2, false);
+        e.run_windows(2, false).unwrap();
         e
     }
 

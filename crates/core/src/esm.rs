@@ -19,7 +19,7 @@ use crate::config::EsmConfig;
 use crate::solar;
 use crate::timers::Timers;
 use atmo::{AtmParams, Atmosphere};
-use coupler::exchange::{run_concurrent_windows, FluxSet};
+use coupler::exchange::{run_concurrent_windows, FluxError, FluxSet};
 use hamocc::Hamocc;
 use icongrid::{Field2, Grid, LandSeaMask, NoExchange};
 use land::{kernels::LaunchMode, LandModel, LandParams};
@@ -53,15 +53,22 @@ pub struct CoupledEsm {
     /// Net freshwater delivered to the ocean since start (kg).
     pub ocean_water_received_kg: f64,
     /// Pending fluxes each side will consume in its next window.
-    pending_to_fast: FluxSet,
-    pending_to_slow: FluxSet,
+    /// `pub(crate)` so the supervisor can stage replayed fluxes.
+    pub(crate) pending_to_fast: FluxSet,
+    pub(crate) pending_to_slow: FluxSet,
     /// grid cell -> land-local index (-1 over ocean).
     land_pos: Vec<i64>,
-    windows_run: u64,
+    pub(crate) windows_run: u64,
 }
 
 impl CoupledEsm {
+    /// Build the coupled system. The coupling schedule is validated here
+    /// once (see [`EsmConfig::validate`]); downstream step-count queries
+    /// may then assume consistency.
     pub fn new(cfg: EsmConfig) -> CoupledEsm {
+        if let Err(e) = cfg.validate() {
+            panic!("inconsistent coupling schedule: {e}");
+        }
         let grid = Arc::new(Grid::build(cfg.bisections, icongrid::EARTH_RADIUS_M));
         let mask = LandSeaMask::synthetic_earth(&grid, cfg.seed, cfg.land_fraction);
 
@@ -116,8 +123,10 @@ impl CoupledEsm {
     /// Run `n` coupling windows. `concurrent` moves ocean+BGC to their
     /// own thread; the physics is bitwise identical either way (and also
     /// bitwise invariant to the rayon pool width — the shim's determinism
-    /// contract).
-    pub fn run_windows(&mut self, n: usize, concurrent: bool) {
+    /// contract). A missing or malformed exchanged flux surfaces as a
+    /// typed [`FluxError`] instead of a panic; component state up to the
+    /// last completed window is preserved.
+    pub fn run_windows(&mut self, n: usize, concurrent: bool) -> Result<(), FluxError> {
         let t0 = std::time::Instant::now();
         let cfg = self.cfg.clone();
         let grid = self.grid.clone();
@@ -171,18 +180,18 @@ impl CoupledEsm {
                                 incoming,
                                 ocean_water_received_kg,
                             )
-                        });
+                        })?;
                         *last_fast_out = out.clone();
-                        out
+                        Ok(out)
                     },
                     move |_w, incoming| {
                         let out = Timers::time_with_busy(slow_wall, slow_busy, || {
                             slow_window(ocean, hamocc, g, cfg_slow.oce_steps_per_window(), incoming)
-                        });
+                        })?;
                         *last_slow_out = out.clone();
-                        out
+                        Ok(out)
                     },
-                )
+                )?
             };
             timers.atm_land_s += fast_wall;
             timers.atm_land_busy_s += fast_busy;
@@ -211,7 +220,7 @@ impl CoupledEsm {
                             &mut self.ocean_water_received_kg,
                         )
                     },
-                );
+                )?;
                 let slow_out = Timers::time_with_busy(
                     &mut self.timers.ocean_bgc_s,
                     &mut self.timers.ocean_bgc_busy_s,
@@ -224,14 +233,68 @@ impl CoupledEsm {
                             &incoming_slow,
                         )
                     },
-                );
+                )?;
                 self.pending_to_slow = fast_out;
                 self.pending_to_fast = slow_out;
+                self.windows_run += 1;
             }
         }
-        self.windows_run += n as u64;
+        if concurrent {
+            self.windows_run += n as u64;
+        }
         self.timers.total_s += t0.elapsed().as_secs_f64();
         self.timers.simulated_s += n as f64 * self.cfg.coupling_s;
+        Ok(())
+    }
+
+    /// One atmosphere+land window driven externally (the supervisor's
+    /// per-side stepping). Consumes `incoming` (the slow side's previous
+    /// output), returns the fast side's fluxes for the peer. Does NOT
+    /// advance `windows_run` or the pending-flux lag state — the caller
+    /// owns the schedule.
+    pub fn run_fast_window(
+        &mut self,
+        window: u64,
+        incoming: &FluxSet,
+    ) -> Result<FluxSet, FluxError> {
+        let cfg = self.cfg.clone();
+        let grid = self.grid.clone();
+        Timers::time_with_busy(
+            &mut self.timers.atm_land_s,
+            &mut self.timers.atm_land_busy_s,
+            || {
+                fast_window(
+                    &mut self.atm,
+                    &mut self.land,
+                    grid.as_ref(),
+                    &self.land_pos,
+                    &cfg,
+                    window,
+                    incoming,
+                    &mut self.ocean_water_received_kg,
+                )
+            },
+        )
+    }
+
+    /// One ocean+BGC window driven externally. Counterpart of
+    /// [`CoupledEsm::run_fast_window`].
+    pub fn run_slow_window(&mut self, incoming: &FluxSet) -> Result<FluxSet, FluxError> {
+        let cfg = self.cfg.clone();
+        let grid = self.grid.clone();
+        Timers::time_with_busy(
+            &mut self.timers.ocean_bgc_s,
+            &mut self.timers.ocean_bgc_busy_s,
+            || {
+                slow_window(
+                    &mut self.ocean,
+                    &mut self.hamocc,
+                    grid.as_ref(),
+                    cfg.oce_steps_per_window(),
+                    incoming,
+                )
+            },
+        )
     }
 
     /// Simulated seconds since initialization.
@@ -300,19 +363,57 @@ impl CoupledEsm {
 
     /// Full model state as a checkpoint snapshot (bit-exact restart).
     pub fn snapshot(&self) -> iosys::Snapshot {
-        // The variable names below are distinct by construction, so the
-        // duplicate check in `iosys::Snapshot::push` cannot fire; this
-        // wrapper keeps the builder ergonomic while iosys reports real
-        // errors to callers that assemble snapshots dynamically.
-        struct Snap(iosys::Snapshot);
-        impl Snap {
-            fn push(&mut self, name: impl Into<String>, data: Vec<f64>) {
-                self.0
-                    .push(name, data)
-                    .expect("checkpoint variable names are unique");
+        let mut s = Snap(iosys::Snapshot::new());
+        self.push_fast_vars(&mut s);
+        self.push_slow_vars(&mut s);
+
+        // Coupler lag state.
+        for (prefix, fx) in [
+            ("pend_fast", &self.pending_to_fast),
+            ("pend_slow", &self.pending_to_slow),
+        ] {
+            for (name, data) in &fx.fields {
+                s.push(format!("{prefix}.{name}"), data.clone());
             }
         }
+        s.push(
+            "esm.scalars",
+            vec![
+                self.windows_run as f64,
+                self.ocean_water_received_kg,
+                self.atm.state.time_s,
+                self.land.state.time_s,
+                self.ocean.state.time_s,
+            ],
+        );
+        s.0
+    }
+
+    /// Atmosphere+land half of the model state (localized checkpointing:
+    /// the supervisor restores only the failed side's group).
+    pub fn snapshot_fast(&self) -> iosys::Snapshot {
         let mut s = Snap(iosys::Snapshot::new());
+        self.push_fast_vars(&mut s);
+        s.push(
+            "fast.scalars",
+            vec![
+                self.ocean_water_received_kg,
+                self.atm.state.time_s,
+                self.land.state.time_s,
+            ],
+        );
+        s.0
+    }
+
+    /// Ocean+ice+BGC half of the model state.
+    pub fn snapshot_slow(&self) -> iosys::Snapshot {
+        let mut s = Snap(iosys::Snapshot::new());
+        self.push_slow_vars(&mut s);
+        s.push("slow.scalars", vec![self.ocean.state.time_s]);
+        s.0
+    }
+
+    fn push_fast_vars(&self, s: &mut Snap) {
         let a = &self.atm.state;
         for (n, f) in [
             ("atm.delta", &a.delta),
@@ -358,7 +459,9 @@ impl CoupledEsm {
         s.push("land.et_acc", l.et_acc.clone());
         s.push("land.precip_acc", l.precip_acc.clone());
         s.push("land.runoff_acc", l.runoff_acc.clone());
+    }
 
+    fn push_slow_vars(&self, s: &mut Snap) {
         let o = &self.ocean.state;
         for (n, f) in [
             ("oce.vn", &o.vn),
@@ -397,32 +500,50 @@ impl CoupledEsm {
         ] {
             s.push(n, f.as_slice().to_vec());
         }
-
-        // Coupler lag state.
-        for (prefix, fx) in [
-            ("pend_fast", &self.pending_to_fast),
-            ("pend_slow", &self.pending_to_slow),
-        ] {
-            for (name, data) in &fx.fields {
-                s.push(format!("{prefix}.{name}"), data.clone());
-            }
-        }
-        s.push(
-            "esm.scalars",
-            vec![
-                self.windows_run as f64,
-                self.ocean_water_received_kg,
-                self.atm.state.time_s,
-                self.land.state.time_s,
-                self.ocean.state.time_s,
-            ],
-        );
-        s.0
     }
 
     /// Restore from a snapshot produced by [`CoupledEsm::snapshot`] on an
     /// identically configured instance.
     pub fn restore(&mut self, s: &iosys::Snapshot) {
+        self.copy_fast_vars(s);
+        self.copy_slow_vars(s);
+
+        for (prefix, fx) in [
+            ("pend_fast", &mut self.pending_to_fast),
+            ("pend_slow", &mut self.pending_to_slow),
+        ] {
+            for (name, data) in fx.fields.iter_mut() {
+                data.copy_from_slice(s.expect(&format!("{prefix}.{name}")));
+            }
+        }
+        let scalars = s.expect("esm.scalars");
+        self.windows_run = scalars[0] as u64;
+        self.ocean_water_received_kg = scalars[1];
+        self.atm.state.time_s = scalars[2];
+        self.land.state.time_s = scalars[3];
+        self.ocean.state.time_s = scalars[4];
+    }
+
+    /// Restore only the atmosphere+land group from a
+    /// [`CoupledEsm::snapshot_fast`] snapshot. Ocean, BGC, and the
+    /// coupler lag state are untouched.
+    pub fn restore_fast(&mut self, s: &iosys::Snapshot) {
+        self.copy_fast_vars(s);
+        let scalars = s.expect("fast.scalars");
+        self.ocean_water_received_kg = scalars[0];
+        self.atm.state.time_s = scalars[1];
+        self.land.state.time_s = scalars[2];
+    }
+
+    /// Restore only the ocean+ice+BGC group from a
+    /// [`CoupledEsm::snapshot_slow`] snapshot.
+    pub fn restore_slow(&mut self, s: &iosys::Snapshot) {
+        self.copy_slow_vars(s);
+        let scalars = s.expect("slow.scalars");
+        self.ocean.state.time_s = scalars[0];
+    }
+
+    fn copy_fast_vars(&mut self, s: &iosys::Snapshot) {
         let copy3 = |f: &mut icongrid::Field3, v: &[f64]| f.as_mut_slice().copy_from_slice(v);
         let copy2 = |f: &mut Field2, v: &[f64]| f.as_mut_slice().copy_from_slice(v);
 
@@ -458,6 +579,11 @@ impl CoupledEsm {
         l.et_acc.copy_from_slice(s.expect("land.et_acc"));
         l.precip_acc.copy_from_slice(s.expect("land.precip_acc"));
         l.runoff_acc.copy_from_slice(s.expect("land.runoff_acc"));
+    }
+
+    fn copy_slow_vars(&mut self, s: &iosys::Snapshot) {
+        let copy3 = |f: &mut icongrid::Field3, v: &[f64]| f.as_mut_slice().copy_from_slice(v);
+        let copy2 = |f: &mut Field2, v: &[f64]| f.as_mut_slice().copy_from_slice(v);
 
         let o = &mut self.ocean.state;
         copy3(&mut o.vn, s.expect("oce.vn"));
@@ -485,21 +611,19 @@ impl CoupledEsm {
         copy2(&mut self.hamocc.sw_down, s.expect("bgc.sw"));
         copy2(&mut self.hamocc.wind, s.expect("bgc.wind"));
         copy2(&mut self.hamocc.pco2_atm, s.expect("bgc.pco2"));
+    }
+}
 
-        for (prefix, fx) in [
-            ("pend_fast", &mut self.pending_to_fast),
-            ("pend_slow", &mut self.pending_to_slow),
-        ] {
-            for (name, data) in fx.fields.iter_mut() {
-                data.copy_from_slice(s.expect(&format!("{prefix}.{name}")));
-            }
-        }
-        let scalars = s.expect("esm.scalars");
-        self.windows_run = scalars[0] as u64;
-        self.ocean_water_received_kg = scalars[1];
-        self.atm.state.time_s = scalars[2];
-        self.land.state.time_s = scalars[3];
-        self.ocean.state.time_s = scalars[4];
+/// The variable names pushed by the snapshot builders are distinct by
+/// construction, so the duplicate check in `iosys::Snapshot::push` cannot
+/// fire; this wrapper keeps the builders ergonomic while iosys reports
+/// real errors to callers that assemble snapshots dynamically.
+struct Snap(iosys::Snapshot);
+impl Snap {
+    fn push(&mut self, name: impl Into<String>, data: Vec<f64>) {
+        self.0
+            .push(name, data)
+            .expect("checkpoint variable names are unique");
     }
 }
 
@@ -546,16 +670,17 @@ fn fast_window(
     window: u64,
     incoming: &FluxSet,
     ocean_water_received_kg: &mut f64,
-) -> FluxSet {
+) -> Result<FluxSet, FluxError> {
     let n = g.n_cells;
     let steps = cfg.atm_steps_per_window();
     let dt = cfg.dt_atm;
     let window_t0 = window as f64 * cfg.coupling_s;
 
     // --- unpack ocean fluxes into the atmosphere's boundary state.
-    let sst = incoming.expect("sst");
-    let ice = incoming.expect("ice_conc");
-    let oce_co2 = incoming.expect("co2_flux_up");
+    // A missing field is a typed error BEFORE any state is mutated.
+    let sst = incoming.try_get("sst")?;
+    let ice = incoming.try_get("ice_conc")?;
+    let oce_co2 = incoming.try_get("co2_flux_up")?;
     for c in 0..n {
         if land_pos[c] < 0 {
             let frozen = ice[c] >= 0.5;
@@ -641,7 +766,7 @@ fn fast_window(
     out.insert("pco2_atm", pco2);
     out.insert("sw_down", sw_mean);
     out.insert("wind", wind);
-    out
+    Ok(out)
 }
 
 /// One ocean+BGC coupling window of `steps` ocean steps.
@@ -651,40 +776,27 @@ fn slow_window(
     g: &Grid,
     steps: usize,
     incoming: &FluxSet,
-) -> FluxSet {
+) -> Result<FluxSet, FluxError> {
     let n = g.n_cells;
+    // Validate the whole bundle up front so a missing field cannot leave
+    // the ocean forced by half a window's fluxes.
+    let wind_stress_n = incoming.try_get("wind_stress_n")?;
+    let heat_flux = incoming.try_get("heat_flux")?;
+    let fw_flux = incoming.try_get("fw_flux")?;
+    let pco2_atm = incoming.try_get("pco2_atm")?;
+    let sw_down = incoming.try_get("sw_down")?;
+    let wind = incoming.try_get("wind")?;
     ocean
         .state
         .wind_stress_n
         .as_mut_slice()
-        .copy_from_slice(incoming.expect("wind_stress_n"));
-    ocean
-        .state
-        .heat_flux
-        .as_mut_slice()
-        .copy_from_slice(incoming.expect("heat_flux"));
-    ocean
-        .state
-        .fw_flux
-        .as_mut_slice()
-        .copy_from_slice(incoming.expect("fw_flux"));
-    ocean
-        .state
-        .pco2_atm
-        .as_mut_slice()
-        .copy_from_slice(incoming.expect("pco2_atm"));
-    hamocc
-        .sw_down
-        .as_mut_slice()
-        .copy_from_slice(incoming.expect("sw_down"));
-    hamocc
-        .wind
-        .as_mut_slice()
-        .copy_from_slice(incoming.expect("wind"));
-    hamocc
-        .pco2_atm
-        .as_mut_slice()
-        .copy_from_slice(incoming.expect("pco2_atm"));
+        .copy_from_slice(wind_stress_n);
+    ocean.state.heat_flux.as_mut_slice().copy_from_slice(heat_flux);
+    ocean.state.fw_flux.as_mut_slice().copy_from_slice(fw_flux);
+    ocean.state.pco2_atm.as_mut_slice().copy_from_slice(pco2_atm);
+    hamocc.sw_down.as_mut_slice().copy_from_slice(sw_down);
+    hamocc.wind.as_mut_slice().copy_from_slice(wind);
+    hamocc.pco2_atm.as_mut_slice().copy_from_slice(pco2_atm);
 
     // Zero fluxes on dry cells (defensive: the masks agree by construction).
     for c in 0..n {
@@ -706,7 +818,7 @@ fn slow_window(
         (0..n).map(|c| ocean.ice_concentration(c)).collect(),
     );
     out.insert("co2_flux_up", hamocc.co2_flux_up.as_slice().to_vec());
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -733,7 +845,7 @@ mod tests {
     fn carbon_is_conserved_across_components() {
         let mut esm = tiny();
         let before = esm.carbon_budget();
-        esm.run_windows(3, false);
+        esm.run_windows(3, false).unwrap();
         let after = esm.carbon_budget();
         let rel = (after.total() - before.total()).abs() / before.total();
         assert!(
@@ -751,7 +863,7 @@ mod tests {
     fn water_is_conserved_across_components() {
         let mut esm = tiny();
         let before = esm.water_budget();
-        esm.run_windows(3, false);
+        esm.run_windows(3, false).unwrap();
         let after = esm.water_budget();
         let rel = (after.total() - before.total()).abs() / before.total();
         assert!(rel < 1e-3, "water drift {rel:e}: {before:?} -> {after:?}");
@@ -761,8 +873,8 @@ mod tests {
     fn serial_and_concurrent_runs_agree_bitwise() {
         let mut a = tiny();
         let mut b = tiny();
-        a.run_windows(2, false);
-        b.run_windows(2, true);
+        a.run_windows(2, false).unwrap();
+        b.run_windows(2, true).unwrap();
         assert_eq!(a.atm.state, b.atm.state, "atmosphere state diverged");
         assert_eq!(a.ocean.state, b.ocean.state, "ocean state diverged");
         assert_eq!(a.land.state, b.land.state, "land state diverged");
@@ -774,13 +886,13 @@ mod tests {
     #[test]
     fn restart_is_bit_exact() {
         let mut reference = tiny();
-        reference.run_windows(2, false);
+        reference.run_windows(2, false).unwrap();
         let snap = reference.snapshot();
-        reference.run_windows(2, false);
+        reference.run_windows(2, false).unwrap();
 
         let mut restored = tiny();
         restored.restore(&snap);
-        restored.run_windows(2, false);
+        restored.run_windows(2, false).unwrap();
 
         assert_eq!(reference.atm.state, restored.atm.state);
         assert_eq!(reference.ocean.state, restored.ocean.state);
@@ -793,7 +905,7 @@ mod tests {
     #[test]
     fn coupled_climate_is_active() {
         let mut esm = tiny();
-        esm.run_windows(6, false);
+        esm.run_windows(6, false).unwrap();
         // Wind spun up.
         let wind: f64 = esm.atm.state.vn.as_slice().iter().map(|v| v.abs()).sum();
         assert!(wind > 0.0, "atmosphere at rest");
@@ -820,7 +932,7 @@ mod tests {
     #[test]
     fn timers_and_tau_are_recorded() {
         let mut esm = tiny();
-        esm.run_windows(2, false);
+        esm.run_windows(2, false).unwrap();
         assert!(esm.timers.total_s > 0.0);
         assert!(esm.timers.atm_land_s > 0.0);
         assert!(esm.timers.ocean_bgc_s > 0.0);
@@ -835,7 +947,7 @@ mod tests {
     #[test]
     fn concurrent_mode_records_compute_buckets() {
         let mut esm = tiny();
-        esm.run_windows(2, true);
+        esm.run_windows(2, true).unwrap();
         assert!(esm.timers.atm_land_s > 0.0, "{:?}", esm.timers);
         assert!(esm.timers.ocean_bgc_s > 0.0, "{:?}", esm.timers);
         // Each side runs on its own thread for the whole span, so a bucket
@@ -856,11 +968,69 @@ mod tests {
         assert!(esm.timers.ocean_bgc_busy_s >= 0.0);
     }
 
+    /// The per-side snapshots plus the coupler lag state compose to a
+    /// bit-exact restart — the contract localized rank recovery builds on.
+    #[test]
+    fn per_side_snapshots_compose_to_the_full_restart() {
+        let mut reference = tiny();
+        reference.run_windows(2, false).unwrap();
+        let fast = reference.snapshot_fast();
+        let slow = reference.snapshot_slow();
+        let pend_fast = reference.pending_to_fast.clone();
+        let pend_slow = reference.pending_to_slow.clone();
+        let windows = reference.windows_run();
+        reference.run_windows(1, false).unwrap();
+
+        let mut restored = tiny();
+        restored.restore_fast(&fast);
+        restored.restore_slow(&slow);
+        restored.pending_to_fast = pend_fast;
+        restored.pending_to_slow = pend_slow;
+        restored.windows_run = windows;
+        restored.run_windows(1, false).unwrap();
+
+        assert_eq!(reference.atm.state, restored.atm.state);
+        assert_eq!(reference.ocean.state, restored.ocean.state);
+        assert_eq!(reference.land.state, restored.land.state);
+        for (x, y) in reference.hamocc.tracers.iter().zip(&restored.hamocc.tracers) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn missing_flux_field_is_a_typed_error_not_a_panic() {
+        let mut esm = tiny();
+        esm.pending_to_fast = FluxSet::new(); // drop the ocean's bundle
+        let err = esm.run_windows(1, false).unwrap_err();
+        assert!(matches!(err, FluxError::MissingField { .. }), "{err}");
+        // The failed window did not count.
+        assert_eq!(esm.windows_run(), 0);
+    }
+
+    #[test]
+    fn externally_driven_windows_match_run_windows_bitwise() {
+        let mut a = tiny();
+        let mut b = tiny();
+        a.run_windows(2, false).unwrap();
+        for w in 0..2u64 {
+            let incoming_fast = b.pending_to_fast.clone();
+            let incoming_slow = b.pending_to_slow.clone();
+            let fast_out = b.run_fast_window(w, &incoming_fast).unwrap();
+            let slow_out = b.run_slow_window(&incoming_slow).unwrap();
+            b.pending_to_slow = fast_out;
+            b.pending_to_fast = slow_out;
+            b.windows_run += 1;
+        }
+        assert_eq!(a.atm.state, b.atm.state);
+        assert_eq!(a.ocean.state, b.ocean.state);
+        assert_eq!(a.land.state, b.land.state);
+    }
+
     #[test]
     fn everything_stays_finite_over_a_simulated_day() {
         let mut esm = tiny();
         let windows = (86_400.0 / esm.cfg.coupling_s) as usize;
-        esm.run_windows(windows, false);
+        esm.run_windows(windows, false).unwrap();
         assert!(esm.atm.state.vn.as_slice().iter().all(|v| v.is_finite()));
         assert!(esm.atm.state.delta.min() > 0.0);
         assert!(esm.ocean.state.temp.as_slice().iter().all(|v| v.is_finite()));

@@ -13,6 +13,12 @@
 //! * [`resilience`] — fault-absorbing driver loop: checkpoint ring,
 //!   distributed blow-up guard over fault-injectable `mpisim` messages,
 //!   and rollback-replay (`run_windows_resilient`);
+//! * [`health`] — per-component heartbeats and the deadline-based
+//!   failure detector (missed-beat accrual);
+//! * [`supervisor`] — degraded-mode coupling and localized rank
+//!   recovery (`run_windows_supervised`): a failed component group
+//!   respawns from its own checkpoint ring and replays while the healthy
+//!   group continues on persisted fluxes;
 //! * [`budgets`] — cross-component conservation ledgers (carbon, water);
 //! * [`timers`] — per-component wall-clock timing and the temporal
 //!   compression tau.
@@ -21,11 +27,16 @@ pub mod budgets;
 pub mod diagnostics;
 pub mod config;
 pub mod esm;
+pub mod health;
 pub mod resilience;
 pub mod solar;
+pub mod supervisor;
 pub mod timers;
 
 pub use config::EsmConfig;
+pub use coupler::{FluxError, QuarantineEvent, RepairPolicy};
 pub use esm::CoupledEsm;
+pub use health::{FailureDetector, HealthConfig, HealthError, HealthEvent, HealthEventKind};
 pub use resilience::{EsmError, ResilienceConfig, ResilienceReport};
+pub use supervisor::{Side, SupervisorConfig};
 pub use timers::Timers;

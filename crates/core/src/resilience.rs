@@ -31,6 +31,8 @@
 //! after rollback reproduces the fault-free trajectory bit for bit.
 
 use crate::esm::CoupledEsm;
+use crate::health::{HealthError, HealthEvent};
+use coupler::{FluxError, QuarantineEvent};
 use iosys::{CheckpointRing, RestartError, Snapshot};
 use mpisim::{CommError, FaultPlan, World};
 use std::path::Path;
@@ -99,6 +101,12 @@ pub enum EsmError {
         attempts: u32,
         last: String,
     },
+    /// A coupling exchange failed with a typed flux error: missing field,
+    /// quarantine rejection, exhausted degraded-window budget.
+    Flux { window: u64, error: FluxError },
+    /// The failure detector declared a condition no local recovery can
+    /// absorb (e.g. both component groups down at once).
+    Health(HealthError),
 }
 
 impl std::fmt::Display for EsmError {
@@ -119,6 +127,10 @@ impl std::fmt::Display for EsmError {
                 f,
                 "window {window} failed {attempts} times, giving up (last: {last})"
             ),
+            EsmError::Flux { window, error } => {
+                write!(f, "flux exchange failure in window {window}: {error}")
+            }
+            EsmError::Health(e) => write!(f, "health failure: {e}"),
         }
     }
 }
@@ -128,6 +140,12 @@ impl std::error::Error for EsmError {}
 impl From<RestartError> for EsmError {
     fn from(e: RestartError) -> EsmError {
         EsmError::Restart(e)
+    }
+}
+
+impl From<HealthError> for EsmError {
+    fn from(e: HealthError) -> EsmError {
+        EsmError::Health(e)
     }
 }
 
@@ -148,6 +166,19 @@ pub struct ResilienceReport {
     pub faults_absorbed: Vec<String>,
     /// Generation the run ended on.
     pub final_generation: u64,
+    /// Coupling windows the healthy side ran on substituted (persisted)
+    /// peer fluxes because its peer was suspected or down.
+    pub degraded_windows: u64,
+    /// The window numbers of those degraded windows, in order.
+    pub degraded: Vec<u64>,
+    /// Field-quarantine events recorded at the coupler boundary (NaN/Inf
+    /// or out-of-bounds values caught before entering component state).
+    pub quarantine_events: Vec<QuarantineEvent>,
+    /// Supervision timeline: missed beats, suspicion, failure
+    /// declarations, respawns, replay completions, recoveries.
+    pub timeline: Vec<HealthEvent>,
+    /// Localized rank respawns performed by the supervisor.
+    pub respawns: u64,
 }
 
 /// Why one guard round failed (internal; mapped onto report strings and
@@ -327,7 +358,8 @@ impl CoupledEsm {
         let mut attempts = 0u32;
         while done < n_windows {
             let window = done + 1;
-            self.run_windows(1, concurrent);
+            self.run_windows(1, concurrent)
+                .map_err(|error| EsmError::Flux { window, error })?;
             let snap = self.snapshot();
             match distributed_guard(&snap, window, rcfg, plan.as_ref()) {
                 Ok(()) => {
@@ -412,7 +444,7 @@ mod tests {
         assert_eq!(report.checkpoints_written, 3);
 
         let mut b = CoupledEsm::new(cfg);
-        b.run_windows(4, false);
+        b.run_windows(4, false).unwrap();
         assert_eq!(a.snapshot(), b.snapshot(), "resilient run must be bit-exact");
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -434,7 +466,7 @@ mod tests {
         assert_eq!(plan.report().dropped, 1);
 
         let mut b = CoupledEsm::new(cfg);
-        b.run_windows(3, false);
+        b.run_windows(3, false).unwrap();
         assert_eq!(a.snapshot(), b.snapshot());
         std::fs::remove_dir_all(&dir).ok();
     }

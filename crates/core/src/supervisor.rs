@@ -1,0 +1,725 @@
+//! Component supervision: health monitoring, degraded-mode coupling, and
+//! localized rank recovery.
+//!
+//! [`CoupledEsm::run_windows_supervised`] drives the coupled system one
+//! window at a time under a three-rank supervision world: rank 0 is the
+//! monitor, rank 1 the atmosphere+land group ("fast"), rank 2 the
+//! ocean+ice+BGC group ("slow"). Each window:
+//!
+//! ```text
+//! [RECOVER?] -> [HEARTBEAT] -> [DECLARE?] -> [CATCH-UP] -> [RUN] -> [CKPT?]
+//! ```
+//!
+//! * **Heartbeats** travel over fault-injectable mpisim channels
+//!   ([`mpisim::heartbeat_round`]); a [`FailureDetector`] accrues missed
+//!   beats and declares failure at a suspicion threshold, so a single
+//!   dropped beat holds a side's windows (later caught up solo from the
+//!   flux logs, zero degraded windows) while a kill or a persistent hang
+//!   crosses the threshold.
+//! * **Degraded-mode coupling**: when the healthy side needs a peer flux
+//!   set the suspected/down side never produced, it substitutes the last
+//!   valid set ([`coupler::PersistenceFallback`]) instead of stalling,
+//!   bounded by a consecutive-window budget. Every degraded window is
+//!   recorded in the [`ResilienceReport`].
+//! * **Field quarantine**: each side's outgoing fluxes pass a
+//!   [`coupler::QuarantineGate`] loaded with the component crates'
+//!   declared physical bounds; NaN/Inf or out-of-range values are
+//!   rejected, clamped, or replaced per [`coupler::RepairPolicy`] and
+//!   never reach the peer's state.
+//! * **Localized recovery**: a failed side respawns from the newest
+//!   intact generation of its *own* checkpoint ring
+//!   ([`iosys::CheckpointRing::read_generation`]) while the healthy side
+//!   continued in degraded mode; both sides then replay deterministically
+//!   from the last common healthy checkpoint, overwriting every
+//!   speculative (degraded-input) window with true values. Because the
+//!   replay reuses logged true fluxes, re-applies chaos injections, and
+//!   re-screens with `record = false`, the final state is **bitwise
+//!   identical** to a fault-free run whenever no `PersistLast` repair
+//!   stuck (the documented caveat).
+//!
+//! Checkpointing is suspended while any rank is suspected or down, so no
+//! speculative state ever reaches the rings.
+
+use crate::esm::CoupledEsm;
+use crate::health::{FailureDetector, HealthConfig, HealthError, Verdict};
+use crate::resilience::{EsmError, ResilienceReport};
+use coupler::{FluxSet, PersistenceFallback, QuarantineGate, RepairPolicy};
+use iosys::{CheckpointRing, RestartError};
+use mpisim::{heartbeat_round, FaultPlan};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// The two supervised component groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    /// Atmosphere + land (heartbeat rank 1).
+    Fast,
+    /// Ocean + sea ice + BGC (heartbeat rank 2).
+    Slow,
+}
+
+const SIDES: [Side; 2] = [Side::Fast, Side::Slow];
+
+impl Side {
+    /// Heartbeat rank of this group (rank 0 is the monitor).
+    pub fn rank(self) -> usize {
+        match self {
+            Side::Fast => 1,
+            Side::Slow => 2,
+        }
+    }
+
+    fn idx(self) -> usize {
+        match self {
+            Side::Fast => 0,
+            Side::Slow => 1,
+        }
+    }
+
+    fn peer(self) -> Side {
+        match self {
+            Side::Fast => Side::Slow,
+            Side::Slow => Side::Fast,
+        }
+    }
+
+    fn stem(self) -> &'static str {
+        match self {
+            Side::Fast => "fast",
+            Side::Slow => "slow",
+        }
+    }
+}
+
+/// Tuning of the supervised driver.
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// Write per-side checkpoint generations every this many healthy
+    /// completed windows.
+    pub checkpoint_every: u64,
+    /// Shard files per checkpoint generation.
+    pub n_files: usize,
+    /// Staggered reader groups on restore.
+    pub n_readers: usize,
+    /// Generations retained per side's ring.
+    pub keep_generations: usize,
+    /// Heartbeat timing and the suspicion threshold.
+    pub health: HealthConfig,
+    /// Windows between failure declaration and the respawn attempt
+    /// (models the allocation/restart latency of a replacement rank).
+    pub respawn_delay_windows: u64,
+    /// Max consecutive windows the healthy side may run on substituted
+    /// fluxes before the degradation is no longer absorbable.
+    pub max_consecutive_degraded: u32,
+    /// Repair policy of the field-quarantine gates.
+    pub policy: RepairPolicy,
+    /// Respawns allowed per side before giving up.
+    pub max_respawns: u32,
+    /// Chaos hook: at (supervised-local window, field), overwrite entry 0
+    /// of that field in its producer's output with NaN — re-applied
+    /// identically during replay, like a deterministic model bug.
+    pub corrupt_flux: Vec<(u64, &'static str)>,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> SupervisorConfig {
+        SupervisorConfig {
+            checkpoint_every: 2,
+            n_files: 2,
+            n_readers: 2,
+            keep_generations: 4,
+            health: HealthConfig::default(),
+            respawn_delay_windows: 1,
+            max_consecutive_degraded: 4,
+            policy: RepairPolicy::ClampToBounds,
+            max_respawns: 4,
+            corrupt_flux: Vec::new(),
+        }
+    }
+}
+
+/// Mutable supervision state threaded through one supervised run.
+struct Supervision<'a> {
+    scfg: &'a SupervisorConfig,
+    plan: Option<Arc<FaultPlan>>,
+    dir: PathBuf,
+    /// Absolute window base (windows already run before this call).
+    w0: u64,
+    init_to_fast: FluxSet,
+    init_to_slow: FluxSet,
+    rings: [CheckpointRing; 2],
+    /// (generation, completed-window count) per written generation.
+    gen_at: [Vec<(u64, u64)>; 2],
+    /// Per side: output of local window `v` and whether it was computed
+    /// from a true (non-degraded) input.
+    out_log: [Vec<Option<(FluxSet, bool)>>; 2],
+    /// Gate screening each side's *outgoing* fluxes.
+    gates: [QuarantineGate; 2],
+    /// Fallback serving each side's *incoming* fluxes when degraded.
+    fallback: [PersistenceFallback; 2],
+    detector: FailureDetector,
+    report: ResilienceReport,
+    /// Next local window each side still has to run.
+    next_run: [u64; 2],
+    down: [bool; 2],
+    respawn_at: [Option<u64>; 2],
+    respawns: [u32; 2],
+    newest_gen: u64,
+}
+
+impl Supervision<'_> {
+    /// Run side `side`'s local window `v`: resolve its input (logged peer
+    /// output, or persistence fallback when the peer never produced it),
+    /// step the components, apply the chaos hook, screen the output, and
+    /// log it. `record = false` marks a deterministic replay: gate events
+    /// are suppressed and degradation cannot occur (inputs exist by
+    /// construction).
+    fn run_one(
+        &mut self,
+        esm: &mut CoupledEsm,
+        side: Side,
+        v: u64,
+        record: bool,
+    ) -> Result<(), EsmError> {
+        let i = side.idx();
+        let abs = self.w0 + v;
+        let flux_err = |error| EsmError::Flux { window: abs, error };
+
+        let initial = match side {
+            Side::Fast => &self.init_to_fast,
+            Side::Slow => &self.init_to_slow,
+        };
+        let (input, input_true) = if v == 0 {
+            (initial.clone(), true)
+        } else {
+            match &self.out_log[side.peer().idx()][v as usize - 1] {
+                Some((f, t)) => (f.clone(), *t),
+                None => {
+                    debug_assert!(record, "replay inputs exist by construction");
+                    let f = self.fallback[i].degrade(abs).map_err(flux_err)?;
+                    self.report.degraded_windows += 1;
+                    self.report.degraded.push(abs);
+                    (f, false)
+                }
+            }
+        };
+        if input_true {
+            self.fallback[i].accept(&input);
+        }
+
+        let mut out = match side {
+            Side::Fast => esm.run_fast_window(abs, &input),
+            Side::Slow => esm.run_slow_window(&input),
+        }
+        .map_err(flux_err)?;
+        // Chaos hook: the producer emits one NaN this window. Replay hits
+        // the same injection, so deterministic repairs reproduce exactly.
+        for &(cw, field) in &self.scfg.corrupt_flux {
+            if cw == v {
+                for (name, data) in out.fields.iter_mut() {
+                    if *name == field && !data.is_empty() {
+                        data[0] = f64::NAN;
+                    }
+                }
+            }
+        }
+        self.gates[i].screen(abs, &mut out, record).map_err(flux_err)?;
+        self.out_log[i][v as usize] = Some((out, input_true));
+        Ok(())
+    }
+
+    /// Write one generation of both per-side rings (state after
+    /// `completed` local windows).
+    fn checkpoint(&mut self, esm: &CoupledEsm, completed: u64) -> Result<(), EsmError> {
+        for side in SIDES {
+            let snap = match side {
+                Side::Fast => esm.snapshot_fast(),
+                Side::Slow => esm.snapshot_slow(),
+            };
+            let gen = self.rings[side.idx()]
+                .write(&snap, self.scfg.n_files)
+                .map_err(EsmError::Restart)?;
+            self.gen_at[side.idx()].push((gen, completed));
+            self.report.checkpoints_written += 1;
+            self.newest_gen = self.newest_gen.max(gen);
+        }
+        Ok(())
+    }
+
+    /// Localized recovery of `failed` at local window `w`: restore both
+    /// sides from the newest common intact generation, then jointly
+    /// replay windows up to (excluding) `w`. The healthy side's
+    /// speculative (degraded-input) windows are overwritten with true
+    /// recomputations, so the post-recovery state matches a fault-free
+    /// run bitwise (absent sticky `PersistLast` repairs).
+    fn recover(&mut self, esm: &mut CoupledEsm, failed: Side, w: u64) -> Result<(), EsmError> {
+        // Completed-window counts checkpointed on BOTH rings, newest first.
+        let mut bases: Vec<u64> = self.gen_at[0]
+            .iter()
+            .map(|&(_, c)| c)
+            .filter(|&c| c <= w && self.gen_at[1].iter().any(|&(_, c2)| c2 == c))
+            .collect();
+        bases.sort_unstable();
+
+        let gen_for = |m: &[(u64, u64)], c: u64| {
+            m.iter().rev().find(|&&(_, cc)| cc == c).map(|&(g, _)| g)
+        };
+        let mut restored = None;
+        for &base in bases.iter().rev() {
+            let (Some(gf), Some(gs)) = (gen_for(&self.gen_at[0], base), gen_for(&self.gen_at[1], base))
+            else {
+                continue;
+            };
+            // Damaged or pruned generations are skipped; recovery walks
+            // back to the next common base, exactly like the global ring.
+            let fast = self.rings[0].read_generation(gf, self.scfg.n_readers);
+            let slow = self.rings[1].read_generation(gs, self.scfg.n_readers);
+            match (fast, slow) {
+                (Ok(sf), Ok(ss)) => {
+                    restored = Some((base, if failed == Side::Fast { gf } else { gs }, sf, ss));
+                    break;
+                }
+                _ => {
+                    self.report.generation_fallbacks += 1;
+                }
+            }
+        }
+        let Some((base, failed_gen, snap_fast, snap_slow)) = restored else {
+            return Err(EsmError::Restart(RestartError::NotFound {
+                dir: self.dir.clone(),
+                stem: failed.stem().to_string(),
+            }));
+        };
+
+        esm.restore_fast(&snap_fast);
+        esm.restore_slow(&snap_slow);
+        self.detector.mark_respawned(self.w0 + w, failed.rank(), failed_gen);
+        self.report.respawns += 1;
+
+        for v in base..w {
+            self.run_one(esm, Side::Fast, v, false)?;
+            self.run_one(esm, Side::Slow, v, false)?;
+        }
+        self.next_run = [w, w];
+        self.report.replayed_windows += w - base;
+        self.detector.mark_recovered(self.w0 + w, failed.rank(), w - base);
+        self.down[failed.idx()] = false;
+        self.respawn_at[failed.idx()] = None;
+        if let Some(plan) = &self.plan {
+            plan.revive(failed.rank());
+        }
+        Ok(())
+    }
+}
+
+/// Replace every value of one side's state with NaN: a declared-dead
+/// rank's live memory is gone, and recovery must prove it rebuilds the
+/// state from checkpoints alone.
+fn poison(esm: &mut CoupledEsm, side: Side) {
+    let mut s = match side {
+        Side::Fast => esm.snapshot_fast(),
+        Side::Slow => esm.snapshot_slow(),
+    };
+    for (_, data) in s.vars.iter_mut() {
+        data.fill(f64::NAN);
+    }
+    match side {
+        Side::Fast => esm.restore_fast(&s),
+        Side::Slow => esm.restore_slow(&s),
+    }
+}
+
+/// Health probe of one side: first non-finite value in its component
+/// states, if any.
+fn probe(esm: &CoupledEsm, side: Side) -> Option<(&'static str, f64)> {
+    match side {
+        Side::Fast => esm
+            .atm
+            .state
+            .first_nonfinite()
+            .or_else(|| esm.land.state.first_nonfinite()),
+        Side::Slow => esm.ocean.state.first_nonfinite(),
+    }
+}
+
+impl CoupledEsm {
+    /// Run `n_windows` coupling windows under component supervision:
+    /// per-window heartbeats with a missed-beat failure detector,
+    /// persistence-fallback degraded coupling, per-field quarantine of
+    /// exchanged fluxes, and localized rank recovery from per-side
+    /// checkpoint rings in `dir`. Faults come from `plan` (kills, hangs,
+    /// dropped beats) and from `scfg.corrupt_flux`.
+    pub fn run_windows_supervised(
+        &mut self,
+        n_windows: u64,
+        dir: &Path,
+        scfg: &SupervisorConfig,
+        plan: Option<Arc<FaultPlan>>,
+    ) -> Result<ResilienceReport, EsmError> {
+        let n = n_windows;
+        let mut gate_fast = QuarantineGate::new(scfg.policy);
+        gate_fast.declare_all(atmo::coupling_flux_bounds());
+        gate_fast.declare_all(land::coupling_flux_bounds());
+        let mut gate_slow = QuarantineGate::new(scfg.policy);
+        gate_slow.declare_all(ocean::coupling_flux_bounds());
+
+        let mut fallback = [
+            PersistenceFallback::new(scfg.max_consecutive_degraded),
+            PersistenceFallback::new(scfg.max_consecutive_degraded),
+        ];
+        // Seed with the pre-run pendings so even window 0 can degrade.
+        fallback[Side::Fast.idx()].accept(&self.pending_to_fast);
+        fallback[Side::Slow.idx()].accept(&self.pending_to_slow);
+
+        let mut sup = Supervision {
+            scfg,
+            plan,
+            dir: dir.to_path_buf(),
+            w0: self.windows_run,
+            init_to_fast: self.pending_to_fast.clone(),
+            init_to_slow: self.pending_to_slow.clone(),
+            rings: [
+                CheckpointRing::new(dir, Side::Fast.stem(), scfg.keep_generations)
+                    .map_err(EsmError::Restart)?,
+                CheckpointRing::new(dir, Side::Slow.stem(), scfg.keep_generations)
+                    .map_err(EsmError::Restart)?,
+            ],
+            gen_at: [Vec::new(), Vec::new()],
+            out_log: [vec![None; n as usize], vec![None; n as usize]],
+            gates: [gate_fast, gate_slow],
+            fallback,
+            detector: FailureDetector::new(3, &scfg.health),
+            report: ResilienceReport::default(),
+            next_run: [0, 0],
+            down: [false, false],
+            respawn_at: [None, None],
+            respawns: [0, 0],
+            newest_gen: 0,
+        };
+        // Generation covering the starting state, so window 0 can recover.
+        sup.checkpoint(self, 0)?;
+
+        for w in 0..n {
+            let abs = sup.w0 + w;
+
+            // ---- 1. due respawns happen before anything else this window.
+            for side in SIDES {
+                if sup.down[side.idx()] && sup.respawn_at[side.idx()].is_some_and(|at| w >= at) {
+                    sup.recover(self, side, w)?;
+                }
+            }
+
+            // ---- 2. heartbeat round with health-probe payloads.
+            let probes = [probe(self, Side::Fast), probe(self, Side::Slow)];
+            let payloads: Vec<Vec<f64>> = vec![
+                Vec::new(),
+                vec![abs as f64, probes[0].is_some() as u8 as f64],
+                vec![abs as f64, probes[1].is_some() as u8 as f64],
+            ];
+            let down_ranks = [false, sup.down[0], sup.down[1]];
+            let statuses = heartbeat_round(
+                3,
+                abs,
+                &scfg.health.beat(),
+                sup.plan.as_ref(),
+                &down_ranks,
+                &payloads,
+            );
+            let verdicts = sup.detector.observe(abs, &statuses);
+
+            // ---- 3. transitions: declare failures, schedule respawns.
+            for side in SIDES {
+                let i = side.idx();
+                match verdicts[side.rank()] {
+                    Verdict::NewlyFailed => {
+                        poison(self, side);
+                        sup.down[i] = true;
+                        sup.respawns[i] += 1;
+                        if sup.respawns[i] > scfg.max_respawns {
+                            return Err(HealthError::RespawnBudgetExhausted {
+                                window: abs,
+                                rank: side.rank(),
+                                respawns: sup.respawns[i],
+                            }
+                            .into());
+                        }
+                        sup.respawn_at[i] = Some(w + scfg.respawn_delay_windows);
+                    }
+                    Verdict::Healthy => {
+                        if !sup.down[i] {
+                            if let Some((var, value)) = probes[i] {
+                                sup.detector.mark_unhealthy_state(abs, side.rank(), var, value);
+                            }
+                        }
+                    }
+                    Verdict::Suspected | Verdict::Down => {}
+                }
+            }
+            if sup.down[0] && sup.down[1] {
+                return Err(HealthError::AllComponentsDown { window: abs }.into());
+            }
+
+            // ---- 4a. catch-up: a side that resumed beating after
+            // transient misses runs its backlog solo from the flux logs —
+            // state intact, zero degraded windows.
+            for side in SIDES {
+                let i = side.idx();
+                if sup.down[i] || verdicts[side.rank()] != Verdict::Healthy {
+                    continue;
+                }
+                while sup.next_run[i] < w {
+                    let v = sup.next_run[i];
+                    sup.run_one(self, side, v, true)?;
+                    sup.next_run[i] = v + 1;
+                }
+            }
+            // ---- 4b. the current window, fast side first (matching the
+            // sequential driver's order). A suspected or down side holds.
+            for side in SIDES {
+                let i = side.idx();
+                if sup.down[i] || verdicts[side.rank()] != Verdict::Healthy {
+                    continue;
+                }
+                sup.run_one(self, side, w, true)?;
+                sup.next_run[i] = w + 1;
+            }
+
+            // ---- 5. checkpoint — only fully healthy, fully true state.
+            let all_true = SIDES.iter().all(|s| {
+                sup.next_run[s.idx()] == w + 1
+                    && matches!(&sup.out_log[s.idx()][w as usize], Some((_, true)))
+            });
+            if all_true
+                && !sup.detector.any_unhealthy()
+                && (w + 1).is_multiple_of(scfg.checkpoint_every)
+            {
+                sup.checkpoint(self, w + 1)?;
+            }
+        }
+
+        // ---- drain: recover a side still down at the end, then run any
+        // held-back windows so the returned state covers all `n` windows.
+        for side in SIDES {
+            if sup.down[side.idx()] {
+                sup.recover(self, side, n)?;
+            }
+        }
+        for side in SIDES {
+            let i = side.idx();
+            while sup.next_run[i] < n {
+                let v = sup.next_run[i];
+                sup.run_one(self, side, v, true)?;
+                sup.next_run[i] = v + 1;
+            }
+        }
+
+        // Hand the lag state back to the plain drivers.
+        if n > 0 {
+            let last_slow = sup.out_log[Side::Slow.idx()][n as usize - 1]
+                .as_ref()
+                .expect("slow side drained through the last window");
+            let last_fast = sup.out_log[Side::Fast.idx()][n as usize - 1]
+                .as_ref()
+                .expect("fast side drained through the last window");
+            self.pending_to_fast = last_slow.0.clone();
+            self.pending_to_slow = last_fast.0.clone();
+        }
+        self.windows_run = sup.w0 + n;
+        self.timers.simulated_s += n as f64 * self.cfg.coupling_s;
+
+        let mut report = sup.report;
+        report.windows_run = n;
+        report.final_generation = sup.newest_gen;
+        report.timeline = sup.detector.into_timeline();
+        let mut events: Vec<_> = sup.gates[0].events().to_vec();
+        events.extend_from_slice(sup.gates[1].events());
+        events.sort_by_key(|e| e.window);
+        report.quarantine_events = events;
+        if let Some(plan) = &sup.plan {
+            let fr = plan.report();
+            report
+                .faults_absorbed
+                .push(format!("injected faults: {fr:?}"));
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EsmConfig;
+    use crate::health::HealthEventKind;
+    use coupler::FluxError;
+    use iosys::restart::scratch_dir;
+    use std::time::Duration;
+
+    fn tiny() -> CoupledEsm {
+        CoupledEsm::new(EsmConfig::tiny())
+    }
+
+    fn quick_scfg() -> SupervisorConfig {
+        SupervisorConfig {
+            health: HealthConfig {
+                beat_timeout: Duration::from_millis(50),
+                hang_hold: Duration::from_millis(75),
+                suspicion_threshold: 2,
+            },
+            ..SupervisorConfig::default()
+        }
+    }
+
+    fn assert_states_eq(a: &CoupledEsm, b: &CoupledEsm) {
+        assert_eq!(a.atm.state, b.atm.state, "atmosphere state diverged");
+        assert_eq!(a.ocean.state, b.ocean.state, "ocean state diverged");
+        assert_eq!(a.land.state, b.land.state, "land state diverged");
+        for (x, y) in a.hamocc.tracers.iter().zip(&b.hamocc.tracers) {
+            assert_eq!(x, y, "BGC tracers diverged");
+        }
+        assert_eq!(a.pending_to_fast, b.pending_to_fast);
+        assert_eq!(a.pending_to_slow, b.pending_to_slow);
+        assert_eq!(a.windows_run, b.windows_run);
+    }
+
+    #[test]
+    fn fault_free_supervised_run_matches_plain_run_bitwise() {
+        let dir = scratch_dir("sup_plain");
+        let mut a = tiny();
+        let report = a
+            .run_windows_supervised(4, &dir, &quick_scfg(), None)
+            .unwrap();
+        let mut b = tiny();
+        b.run_windows(4, false).unwrap();
+        assert_states_eq(&a, &b);
+        assert_eq!(report.windows_run, 4);
+        assert_eq!(report.degraded_windows, 0);
+        assert_eq!(report.respawns, 0);
+        assert!(report.quarantine_events.is_empty());
+        // Initial + after windows 2 and 4, two rings each.
+        assert_eq!(report.checkpoints_written, 6);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn killed_slow_rank_degrades_then_recovers_bitwise() {
+        let dir = scratch_dir("sup_kill");
+        let plan = Arc::new(FaultPlan::new().kill_rank(2, 3));
+        let mut a = tiny();
+        let report = a
+            .run_windows_supervised(8, &dir, &quick_scfg(), Some(plan))
+            .unwrap();
+        // Misses at windows 3 and 4 (threshold 2): window 4 is degraded
+        // for the fast side, then the respawn at window 5 replays from
+        // the window-2 checkpoints.
+        assert_eq!(report.degraded, vec![4], "{:?}", report.timeline);
+        assert_eq!(report.respawns, 1);
+        assert!(report.replayed_windows >= 2);
+        let kinds: Vec<_> = report.timeline.iter().map(|e| e.kind.clone()).collect();
+        assert!(kinds.iter().any(|k| matches!(k, HealthEventKind::Failed)));
+        assert!(kinds.iter().any(|k| matches!(k, HealthEventKind::Respawned { .. })));
+        assert!(kinds.iter().any(|k| matches!(k, HealthEventKind::Recovered)));
+
+        let mut b = tiny();
+        b.run_windows(8, false).unwrap();
+        assert_states_eq(&a, &b);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn transient_beat_drop_catches_up_with_zero_degraded_windows() {
+        let dir = scratch_dir("sup_drop");
+        // Drop the slow rank's 3rd beat (window 2): one miss, then the
+        // beat resumes before the threshold — backlog runs solo.
+        let plan = Arc::new(FaultPlan::new().inject(2, 0, 3, mpisim::FaultAction::Drop));
+        let mut a = tiny();
+        let report = a
+            .run_windows_supervised(5, &dir, &quick_scfg(), Some(plan))
+            .unwrap();
+        assert_eq!(report.degraded_windows, 0, "{:?}", report.timeline);
+        assert_eq!(report.respawns, 0);
+        let kinds: Vec<_> = report.timeline.iter().map(|e| e.kind.clone()).collect();
+        assert!(kinds.iter().any(|k| matches!(k, HealthEventKind::BeatMissed { .. })));
+        assert!(kinds.iter().any(|k| matches!(k, HealthEventKind::BeatResumed)));
+        assert!(!kinds.iter().any(|k| matches!(k, HealthEventKind::Failed)));
+
+        let mut b = tiny();
+        b.run_windows(5, false).unwrap();
+        assert_states_eq(&a, &b);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn injected_nan_is_quarantined_under_clamp_and_rejected_typed() {
+        // ClampToBounds: the NaN is repaired deterministically, the run
+        // completes, and the event is on the report.
+        let dir = scratch_dir("sup_nan_clamp");
+        let scfg = SupervisorConfig {
+            corrupt_flux: vec![(1, "sst")],
+            ..quick_scfg()
+        };
+        let mut esm = tiny();
+        let report = esm.run_windows_supervised(3, &dir, &scfg, None).unwrap();
+        assert_eq!(report.quarantine_events.len(), 1);
+        let ev = &report.quarantine_events[0];
+        assert_eq!((ev.window, ev.field.as_str(), ev.action), (1, "sst", "clamped"));
+        // The repaired value never reached the atmosphere.
+        assert!(esm.atm.state.t_surface.as_slice().iter().all(|v| v.is_finite()));
+        std::fs::remove_dir_all(&dir).ok();
+
+        // Reject: typed abort naming the field.
+        let dir = scratch_dir("sup_nan_reject");
+        let scfg = SupervisorConfig {
+            corrupt_flux: vec![(1, "sst")],
+            policy: RepairPolicy::Reject,
+            ..quick_scfg()
+        };
+        match tiny().run_windows_supervised(3, &dir, &scfg, None) {
+            Err(EsmError::Flux {
+                window: 1,
+                error: FluxError::NonFinite { field, .. },
+            }) => assert_eq!(field, "sst"),
+            other => panic!("expected typed NonFinite rejection, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn injected_nan_is_absorbed_under_persist_last() {
+        // PersistLast: the offending field is replaced wholesale from its
+        // last clean value, the run continues, and nothing non-finite
+        // reaches component state. (window 2: "sst" has a clean window-1
+        // value cached to persist from.)
+        let dir = scratch_dir("sup_nan_persist");
+        let scfg = SupervisorConfig {
+            corrupt_flux: vec![(2, "sst")],
+            policy: RepairPolicy::PersistLast,
+            ..quick_scfg()
+        };
+        let mut esm = tiny();
+        let report = esm.run_windows_supervised(4, &dir, &scfg, None).unwrap();
+        assert_eq!(report.quarantine_events.len(), 1);
+        assert_eq!(report.quarantine_events[0].action, "persisted");
+        assert!(esm.atm.state.t_surface.as_slice().iter().all(|v| v.is_finite()));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn degraded_budget_exhaustion_is_a_typed_error() {
+        let dir = scratch_dir("sup_budget");
+        let scfg = SupervisorConfig {
+            max_consecutive_degraded: 1,
+            // Never respawn within the run: degradation must exhaust.
+            respawn_delay_windows: 100,
+            ..quick_scfg()
+        };
+        let plan = Arc::new(FaultPlan::new().kill_rank(2, 1));
+        match tiny().run_windows_supervised(8, &dir, &scfg, Some(plan)) {
+            Err(EsmError::Flux {
+                error: FluxError::DegradedBudgetExhausted { budget: 1, .. },
+                ..
+            }) => {}
+            other => panic!("expected degraded-budget exhaustion, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,4 +1,4 @@
-//! Flux bundles and the concurrent window runner.
+//! Flux bundles, the concurrent window runner, and degraded-mode state.
 //!
 //! The heterogeneous mapping of §5.1 runs {atmosphere, land} and {ocean,
 //! sea ice, BGC} *concurrently* — on GPUs and CPUs of the same superchips
@@ -6,9 +6,96 @@
 //! windows. The runner measures each side's **coupling wait**, the §6.3
 //! metric that must stay near zero for the expensive side when the load
 //! balance is right.
+//!
+//! Everything at the coupling boundary fails *typed*: a missing field, a
+//! peer that died mid-run, a missed exchange deadline, or an exhausted
+//! degraded-mode budget all surface as [`FluxError`] instead of a panic,
+//! so a supervisor can decide between degraded continuation and abort.
 
-use crossbeam::channel::{bounded, Receiver, Sender};
-use std::time::Instant;
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use std::time::{Duration, Instant};
+
+/// Typed failure at the coupling boundary.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FluxError {
+    /// A consumer asked for a field the producer never packed. Coupling
+    /// contracts are static, so this is a wiring bug — but it surfaces as
+    /// a value, not a panic, and names the field.
+    MissingField { field: String },
+    /// A field carried a NaN/Inf and the repair policy is `Reject`.
+    NonFinite {
+        field: String,
+        index: usize,
+        value: f64,
+    },
+    /// A finite value violated the field's declared physical range and
+    /// the repair policy is `Reject`.
+    OutOfBounds {
+        field: String,
+        index: usize,
+        value: f64,
+        min: f64,
+        max: f64,
+    },
+    /// Persistence was requested (fallback or `PersistLast` repair) but
+    /// no valid previous value exists yet.
+    NoLastValid { field: String },
+    /// Degraded-mode coupling ran more consecutive windows on stale
+    /// fluxes than the configured budget allows.
+    DegradedBudgetExhausted {
+        window: u64,
+        consecutive: u32,
+        budget: u32,
+    },
+    /// The peer's fluxes did not arrive before the exchange deadline.
+    Deadline { window: u64, waited: Duration },
+    /// The peer side is gone (its endpoint was dropped mid-run).
+    PeerClosed { window: u64 },
+}
+
+impl std::fmt::Display for FluxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FluxError::MissingField { field } => {
+                write!(f, "missing coupling field '{field}'")
+            }
+            FluxError::NonFinite {
+                field,
+                index,
+                value,
+            } => write!(f, "non-finite flux {field}[{index}] = {value}"),
+            FluxError::OutOfBounds {
+                field,
+                index,
+                value,
+                min,
+                max,
+            } => write!(
+                f,
+                "flux {field}[{index}] = {value} outside physical range [{min}, {max}]"
+            ),
+            FluxError::NoLastValid { field } => {
+                write!(f, "no last-valid value to persist for flux '{field}'")
+            }
+            FluxError::DegradedBudgetExhausted {
+                window,
+                consecutive,
+                budget,
+            } => write!(
+                f,
+                "window {window}: {consecutive} consecutive degraded windows exceed budget {budget}"
+            ),
+            FluxError::Deadline { window, waited } => {
+                write!(f, "window {window}: coupling deadline missed after {waited:?}")
+            }
+            FluxError::PeerClosed { window } => {
+                write!(f, "window {window}: peer coupling endpoint closed")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FluxError {}
 
 /// A named bundle of per-cell fields exchanged at a coupling event.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -36,11 +123,11 @@ impl FluxSet {
             .map(|(_, d)| d.as_slice())
     }
 
-    /// Field lookup that panics with a useful message (coupling contracts
-    /// are static).
-    pub fn expect(&self, name: &str) -> &[f64] {
-        self.get(name)
-            .unwrap_or_else(|| panic!("missing coupling field '{name}'"))
+    /// Field lookup with a typed error naming the missing field.
+    pub fn try_get(&self, name: &str) -> Result<&[f64], FluxError> {
+        self.get(name).ok_or_else(|| FluxError::MissingField {
+            field: name.to_string(),
+        })
     }
 }
 
@@ -61,19 +148,44 @@ pub struct Endpoint {
 }
 
 impl Endpoint {
-    /// Send this side's fluxes (non-blocking; capacity 1 pipeline).
+    /// Send this side's fluxes (non-blocking; capacity 1 pipeline). A
+    /// dead peer is not an error for the sender — the failure surfaces,
+    /// typed, on this side's next `recv`.
     pub fn send(&mut self, fluxes: FluxSet) {
-        self.tx.send(fluxes).expect("peer alive");
+        let _ = self.tx.send(fluxes);
     }
 
     /// Receive the peer's fluxes, accounting blocked time as coupling
-    /// wait.
-    pub fn recv(&mut self) -> FluxSet {
+    /// wait. Fails typed if the peer endpoint was dropped.
+    pub fn recv(&mut self, window: u64) -> Result<FluxSet, FluxError> {
         let t0 = Instant::now();
-        let f = self.rx.recv().expect("peer alive");
+        let f = self
+            .rx
+            .recv()
+            .map_err(|_| FluxError::PeerClosed { window })?;
         self.stats.wait_s += t0.elapsed().as_secs_f64();
         self.stats.exchanges += 1;
-        f
+        Ok(f)
+    }
+
+    /// Like [`Endpoint::recv`] but bounded by a coupling-window deadline:
+    /// a peer that is merely slow is waited for, a peer that is hung or
+    /// dead surfaces as [`FluxError::Deadline`] so the caller can degrade
+    /// instead of stalling forever.
+    pub fn recv_deadline(&mut self, window: u64, deadline: Duration) -> Result<FluxSet, FluxError> {
+        let t0 = Instant::now();
+        match self.rx.recv_timeout(deadline) {
+            Ok(f) => {
+                self.stats.wait_s += t0.elapsed().as_secs_f64();
+                self.stats.exchanges += 1;
+                Ok(f)
+            }
+            Err(RecvTimeoutError::Timeout) => Err(FluxError::Deadline {
+                window,
+                waited: t0.elapsed(),
+            }),
+            Err(RecvTimeoutError::Disconnected) => Err(FluxError::PeerClosed { window }),
+        }
     }
 }
 
@@ -95,48 +207,134 @@ pub fn endpoint_pair() -> (Endpoint, Endpoint) {
     )
 }
 
+/// Last-valid-flux persistence: the degraded-mode substitute for a peer
+/// that missed its coupling deadline or failed validation.
+///
+/// Every healthy exchange [`accept`](PersistenceFallback::accept)s the
+/// incoming set; when the peer goes silent,
+/// [`degrade`](PersistenceFallback::degrade) re-serves the last valid set
+/// instead of stalling — bounded by a max-consecutive-degraded-windows
+/// budget, past which the error is no longer absorbable. Every degraded
+/// window is recorded.
+#[derive(Debug, Clone)]
+pub struct PersistenceFallback {
+    last_valid: Option<FluxSet>,
+    consecutive: u32,
+    budget: u32,
+    degraded: Vec<u64>,
+}
+
+impl PersistenceFallback {
+    pub fn new(budget: u32) -> PersistenceFallback {
+        PersistenceFallback {
+            last_valid: None,
+            consecutive: 0,
+            budget,
+            degraded: Vec::new(),
+        }
+    }
+
+    /// A healthy, validated flux set arrived: remember it and reset the
+    /// consecutive-degraded counter.
+    pub fn accept(&mut self, fluxes: &FluxSet) {
+        self.last_valid = Some(fluxes.clone());
+        self.consecutive = 0;
+    }
+
+    /// The peer missed `window`: serve the last valid set, or fail typed
+    /// if there is none / the budget is spent.
+    pub fn degrade(&mut self, window: u64) -> Result<FluxSet, FluxError> {
+        let Some(last) = &self.last_valid else {
+            return Err(FluxError::NoLastValid {
+                field: "<whole flux set>".to_string(),
+            });
+        };
+        if self.consecutive >= self.budget {
+            return Err(FluxError::DegradedBudgetExhausted {
+                window,
+                consecutive: self.consecutive + 1,
+                budget: self.budget,
+            });
+        }
+        self.consecutive += 1;
+        self.degraded.push(window);
+        Ok(last.clone())
+    }
+
+    /// Windows that ran on stale fluxes, in order.
+    pub fn degraded_windows(&self) -> &[u64] {
+        &self.degraded
+    }
+
+    pub fn consecutive(&self) -> u32 {
+        self.consecutive
+    }
+
+    pub fn last_valid(&self) -> Option<&FluxSet> {
+        self.last_valid.as_ref()
+    }
+}
+
 /// Run `windows` coupling windows with the two component groups executing
 /// concurrently (scoped threads, so the closures may mutably borrow the
 /// component models). Each closure receives the peer's fluxes for its
-/// window and returns its own fluxes for the next exchange. Returns the
-/// wait statistics `(fast_side, slow_side)`.
+/// window and returns its own fluxes for the next exchange — or a typed
+/// [`FluxError`], which tears the exchange down cleanly: the failing side
+/// returns its error, the peer sees its endpoint close and exits typed
+/// too, and the *originating* error wins. Returns the wait statistics
+/// `(fast_side, slow_side)` on success.
 pub fn run_concurrent_windows<Fa, Fo>(
     windows: usize,
     initial_to_fast: FluxSet,
     initial_to_slow: FluxSet,
     mut fast_window: Fa,
     mut slow_window: Fo,
-) -> (CouplerStats, CouplerStats)
+) -> Result<(CouplerStats, CouplerStats), FluxError>
 where
-    Fa: FnMut(usize, &FluxSet) -> FluxSet + Send,
-    Fo: FnMut(usize, &FluxSet) -> FluxSet + Send,
+    Fa: FnMut(usize, &FluxSet) -> Result<FluxSet, FluxError> + Send,
+    Fo: FnMut(usize, &FluxSet) -> Result<FluxSet, FluxError> + Send,
 {
     let (mut end_fast, mut end_slow) = endpoint_pair();
     std::thread::scope(|s| {
-        let slow_handle = s.spawn(move || {
+        let slow_handle = s.spawn(move || -> Result<CouplerStats, FluxError> {
             let mut incoming = initial_to_slow;
             for w in 0..windows {
-                let out = slow_window(w, &incoming);
+                let out = slow_window(w, &incoming)?;
                 // The last window's output has no consumer (the peer may
                 // already have exited) — the caller keeps it via its
                 // closure state.
                 if w + 1 < windows {
                     end_slow.send(out);
-                    incoming = end_slow.recv();
+                    incoming = end_slow.recv(w as u64)?;
                 }
             }
-            end_slow.stats
+            Ok(end_slow.stats)
         });
-        let mut incoming = initial_to_fast;
-        for w in 0..windows {
-            let out = fast_window(w, &incoming);
-            if w + 1 < windows {
-                end_fast.send(out);
-                incoming = end_fast.recv();
+        // `end_fast` moves into the closure so an early error drops it,
+        // closing the channel the slow side may be blocked on — otherwise
+        // the join below would deadlock against a peer waiting forever.
+        let fast_result = (move || -> Result<CouplerStats, FluxError> {
+            let mut incoming = initial_to_fast;
+            for w in 0..windows {
+                let out = fast_window(w, &incoming)?;
+                if w + 1 < windows {
+                    end_fast.send(out);
+                    incoming = end_fast.recv(w as u64)?;
+                }
             }
+            Ok(end_fast.stats)
+        })();
+        // Always join: the slow side must not outlive the scope anyway,
+        // and its error may be the originating one.
+        let slow_result = slow_handle.join().expect("slow side panicked");
+        match (fast_result, slow_result) {
+            (Ok(fast), Ok(slow)) => Ok((fast, slow)),
+            // A PeerClosed is the *echo* of the peer's failure; prefer
+            // the originating error when both sides report.
+            (Err(FluxError::PeerClosed { .. }), Err(e)) => Err(e),
+            (Err(e), _) => Err(e),
+            (_, Err(e)) => Err(e),
         }
-        let slow_stats = slow_handle.join().expect("slow side panicked");
-        (end_fast.stats, slow_stats)
     })
 }
 
@@ -150,14 +348,20 @@ mod tests {
         let mut f = FluxSet::new();
         f.insert("sst", vec![1.0, 2.0]);
         f.insert("co2", vec![3.0]);
-        assert_eq!(f.expect("sst"), &[1.0, 2.0]);
+        assert_eq!(f.try_get("sst").unwrap(), &[1.0, 2.0]);
         assert_eq!(f.get("nope"), None);
     }
 
     #[test]
-    #[should_panic(expected = "missing coupling field")]
-    fn expect_panics_on_missing() {
-        FluxSet::new().expect("sst");
+    fn missing_field_is_a_typed_error() {
+        let err = FluxSet::new().try_get("sst").unwrap_err();
+        assert_eq!(
+            err,
+            FluxError::MissingField {
+                field: "sst".to_string()
+            }
+        );
+        assert!(err.to_string().contains("missing coupling field 'sst'"));
     }
 
     #[test]
@@ -166,14 +370,56 @@ mod tests {
         let mut fa = FluxSet::new();
         fa.insert("x", vec![1.0]);
         a.send(fa.clone());
-        let got = b.recv();
+        let got = b.recv(0).unwrap();
         assert_eq!(got, fa);
         let mut fb = FluxSet::new();
         fb.insert("y", vec![2.0]);
         b.send(fb.clone());
-        assert_eq!(a.recv(), fb);
+        assert_eq!(a.recv(0).unwrap(), fb);
         assert_eq!(a.stats.exchanges, 1);
         assert_eq!(b.stats.exchanges, 1);
+    }
+
+    #[test]
+    fn recv_deadline_times_out_typed_on_a_silent_peer() {
+        let (mut a, _b) = endpoint_pair();
+        match a.recv_deadline(3, Duration::from_millis(20)) {
+            Err(FluxError::Deadline { window: 3, waited }) => {
+                assert!(waited >= Duration::from_millis(20));
+            }
+            other => panic!("expected deadline error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn recv_fails_typed_when_peer_endpoint_drops() {
+        let (mut a, b) = endpoint_pair();
+        drop(b);
+        assert_eq!(a.recv(7), Err(FluxError::PeerClosed { window: 7 }));
+    }
+
+    #[test]
+    fn persistence_fallback_serves_stale_within_budget() {
+        let mut fb = PersistenceFallback::new(2);
+        assert!(matches!(fb.degrade(1), Err(FluxError::NoLastValid { .. })));
+        let mut f = FluxSet::new();
+        f.insert("sst", vec![4.0]);
+        fb.accept(&f);
+        assert_eq!(fb.degrade(2).unwrap(), f);
+        assert_eq!(fb.degrade(3).unwrap(), f);
+        assert_eq!(
+            fb.degrade(4),
+            Err(FluxError::DegradedBudgetExhausted {
+                window: 4,
+                consecutive: 3,
+                budget: 2
+            })
+        );
+        assert_eq!(fb.degraded_windows(), &[2, 3]);
+        // A healthy exchange resets the consecutive counter.
+        fb.accept(&f);
+        assert_eq!(fb.consecutive(), 0);
+        assert!(fb.degrade(5).is_ok());
     }
 
     #[test]
@@ -187,22 +433,23 @@ mod tests {
             FluxSet::new(),
             |w, incoming| {
                 if w > 0 {
-                    assert_eq!(incoming.expect("slow")[0], (w - 1) as f64);
+                    assert_eq!(incoming.try_get("slow").unwrap()[0], (w - 1) as f64);
                 }
                 let mut out = FluxSet::new();
                 out.insert("fast", vec![w as f64]);
-                out
+                Ok(out)
             },
             |w, incoming| {
                 if w > 0 {
-                    assert_eq!(incoming.expect("fast")[0], (w - 1) as f64);
+                    assert_eq!(incoming.try_get("fast").unwrap()[0], (w - 1) as f64);
                 }
                 std::thread::sleep(Duration::from_millis(30));
                 let mut out = FluxSet::new();
                 out.insert("slow", vec![w as f64]);
-                out
+                Ok(out)
             },
-        );
+        )
+        .unwrap();
         assert_eq!(fast_stats.exchanges, (windows - 1) as u64);
         assert_eq!(slow_stats.exchanges, (windows - 1) as u64);
         assert!(
@@ -223,14 +470,62 @@ mod tests {
             FluxSet::new(),
             |_, _| {
                 std::thread::sleep(Duration::from_millis(5));
-                FluxSet::new()
+                Ok(FluxSet::new())
             },
             |_, _| {
                 std::thread::sleep(Duration::from_millis(5));
-                FluxSet::new()
+                Ok(FluxSet::new())
             },
-        );
+        )
+        .unwrap();
         assert!(fast.wait_s < 0.05);
         assert!(slow.wait_s < 0.05);
+    }
+
+    #[test]
+    fn slow_side_error_propagates_and_wins_over_the_echo() {
+        let err = run_concurrent_windows(
+            4,
+            FluxSet::new(),
+            FluxSet::new(),
+            |_, _| Ok(FluxSet::new()),
+            |w, incoming| {
+                if w == 2 {
+                    incoming.try_get("never_packed")?;
+                }
+                Ok(FluxSet::new())
+            },
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            FluxError::MissingField {
+                field: "never_packed".to_string()
+            },
+            "the originating error must win over the peer's PeerClosed echo"
+        );
+    }
+
+    #[test]
+    fn fast_side_error_propagates() {
+        let err = run_concurrent_windows(
+            3,
+            FluxSet::new(),
+            FluxSet::new(),
+            |w, _| {
+                if w == 1 {
+                    Err(FluxError::NonFinite {
+                        field: "heat_flux".to_string(),
+                        index: 9,
+                        value: f64::NAN,
+                    })
+                } else {
+                    Ok(FluxSet::new())
+                }
+            },
+            |_, _| Ok(FluxSet::new()),
+        )
+        .unwrap_err();
+        assert!(matches!(err, FluxError::NonFinite { .. }));
     }
 }

@@ -18,8 +18,12 @@
 
 pub mod clock;
 pub mod exchange;
+pub mod quarantine;
 pub mod remap;
 
-pub use clock::CouplingClock;
-pub use exchange::{run_concurrent_windows, CouplerStats, FluxSet};
+pub use clock::{ClockError, CouplingClock};
+pub use exchange::{
+    run_concurrent_windows, CouplerStats, Endpoint, FluxError, FluxSet, PersistenceFallback,
+};
+pub use quarantine::{FieldBounds, QuarantineEvent, QuarantineGate, RepairPolicy};
 pub use remap::Remapper;

@@ -9,6 +9,8 @@
 //! the (common) case of nested ICON grids; identical grids remap by
 //! identity.
 
+use crate::exchange::FluxError;
+use crate::quarantine::FieldBounds;
 use icongrid::{Field2, Grid};
 
 /// A conservative remapper between a fine and a coarse grid of the same
@@ -74,6 +76,40 @@ impl Remapper {
         for c in 0..fine.len() {
             fine[c] = coarse[self.parent_of(c)];
         }
+    }
+
+    /// Fine -> coarse with the field's declared physical range enforced
+    /// on the output. An area-weighted average of in-range values is
+    /// in-range by convexity, so a violation here means the *input*
+    /// carried garbage (NaN, Inf, or out-of-range data that skipped the
+    /// quarantine gate) — reported typed instead of silently remapped
+    /// into the peer component.
+    pub fn fine_to_coarse_bounded(
+        &self,
+        fine: &Field2,
+        coarse: &mut Field2,
+        bounds: &FieldBounds,
+    ) -> Result<(), FluxError> {
+        self.fine_to_coarse(fine, coarse);
+        for (p, &v) in coarse.as_slice().iter().enumerate() {
+            if !v.is_finite() {
+                return Err(FluxError::NonFinite {
+                    field: bounds.name.to_string(),
+                    index: p,
+                    value: v,
+                });
+            }
+            if v < bounds.min || v > bounds.max {
+                return Err(FluxError::OutOfBounds {
+                    field: bounds.name.to_string(),
+                    index: p,
+                    value: v,
+                    min: bounds.min,
+                    max: bounds.max,
+                });
+            }
+        }
+        Ok(())
     }
 }
 
@@ -171,5 +207,37 @@ mod tests {
     fn rejects_wrong_order() {
         let (fine, coarse) = grids();
         let _ = Remapper::new(&coarse, &fine);
+    }
+
+    #[test]
+    fn bounded_remap_passes_in_range_and_rejects_garbage() {
+        let (fine, coarse) = grids();
+        let r = Remapper::new(&fine, &coarse);
+        let bounds = FieldBounds {
+            name: "sst",
+            min: -5.0,
+            max: 45.0,
+        };
+        let f = Field2::from_fn(fine.n_cells, |c| 20.0 + (c % 7) as f64);
+        let mut c = Field2::zeros(coarse.n_cells);
+        r.fine_to_coarse_bounded(&f, &mut c, &bounds).unwrap();
+
+        // A NaN anywhere in a parent's children poisons that average.
+        let mut poisoned = f.clone();
+        poisoned[5] = f64::NAN;
+        match r.fine_to_coarse_bounded(&poisoned, &mut c, &bounds) {
+            Err(FluxError::NonFinite { field, index, .. }) => {
+                assert_eq!(field, "sst");
+                assert_eq!(index, r.parent_of(5));
+            }
+            other => panic!("expected NonFinite, got {other:?}"),
+        }
+
+        // Out-of-range input data surfaces as an out-of-range average.
+        let hot = Field2::from_fn(fine.n_cells, |_| 500.0);
+        assert!(matches!(
+            r.fine_to_coarse_bounded(&hot, &mut c, &bounds),
+            Err(FluxError::OutOfBounds { .. })
+        ));
     }
 }

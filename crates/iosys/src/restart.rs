@@ -504,6 +504,18 @@ impl CheckpointRing {
         Ok(generation)
     }
 
+    /// Read one *specific* generation, with full integrity checking but
+    /// no fallback. This is the localized-recovery path: a supervisor
+    /// restoring a single rank needs the generation that matches a known
+    /// coupling window, not whatever is newest.
+    pub fn read_generation(
+        &self,
+        generation: u64,
+        n_readers: usize,
+    ) -> Result<Snapshot, RestartError> {
+        read_checkpoint(&self.dir, &self.gen_stem(generation), n_readers)
+    }
+
     /// Read back the newest generation that passes every integrity check,
     /// walking backwards over damaged ones. Returns the generation number
     /// actually loaded alongside the snapshot.
@@ -787,6 +799,29 @@ mod tests {
         // A reopened ring continues the numbering.
         let ring2 = CheckpointRing::new(&dir, "restart", 3).unwrap();
         assert_eq!(ring2.next_gen, 6);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn ring_reads_specific_generations_without_fallback() {
+        let dir = scratch_dir("ringgen");
+        let mut ring = CheckpointRing::new(&dir, "restart", 3).unwrap();
+        for i in 0..3u64 {
+            let mut s = Snapshot::new();
+            s.push("v", vec![i as f64]).unwrap();
+            ring.write(&s, 2).unwrap();
+        }
+        assert_eq!(ring.read_generation(2, 1).unwrap().expect("v"), &[1.0]);
+        // A damaged target generation is a typed error, not a silent
+        // fallback to a different window.
+        let shard = dir.join("restart.g0002_000.esmr");
+        let mut bytes = fs::read(&shard).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        fs::write(&shard, &bytes).unwrap();
+        assert!(ring.read_generation(2, 1).is_err());
+        // Other generations are unaffected.
+        assert_eq!(ring.read_generation(3, 1).unwrap().expect("v"), &[2.0]);
         fs::remove_dir_all(&dir).ok();
     }
 

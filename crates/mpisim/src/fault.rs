@@ -96,12 +96,23 @@ pub struct FaultReport {
     pub duplicated: u64,
     pub bit_flipped: u64,
     pub killed: u64,
+    /// Hangs that actually took effect (a rank went silent).
+    pub hung: u64,
 }
 
 impl FaultReport {
     pub fn total(&self) -> u64 {
-        self.dropped + self.delayed + self.duplicated + self.bit_flipped + self.killed
+        self.dropped + self.delayed + self.duplicated + self.bit_flipped + self.killed + self.hung
     }
+}
+
+/// One scheduled hang: from `since_window` on, `rank` goes silent (alive
+/// but unresponsive — distinct from a kill) until released.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct PlannedHang {
+    rank: usize,
+    since_window: u64,
+    fired: bool,
 }
 
 struct PlanState {
@@ -109,6 +120,11 @@ struct PlanState {
     /// Messages sent so far per (src, dst) world-rank edge.
     edge_counts: HashMap<(usize, usize), u64>,
     kills: Vec<(usize, u64)>,
+    /// Ranks whose kill has fired: they stay dead until revived by a
+    /// supervisor. The legacy rollback driver never consults this — its
+    /// transient-fault model treats a kill as one-shot.
+    dead: Vec<usize>,
+    hangs: Vec<PlannedHang>,
     report: FaultReport,
 }
 
@@ -131,6 +147,8 @@ impl FaultPlan {
                 faults: Vec::new(),
                 edge_counts: HashMap::new(),
                 kills: Vec::new(),
+                dead: Vec::new(),
+                hangs: Vec::new(),
                 report: FaultReport::default(),
             }),
         }
@@ -180,6 +198,53 @@ impl FaultPlan {
         self
     }
 
+    /// Schedule rank `rank` to **hang** from coupling window `window` on:
+    /// the rank stays alive but goes silent indefinitely — it holds its
+    /// world up for a bounded grace period each round and never sends.
+    /// Unlike a kill this is what a livelocked or deadlocked component
+    /// looks like: only a deadline-based failure detector (missed-beat
+    /// accrual), not a single `recv_timeout`, can distinguish it from a
+    /// slow peer. Released by [`FaultPlan::revive`].
+    pub fn hang(self, rank: usize, window: u64) -> FaultPlan {
+        self.state.lock().hangs.push(PlannedHang {
+            rank,
+            since_window: window,
+            fired: false,
+        });
+        self
+    }
+
+    /// Is `rank` hanging at `window`? Counts the hang as fired (once) the
+    /// first time it takes effect.
+    pub fn is_hung(&self, rank: usize, window: u64) -> bool {
+        let mut st = self.state.lock();
+        let Some(h) = st
+            .hangs
+            .iter()
+            .position(|h| h.rank == rank && window >= h.since_window)
+        else {
+            return false;
+        };
+        if !st.hangs[h].fired {
+            st.hangs[h].fired = true;
+            st.report.hung += 1;
+        }
+        true
+    }
+
+    /// Is `rank` dead (its kill has fired and no one revived it)?
+    pub fn is_dead(&self, rank: usize) -> bool {
+        self.state.lock().dead.contains(&rank)
+    }
+
+    /// Bring `rank` back: clears persistent death and releases any hang.
+    /// Called by a supervisor after respawning the rank from checkpoint.
+    pub fn revive(&self, rank: usize) {
+        let mut st = self.state.lock();
+        st.dead.retain(|&r| r != rank);
+        st.hangs.retain(|h| h.rank != rank);
+    }
+
     /// The faults still pending (not yet fired), for inspection.
     pub fn pending(&self) -> Vec<PlannedFault> {
         self.state.lock().faults.clone()
@@ -211,12 +276,17 @@ impl FaultPlan {
         Some(action)
     }
 
-    /// True exactly once if `rank` is scheduled to die at `window`.
+    /// True exactly once if `rank` is scheduled to die at `window`. The
+    /// rank is also marked persistently dead ([`FaultPlan::is_dead`])
+    /// until a supervisor calls [`FaultPlan::revive`].
     pub fn take_kill(&self, rank: usize, window: u64) -> bool {
         let mut st = self.state.lock();
         if let Some(idx) = st.kills.iter().position(|&(r, w)| r == rank && w == window) {
             st.kills.remove(idx);
             st.report.killed += 1;
+            if !st.dead.contains(&rank) {
+                st.dead.push(rank);
+            }
             true
         } else {
             false
@@ -291,6 +361,29 @@ mod tests {
         assert!(plan.take_kill(2, 5));
         assert!(!plan.take_kill(2, 5));
         assert_eq!(plan.report().killed, 1);
+    }
+
+    #[test]
+    fn kills_leave_the_rank_persistently_dead_until_revived() {
+        let plan = FaultPlan::new().kill_rank(1, 3);
+        assert!(!plan.is_dead(1));
+        assert!(plan.take_kill(1, 3));
+        assert!(plan.is_dead(1), "a fired kill leaves the rank down");
+        assert!(!plan.take_kill(1, 3), "the kill itself stays one-shot");
+        plan.revive(1);
+        assert!(!plan.is_dead(1));
+    }
+
+    #[test]
+    fn hangs_persist_from_their_window_until_released() {
+        let plan = FaultPlan::new().hang(2, 4);
+        assert!(!plan.is_hung(2, 3), "not yet hanging before its window");
+        assert!(plan.is_hung(2, 4));
+        assert!(plan.is_hung(2, 7), "a hang is indefinite, not one-shot");
+        assert!(!plan.is_hung(1, 7), "targeted at one rank");
+        assert_eq!(plan.report().hung, 1, "counted once, not per observation");
+        plan.revive(2);
+        assert!(!plan.is_hung(2, 8), "revive releases the hang");
     }
 
     #[test]

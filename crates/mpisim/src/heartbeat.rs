@@ -1,0 +1,197 @@
+//! Heartbeat channel for component supervision.
+//!
+//! One [`heartbeat_round`] spins a small SPMD world: rank 0 is the
+//! monitor, every other rank is a supervised component that sends one
+//! beat (a short `f64` payload, e.g. health-probe flags) to rank 0 and
+//! exits. The monitor collects each beat under a deadline and reports a
+//! per-rank [`BeatStatus`].
+//!
+//! Beats travel over the ordinary fault-injectable point-to-point layer,
+//! so a `FaultPlan` can drop a beat (transient miss), kill the sender
+//! (persistent silence), or hang it ([`crate::FaultPlan::hang`]: the rank
+//! blocks for a bounded `hang_hold` per round and never sends — alive but
+//! unresponsive). A single missed beat is therefore *evidence*, not a
+//! verdict: failure declaration belongs to a deadline-based detector that
+//! accrues misses across rounds (`esm-core`'s health module).
+
+use crate::fault::CommError;
+use crate::{FaultPlan, World};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Timing of one heartbeat round.
+#[derive(Debug, Clone, Copy)]
+pub struct BeatConfig {
+    /// Monitor-side deadline per beat.
+    pub timeout: Duration,
+    /// How long a hung rank blocks its world before the round is allowed
+    /// to finish (bounds the simulated "indefinite" hang so test runs
+    /// terminate; must exceed `timeout` for the miss to be observed).
+    pub hang_hold: Duration,
+}
+
+impl Default for BeatConfig {
+    fn default() -> BeatConfig {
+        BeatConfig {
+            timeout: Duration::from_millis(60),
+            hang_hold: Duration::from_millis(90),
+        }
+    }
+}
+
+/// What the monitor saw from one supervised rank in one round.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BeatStatus {
+    /// The beat arrived in time; carries the sender's payload.
+    Ok(Vec<f64>),
+    /// No (valid) beat before the deadline.
+    Missed(CommError),
+    /// The supervisor already knows this rank is down; no beat was
+    /// expected and none was waited for.
+    Down,
+}
+
+impl BeatStatus {
+    pub fn is_ok(&self) -> bool {
+        matches!(self, BeatStatus::Ok(_))
+    }
+}
+
+/// Run one heartbeat round over `n_ranks` rank-threads (rank 0 monitors
+/// ranks `1..n_ranks`). `down[r]` marks ranks the caller already declared
+/// failed: they are skipped, not waited for. `payloads[r]` is the beat
+/// payload rank `r` would send (index 0 is ignored). Returns one
+/// [`BeatStatus`] per rank; rank 0's own entry is always `Ok(vec![])`.
+pub fn heartbeat_round(
+    n_ranks: usize,
+    window: u64,
+    cfg: &BeatConfig,
+    plan: Option<&Arc<FaultPlan>>,
+    down: &[bool],
+    payloads: &[Vec<f64>],
+) -> Vec<BeatStatus> {
+    assert!(n_ranks >= 2, "a heartbeat needs a monitor and a component");
+    assert_eq!(down.len(), n_ranks);
+    assert_eq!(payloads.len(), n_ranks);
+
+    let body = move |comm: crate::Comm| -> Option<Vec<BeatStatus>> {
+        let rank = comm.rank();
+        if rank != 0 {
+            if down[rank] {
+                return None;
+            }
+            if let Some(plan) = plan {
+                // A kill firing this window and a previously fired kill
+                // both mean silence; a hang means silence after a hold.
+                if plan.take_kill(rank, window) || plan.is_dead(rank) {
+                    return None;
+                }
+                if plan.is_hung(rank, window) {
+                    std::thread::sleep(cfg.hang_hold);
+                    return None;
+                }
+            }
+            comm.send(0, window, &payloads[rank]);
+            return None;
+        }
+        let mut statuses = vec![BeatStatus::Ok(Vec::new())];
+        for (r, &is_down) in down.iter().enumerate().take(n_ranks).skip(1) {
+            statuses.push(if is_down {
+                BeatStatus::Down
+            } else {
+                match comm.recv_timeout(r, window, cfg.timeout) {
+                    Ok(payload) => BeatStatus::Ok(payload),
+                    Err(e) => BeatStatus::Missed(e),
+                }
+            });
+        }
+        Some(statuses)
+    };
+
+    let mut results = match plan {
+        Some(plan) => World::run_with_faults(n_ranks, plan.clone(), body),
+        None => World::run(n_ranks, body),
+    };
+    results
+        .swap_remove(0)
+        .expect("rank 0 always returns the round's statuses")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payloads(n: usize) -> Vec<Vec<f64>> {
+        (0..n).map(|r| vec![r as f64]).collect()
+    }
+
+    #[test]
+    fn healthy_ranks_all_beat() {
+        let cfg = BeatConfig::default();
+        let got = heartbeat_round(3, 1, &cfg, None, &[false; 3], &payloads(3));
+        assert_eq!(got[1], BeatStatus::Ok(vec![1.0]));
+        assert_eq!(got[2], BeatStatus::Ok(vec![2.0]));
+    }
+
+    #[test]
+    fn killed_rank_misses_and_stays_silent_in_later_rounds() {
+        let cfg = BeatConfig::default();
+        let plan = Arc::new(FaultPlan::new().kill_rank(2, 1));
+        let got = heartbeat_round(3, 1, &cfg, Some(&plan), &[false; 3], &payloads(3));
+        assert!(got[1].is_ok());
+        assert!(matches!(got[2], BeatStatus::Missed(_)));
+        // Next round: the kill is consumed but the rank is still dead.
+        let got = heartbeat_round(3, 2, &cfg, Some(&plan), &[false; 3], &payloads(3));
+        assert!(matches!(got[2], BeatStatus::Missed(_)));
+        plan.revive(2);
+        let got = heartbeat_round(3, 3, &cfg, Some(&plan), &[false; 3], &payloads(3));
+        assert!(got[2].is_ok(), "revived rank beats again");
+    }
+
+    #[test]
+    fn hung_rank_misses_without_dying() {
+        let cfg = BeatConfig {
+            timeout: Duration::from_millis(40),
+            hang_hold: Duration::from_millis(60),
+        };
+        let plan = Arc::new(FaultPlan::new().hang(1, 2));
+        let got = heartbeat_round(3, 1, &cfg, Some(&plan), &[false; 3], &payloads(3));
+        assert!(got[1].is_ok(), "not hanging before its window");
+        for w in [2u64, 3] {
+            let got = heartbeat_round(3, w, &cfg, Some(&plan), &[false; 3], &payloads(3));
+            assert!(
+                matches!(got[1], BeatStatus::Missed(CommError::Timeout { .. })),
+                "window {w}: hang must look like a deadline miss, got {:?}",
+                got[1]
+            );
+        }
+        assert!(!plan.is_dead(1), "a hang is not a death");
+        assert_eq!(plan.report().hung, 1);
+    }
+
+    #[test]
+    fn known_down_ranks_are_skipped_not_timed_out() {
+        let cfg = BeatConfig {
+            timeout: Duration::from_millis(200),
+            ..BeatConfig::default()
+        };
+        let t0 = std::time::Instant::now();
+        let got = heartbeat_round(3, 1, &cfg, None, &[false, false, true], &payloads(3));
+        assert_eq!(got[2], BeatStatus::Down);
+        assert!(
+            t0.elapsed() < cfg.timeout,
+            "monitor must not burn a timeout on a rank it knows is down"
+        );
+    }
+
+    #[test]
+    fn dropped_beat_is_a_transient_miss() {
+        let cfg = BeatConfig::default();
+        // First (and only) message on edge 1 -> 0 is the window-1 beat.
+        let plan = Arc::new(FaultPlan::new().inject(1, 0, 1, crate::FaultAction::Drop));
+        let got = heartbeat_round(3, 1, &cfg, Some(&plan), &[false; 3], &payloads(3));
+        assert!(matches!(got[1], BeatStatus::Missed(_)));
+        let got = heartbeat_round(3, 2, &cfg, Some(&plan), &[false; 3], &payloads(3));
+        assert!(got[1].is_ok(), "the drop was one-shot; the rank is fine");
+    }
+}

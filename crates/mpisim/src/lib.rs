@@ -17,11 +17,13 @@ pub mod collective;
 pub mod comm;
 pub mod fault;
 pub mod halo;
+pub mod heartbeat;
 pub mod rank_exchange;
 pub mod stats;
 
 pub use comm::{Comm, World};
 pub use fault::{CommError, FaultAction, FaultPlan, FaultReport, PlannedFault};
 pub use halo::HaloExchanger;
+pub use heartbeat::{heartbeat_round, BeatConfig, BeatStatus};
 pub use rank_exchange::RankExchange;
 pub use stats::{TrafficSnapshot, TrafficStats};

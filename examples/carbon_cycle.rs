@@ -29,7 +29,7 @@ fn main() {
 
     let mut prev = c0;
     for hour in 1..=24 {
-        esm.run_windows(1, false);
+        esm.run_windows(1, false).unwrap();
         let c = esm.carbon_budget();
         // Aggregate land NEE this hour: negative = biosphere uptake.
         let nee: f64 = (0..esm.land.n_land_cells())

@@ -25,7 +25,7 @@ fn main() {
     println!("spinning up the coupled system (3 simulated hours)...");
     let mut esm = CoupledEsm::new(EsmConfig::demo());
     let windows = (3.0 * 3600.0 / esm.cfg.coupling_s) as usize;
-    esm.run_windows(windows, true);
+    esm.run_windows(windows, true).unwrap();
 
     // Nearest-cell lookup per pixel.
     let g = esm.grid.clone();

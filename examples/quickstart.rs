@@ -37,7 +37,7 @@ fn main() {
     // Six simulated hours, ocean concurrent (the "ocean for free" mapping).
     let windows = (6.0 * 3600.0 / esm.cfg.coupling_s) as usize;
     println!("\nrunning {windows} coupling windows (ocean concurrent)...");
-    esm.run_windows(windows, true);
+    esm.run_windows(windows, true).unwrap();
 
     let t = &esm.timers;
     println!("\n--- throughput (Section 6.3 metrics) ---");

@@ -64,7 +64,7 @@ fn main() {
 
     print!("\nbit-exactness vs fault-free run: ");
     let mut clean = CoupledEsm::new(cfg);
-    clean.run_windows(6, false);
+    clean.run_windows(6, false).unwrap();
     if chaotic.snapshot() == clean.snapshot() {
         println!("IDENTICAL");
     } else {

@@ -22,7 +22,7 @@
 //! ```
 //! use icon_esm::esm_core::{CoupledEsm, EsmConfig};
 //! let mut esm = CoupledEsm::new(EsmConfig::tiny());
-//! esm.run_windows(1, false);
+//! esm.run_windows(1, false).unwrap();
 //! assert!(esm.time_s() > 0.0);
 //! ```
 

@@ -9,7 +9,7 @@ use iosys::{read_checkpoint, restart::scratch_dir, write_checkpoint};
 #[test]
 fn restart_through_files_is_bit_exact() {
     let mut reference = CoupledEsm::new(EsmConfig::tiny());
-    reference.run_windows(2, false);
+    reference.run_windows(2, false).unwrap();
 
     // Checkpoint through the multi-file restart path.
     let dir = scratch_dir("coupled_restart");
@@ -19,12 +19,12 @@ fn restart_through_files_is_bit_exact() {
     assert_eq!(loaded, snap, "file round-trip must be exact");
 
     // Continue the reference.
-    reference.run_windows(2, false);
+    reference.run_windows(2, false).unwrap();
 
     // Fresh instance restored from the files, continued identically.
     let mut restored = CoupledEsm::new(EsmConfig::tiny());
     restored.restore(&loaded);
-    restored.run_windows(2, false);
+    restored.run_windows(2, false).unwrap();
 
     assert_eq!(reference.atm.state, restored.atm.state, "atmosphere diverged");
     assert_eq!(reference.ocean.state, restored.ocean.state, "ocean diverged");
@@ -54,7 +54,7 @@ fn async_output_records_coupled_diagnostics() {
     let srv = OutputServer::spawn(dir.clone(), 16).expect("spawn server");
 
     for _ in 0..3 {
-        esm.run_windows(1, false);
+        esm.run_windows(1, false).unwrap();
         srv.post(OutputRequest {
             name: "sst",
             time_s: esm.time_s(),

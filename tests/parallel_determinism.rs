@@ -49,7 +49,7 @@ struct RunFingerprint {
 fn run_and_fingerprint(threads: usize, concurrent: bool, tag: &str) -> RunFingerprint {
     set_width(threads);
     let mut esm = CoupledEsm::new(EsmConfig::tiny());
-    esm.run_windows(WINDOWS, concurrent);
+    esm.run_windows(WINDOWS, concurrent).unwrap();
 
     let snapshot = esm.snapshot();
     let carbon = esm.carbon_budget();
@@ -134,5 +134,79 @@ fn concurrent_coupling_is_bitwise_identical_across_pool_widths() {
     for &threads in &WIDTHS {
         let got = run_and_fingerprint(threads, true, "conc");
         assert_fingerprints_match(&reference, &got, &format!("concurrent @ {threads} threads"));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Supervised driver (ISSUE 4): a degraded-then-recovered run must carry the
+// same determinism contract as the plain drivers — bitwise identical
+// snapshots, budget ledgers, and checkpoint shards across pool widths.
+// ---------------------------------------------------------------------------
+
+use esm_core::{HealthConfig, SupervisorConfig};
+use mpisim::FaultPlan;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Widths the supervised sweep runs at. Smaller than [`WIDTHS`] because
+/// every run pays real heartbeat deadlines in wall-clock time.
+const SUPERVISED_WIDTHS: [usize; 2] = [1, 4];
+
+fn supervised_fingerprint(threads: usize) -> RunFingerprint {
+    set_width(threads);
+    let dir = scratch(&format!("sup_{threads}"));
+    let scfg = SupervisorConfig {
+        health: HealthConfig {
+            beat_timeout: Duration::from_millis(50),
+            hang_hold: Duration::from_millis(75),
+            suspicion_threshold: 2,
+        },
+        ..SupervisorConfig::default()
+    };
+    // Ocean group killed at window 3: the fast side degrades one window,
+    // the slow side respawns from its ring and both replay.
+    let plan = Arc::new(FaultPlan::new().kill_rank(2, 3));
+    let mut esm = CoupledEsm::new(EsmConfig::tiny());
+    let report = esm
+        .run_windows_supervised(6, &dir.join("sup"), &scfg, Some(plan))
+        .expect("single kill is absorbable");
+    assert_eq!(report.respawns, 1, "@{threads}: {:?}", report.timeline);
+    assert!(report.degraded_windows >= 1, "@{threads}");
+
+    let snapshot = esm.snapshot();
+    let carbon = esm.carbon_budget();
+    let water = esm.water_budget();
+    let shards = iosys::write_checkpoint(&dir, "supsweep", &snapshot, CHECKPOINT_SHARDS)
+        .expect("write checkpoint");
+    let shard_bytes = shards
+        .iter()
+        .map(|p| fs::read(p).expect("read checkpoint shard"))
+        .collect();
+    fs::remove_dir_all(&dir).ok();
+
+    RunFingerprint {
+        snapshot,
+        carbon_bits: [
+            carbon.atmosphere.to_bits(),
+            carbon.land.to_bits(),
+            carbon.ocean.to_bits(),
+            carbon.total().to_bits(),
+        ],
+        water_bits: [
+            water.atmosphere.to_bits(),
+            water.land.to_bits(),
+            water.ocean_received.to_bits(),
+        ],
+        shard_bytes,
+    }
+}
+
+#[test]
+fn supervised_recovery_is_bitwise_identical_across_pool_widths() {
+    let _guard = WIDTH_LOCK.lock().unwrap();
+    let reference = supervised_fingerprint(SUPERVISED_WIDTHS[0]);
+    for &threads in &SUPERVISED_WIDTHS[1..] {
+        let got = supervised_fingerprint(threads);
+        assert_fingerprints_match(&reference, &got, &format!("supervised @ {threads} threads"));
     }
 }

@@ -98,7 +98,7 @@ fn chaos_full_schedule_at(threads: usize) {
 
     // The headline guarantee: bit-exact with a fault-free run.
     let mut clean = CoupledEsm::new(cfg);
-    clean.run_windows(6, false);
+    clean.run_windows(6, false).unwrap();
     assert_eq!(
         chaotic.snapshot(),
         clean.snapshot(),
@@ -146,7 +146,7 @@ fn fault_storm_at(threads: usize) {
             Ok(report) => {
                 assert_eq!(report.windows_run, 4);
                 let mut clean = CoupledEsm::new(cfg.clone());
-                clean.run_windows(4, false);
+                clean.run_windows(4, false).unwrap();
                 assert_eq!(
                     chaotic.snapshot(),
                     clean.snapshot(),
@@ -169,5 +169,210 @@ fn seeded_fault_storm_is_either_absorbed_or_typed() {
     for threads in THREAD_COUNTS {
         set_width(threads);
         fault_storm_at(threads);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Supervised-driver chaos (ISSUE 4): health monitoring, degraded-mode
+// coupling, and localized rank recovery under kills, hangs, and corrupted
+// fluxes — at every pool width, bit-exact against the fault-free run.
+// ---------------------------------------------------------------------------
+
+use esm_core::{HealthConfig, RepairPolicy, SupervisorConfig};
+
+/// Supervision tuning used by every supervised chaos scenario: fast
+/// heartbeat deadlines so a hung rank is detected in tens of
+/// milliseconds, and the default suspicion threshold of two missed beats.
+fn quick_scfg() -> SupervisorConfig {
+    SupervisorConfig {
+        health: HealthConfig {
+            beat_timeout: Duration::from_millis(50),
+            hang_hold: Duration::from_millis(75),
+            suspicion_threshold: 2,
+        },
+        ..SupervisorConfig::default()
+    }
+}
+
+/// Budget ledgers as raw bits: the supervised recovery must reproduce the
+/// conservation accounting exactly, not only the prognostic state.
+fn budget_bits(esm: &CoupledEsm) -> [u64; 7] {
+    let c = esm.carbon_budget();
+    let w = esm.water_budget();
+    [
+        c.atmosphere.to_bits(),
+        c.land.to_bits(),
+        c.ocean.to_bits(),
+        c.total().to_bits(),
+        w.atmosphere.to_bits(),
+        w.land.to_bits(),
+        w.ocean_received.to_bits(),
+    ]
+}
+
+fn assert_matches_fault_free(chaotic: &CoupledEsm, windows: usize, label: &str) {
+    let mut clean = CoupledEsm::new(EsmConfig::tiny());
+    clean.run_windows(windows, false).unwrap();
+    assert_eq!(
+        chaotic.snapshot(),
+        clean.snapshot(),
+        "{label}: supervised run must end bit-exact with the fault-free run"
+    );
+    assert_eq!(
+        budget_bits(chaotic),
+        budget_bits(&clean),
+        "{label}: budget ledger bits diverged from the fault-free run"
+    );
+}
+
+/// Ocean (slow group, heartbeat rank 2) killed or hung mid-window: the
+/// atmosphere degrades onto persisted fluxes, the slow side respawns from
+/// its own checkpoint ring, both sides replay, and the final snapshot and
+/// budget ledgers are bitwise identical to a fault-free run.
+fn supervised_ocean_fault_at(threads: usize, mode: &str) {
+    let windows = 8;
+    let dir = scratch(&format!("sup_{mode}_t{threads}"));
+    let plan = Arc::new(match mode {
+        "kill" => FaultPlan::new().kill_rank(2, 3),
+        "hang" => FaultPlan::new().hang(2, 3),
+        other => panic!("unknown mode {other}"),
+    });
+
+    let mut chaotic = CoupledEsm::new(EsmConfig::tiny());
+    let report = chaotic
+        .run_windows_supervised(windows as u64, &dir, &quick_scfg(), Some(plan))
+        .expect("a single slow-side fault is absorbable");
+
+    let label = format!("{mode} @ {threads} threads");
+    // Kill at window 3 + threshold 2: window 4 runs degraded, the respawn
+    // at window 5 replays from the window-2 checkpoints.
+    assert_eq!(report.degraded, vec![4], "{label}: {:?}", report.timeline);
+    assert_eq!(report.respawns, 1, "{label}");
+    assert!(report.replayed_windows >= 2, "{label}");
+    use esm_core::HealthEventKind as K;
+    for want in ["Failed", "Respawned", "Recovered"] {
+        assert!(
+            report.timeline.iter().any(|e| matches!(
+                (want, &e.kind),
+                ("Failed", K::Failed)
+                    | ("Respawned", K::Respawned { .. })
+                    | ("Recovered", K::Recovered)
+            )),
+            "{label}: no {want} event on the timeline: {:?}",
+            report.timeline
+        );
+    }
+
+    assert_matches_fault_free(&chaotic, windows, &label);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn supervised_ocean_kill_and_hang_recover_bit_exact() {
+    let _guard = WIDTH_LOCK.lock().unwrap();
+    for threads in THREAD_COUNTS {
+        set_width(threads);
+        for mode in ["kill", "hang"] {
+            supervised_ocean_fault_at(threads, mode);
+        }
+    }
+}
+
+/// A NaN injected into an exchanged flux is quarantined by the gate —
+/// clamped deterministically, recorded on the report, and bitwise
+/// reproducible across pool widths (the repair is part of the model's
+/// deterministic history, so two widths agree with *each other*).
+#[test]
+fn supervised_corrupt_flux_is_quarantined_and_width_reproducible() {
+    let _guard = WIDTH_LOCK.lock().unwrap();
+    let mut reference: Option<iosys::Snapshot> = None;
+    for threads in THREAD_COUNTS {
+        set_width(threads);
+        let dir = scratch(&format!("sup_corrupt_t{threads}"));
+        let scfg = SupervisorConfig {
+            corrupt_flux: vec![(2, "sst")],
+            policy: RepairPolicy::ClampToBounds,
+            ..quick_scfg()
+        };
+        let mut esm = CoupledEsm::new(EsmConfig::tiny());
+        let report = esm
+            .run_windows_supervised(5, &dir, &scfg, None)
+            .expect("clamped corruption is absorbable");
+        assert_eq!(report.quarantine_events.len(), 1);
+        let ev = &report.quarantine_events[0];
+        assert_eq!((ev.window, ev.field.as_str(), ev.action), (2, "sst", "clamped"));
+        // The quarantine held: nothing non-finite ever reached a component.
+        let snap = esm.snapshot();
+        for (name, data) in &snap.vars {
+            assert!(
+                data.iter().all(|v| v.is_finite()),
+                "non-finite state in {name} at {threads} threads"
+            );
+        }
+        match &reference {
+            None => reference = Some(snap),
+            Some(r) => assert_eq!(
+                &snap, r,
+                "clamped run at {threads} threads diverged from width-{} run",
+                THREAD_COUNTS[0]
+            ),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// CI chaos-matrix entry point: `CHAOS_MODE` ∈ {kill, hang, corrupt-flux}
+/// and `CHAOS_SEED` (any u64) pick one supervised fault scenario; the run
+/// must absorb it and stay bit-exact at every pool width. Defaults (no
+/// env) exercise `kill` with seed 1 so the test is meaningful locally.
+#[test]
+fn chaos_matrix_from_env() {
+    let mode = std::env::var("CHAOS_MODE").unwrap_or_else(|_| "kill".to_string());
+    let seed: u64 = std::env::var("CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    let _guard = WIDTH_LOCK.lock().unwrap();
+    let windows = 8;
+    // Fault lands mid-run, early enough that detection + respawn complete
+    // within the window budget at the default suspicion threshold.
+    let fault_window = 1 + seed % 4;
+
+    let mut reference: Option<iosys::Snapshot> = None;
+    for threads in THREAD_COUNTS {
+        set_width(threads);
+        let dir = scratch(&format!("matrix_{mode}_{seed}_t{threads}"));
+        let mut scfg = quick_scfg();
+        let plan = match mode.as_str() {
+            "kill" => Some(Arc::new(FaultPlan::new().kill_rank(2, fault_window))),
+            "hang" => Some(Arc::new(FaultPlan::new().hang(2, fault_window))),
+            "corrupt-flux" => {
+                scfg.corrupt_flux = vec![(fault_window, "sst")];
+                None
+            }
+            other => panic!("CHAOS_MODE must be kill|hang|corrupt-flux, got {other}"),
+        };
+
+        let mut esm = CoupledEsm::new(EsmConfig::tiny());
+        let report = esm
+            .run_windows_supervised(windows as u64, &dir, &scfg, plan)
+            .unwrap_or_else(|e| panic!("{mode}/seed {seed} at {threads} threads: {e}"));
+        assert_eq!(report.windows_run, windows as u64);
+
+        let label = format!("{mode}/seed {seed} @ {threads} threads");
+        if mode == "corrupt-flux" {
+            assert!(!report.quarantine_events.is_empty(), "{label}");
+            // A clamped repair is deterministic history, not a fault the
+            // supervisor can undo: assert cross-width identity instead.
+            let snap = esm.snapshot();
+            match &reference {
+                None => reference = Some(snap),
+                Some(r) => assert_eq!(&snap, r, "{label}: diverged across widths"),
+            }
+        } else {
+            assert_eq!(report.respawns, 1, "{label}: {:?}", report.timeline);
+            assert_matches_fault_free(&esm, windows, &label);
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 }
