@@ -84,6 +84,16 @@ pub fn dsl_relations() -> Vec<(&'static str, &'static str, &'static str, usize)>
 /// Vertical halo width the dycore guarantees (k±1 column derivative).
 pub const DSL_HALO: i32 = 1;
 
+/// Vertical extent assumed by the static cost model.
+pub const DSL_NLEV: usize = 30;
+
+/// Representative horizontal extents for the static cost model:
+/// `(domain, entities)`. A 20k-cell icosahedral patch has 3/2 as many
+/// edges as cells.
+pub fn dsl_sizes() -> Vec<(&'static str, usize)> {
+    vec![("cells", 20_480), ("edges", 30_720)]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

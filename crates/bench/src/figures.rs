@@ -544,6 +544,109 @@ pub fn resilience() -> Value {
 }
 
 /// Run everything; returns (name, value) pairs.
+/// Static cost model vs the machine: predicted roofline times for the
+/// mini-dycore (naive vs fused+hoisted execution) next to measured wall
+/// time on this host, plus the per-state predicted breakdown. The
+/// predicted access *counters* are asserted equal to the executors'
+/// measured ones — the roofline time is a GH200 model, so against this
+/// host only the naive/optimized *ratio* is comparable.
+pub fn cost_roofline() -> Value {
+    println!("\n== Static cost model: predicted vs measured (mini-dycore, 20k cells) ==");
+    let prog = suite::dycore_program();
+    let sdfg = Sdfg::from_program("dycore", &prog);
+    let ctx = suite::suite_context();
+    let topo = suite::synthetic_topology(20_000);
+    let nlev = 30;
+    let sizes = dace_mini::cost::DomainSizes::new(nlev)
+        .with("cells", topo.domain_size("cells"))
+        .with("edges", topo.domain_size("edges"));
+    let roof = machine::Roofline::gh200_dace();
+
+    let inputs = dace_mini::cost::CostInputs {
+        ctx: &ctx,
+        sizes: &sizes,
+        elided_stores: &[],
+    };
+    let naive_cost = dace_mini::cost::analyze_naive(&sdfg, &inputs, &roof);
+    let mut d1 = suite::synthetic_data(&topo, nlev, 7);
+    let mut d2 = d1.clone();
+    let t0 = std::time::Instant::now();
+    let naive_stats = exec::run_naive(&prog, &topo, &mut d1);
+    let t_naive = t0.elapsed().as_secs_f64();
+    assert_eq!(naive_cost.stats, naive_stats, "naive cost model must be exact");
+
+    let (hoisted, report) = transforms::gh200_hoisted_pipeline(&sdfg);
+    let elided = report.transient_names();
+    let mut compiled = exec::compile(&hoisted);
+    compiled.elide_transient_stores(&elided);
+    let t0 = std::time::Instant::now();
+    let opt_stats = compiled.run(&topo, &mut d2);
+    let t_opt = t0.elapsed().as_secs_f64();
+    assert_eq!(d1, d2, "hoisted execution must agree bitwise with naive");
+    let hctx = report.declare(&ctx);
+    let hinputs = dace_mini::cost::CostInputs {
+        ctx: &hctx,
+        sizes: &sizes,
+        elided_stores: &elided,
+    };
+    let opt_cost = dace_mini::cost::analyze_compiled(&hoisted, &hinputs, &roof);
+    assert_eq!(opt_cost.stats, opt_stats, "compiled cost model must be exact");
+
+    println!("{:<26} {:>9} {:>11} {:>9} {:>12}", "state", "lkups/pt", "bytes/pt", "AI [f/B]", "pred [ms]");
+    let mut state_rows = Vec::new();
+    let points = (topo.domain_size("cells") * nlev) as f64;
+    for s in &opt_cost.states {
+        let label: String = s.label.chars().take(24).collect();
+        println!(
+            "{label:<26} {:>9} {:>11.1} {:>9.3} {:>12.4}",
+            s.lookups_per_point,
+            s.bytes() / points,
+            s.intensity,
+            s.predicted_time_s * 1e3
+        );
+        state_rows.push(json!({"label": s.label, "lookups_per_point": s.lookups_per_point,
+                               "flops": s.flops, "bytes": s.bytes(),
+                               "intensity": s.intensity,
+                               "predicted_time_s": s.predicted_time_s}));
+    }
+    let pred_ratio = naive_cost.predicted_time_s / opt_cost.predicted_time_s;
+    let meas_ratio = t_naive / t_opt;
+    println!(
+        "predicted ({}): naive {:.3} ms -> optimized {:.3} ms ({:.2}x); measured here: {:.1} ms -> {:.1} ms ({:.2}x)",
+        roof.name,
+        naive_cost.predicted_time_s * 1e3,
+        opt_cost.predicted_time_s * 1e3,
+        pred_ratio,
+        t_naive * 1e3,
+        t_opt * 1e3,
+        meas_ratio
+    );
+    println!(
+        "index lookups per point: {} -> {} ({:.2}x, paper 8x)",
+        report.lookups_before,
+        report.lookups_after,
+        report.reduction_factor()
+    );
+
+    json!({
+        "machine": roof.name,
+        "cells": topo.domain_size("cells"),
+        "nlev": nlev,
+        "lookups_before": report.lookups_before,
+        "lookups_after": report.lookups_after,
+        "reduction_factor": report.reduction_factor(),
+        "naive": {"predicted_s": naive_cost.predicted_time_s, "measured_s": t_naive,
+                   "index_lookups": naive_stats.index_lookups,
+                   "field_reads": naive_stats.field_reads},
+        "optimized": {"predicted_s": opt_cost.predicted_time_s, "measured_s": t_opt,
+                       "index_lookups": opt_stats.index_lookups,
+                       "field_reads": opt_stats.field_reads},
+        "predicted_speedup": pred_ratio,
+        "measured_speedup": meas_ratio,
+        "states": state_rows,
+    })
+}
+
 pub fn all() -> Vec<(&'static str, Value)> {
     vec![
         ("table1", table1()),
@@ -558,6 +661,7 @@ pub fn all() -> Vec<(&'static str, Value)> {
         ("tau_limits", tau_limits()),
         ("mapping", mapping()),
         ("resilience", resilience()),
+        ("cost_roofline", cost_roofline()),
     ]
 }
 

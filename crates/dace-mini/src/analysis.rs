@@ -105,6 +105,17 @@ pub enum DiagCode {
     DeadWrite,
     /// W0404: declared input never read.
     UnusedInput,
+    /// W0501: the same indirect gather (field through (relation, slot) at
+    /// one level) is loaded repeatedly within a map body —
+    /// `transforms::hoist_gathers` would materialize it once.
+    RedundantGather,
+    /// W0502: arithmetic intensity below the machine balance point while
+    /// redundant gathers remain — memory-bound with a known transform
+    /// available.
+    BelowRoofline,
+    /// E0503: per-point lookup count or predicted time regressed against
+    /// the checked-in cost baseline.
+    CostRegression,
 }
 
 impl DiagCode {
@@ -127,14 +138,19 @@ impl DiagCode {
             DiagCode::WriteToInput => "E0402",
             DiagCode::DeadWrite => "W0403",
             DiagCode::UnusedInput => "W0404",
+            DiagCode::RedundantGather => "W0501",
+            DiagCode::BelowRoofline => "W0502",
+            DiagCode::CostRegression => "E0503",
         }
     }
 
     pub fn severity(&self) -> Severity {
         match self {
-            DiagCode::ScatterReduction | DiagCode::DeadWrite | DiagCode::UnusedInput => {
-                Severity::Warning
-            }
+            DiagCode::ScatterReduction
+            | DiagCode::DeadWrite
+            | DiagCode::UnusedInput
+            | DiagCode::RedundantGather
+            | DiagCode::BelowRoofline => Severity::Warning,
             _ => Severity::Error,
         }
     }
@@ -167,15 +183,7 @@ impl Diagnostic {
 
 impl fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}[{}]: {} (in `{}` at {})",
-            self.severity(),
-            self.code.code(),
-            self.message,
-            self.state,
-            self.span
-        )
+        write!(f, "{}", crate::diag::render(self))
     }
 }
 

@@ -103,6 +103,17 @@ impl Expr {
         }
     }
 
+    /// Floating-point operations one evaluation performs (each negation
+    /// and binary arithmetic node is one FLOP) — the compute side of the
+    /// static cost model.
+    pub fn flops(&self) -> usize {
+        match self {
+            Expr::Num(_) | Expr::Access(_) => 0,
+            Expr::Neg(e) => 1 + e.flops(),
+            Expr::Bin(_, a, b) => 1 + a.flops() + b.flops(),
+        }
+    }
+
     /// Does the expression use any 3-D (level-indexed) access?
     pub fn uses_levels(&self) -> bool {
         self.accesses()

@@ -1,0 +1,624 @@
+//! Static performance analysis of certified SDFGs.
+//!
+//! Walks a graph and computes, per map scope and per program, a **cost
+//! vector**: FLOPs, bytes moved (split into direct and indirect
+//! accesses), integer neighbor-table lookups per point, and a working-set
+//! estimate — then evaluates it against a [`machine::Roofline`] to
+//! predict execution time and arithmetic intensity.
+//!
+//! Two execution models are provided, each replicating its backend's
+//! counting *exactly* (tests assert predicted counters equal the
+//! measured [`ExecStats`] bit for bit):
+//!
+//! * [`analyze_naive`] — the OpenACC-style baseline (`exec::run_naive`):
+//!   one launch per tasklet, every access re-resolved and re-loaded at
+//!   every (point, level) evaluation.
+//! * [`analyze_compiled`] — the DaCe-style backend (`exec::compile`):
+//!   one launch per state, unique `(relation, slot)` lookups once per
+//!   point, loads collapsed by `(field, point, level)`, pointwise reads
+//!   of freshly-written values forwarded with zero traffic, and stores
+//!   of hoisted transients elided.
+//!
+//! On top of the cost vectors sit the perf diagnostics surfaced by
+//! `esm-lint` ([`perf_diagnostics`]: `W0501` redundant indirect gather,
+//! `W0502` below-roofline intensity with a suggested transform) and the
+//! regression gate against a checked-in baseline ([`check_regression`]:
+//! `E0503`).
+
+use crate::analysis::{AnalysisContext, DiagCode, Diagnostic};
+use crate::ast::{FieldAccess, LevelIndex, PointIndex};
+use crate::exec::ExecStats;
+use crate::memlet::LevelRel;
+use crate::sdfg::{Sdfg, State};
+use machine::Roofline;
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Bytes per field element (FP64).
+pub const ELEM_BYTES: f64 = 8.0;
+/// Bytes per neighbor-table entry (u32).
+pub const LOOKUP_BYTES: f64 = 4.0;
+/// Predicted time may grow by this fraction before `E0503` fires; the
+/// lookup count is gated exactly.
+pub const TIME_REGRESSION_TOLERANCE: f64 = 0.05;
+
+/// Concrete extents the static counts are scaled by: entity count per
+/// domain plus the vertical extent. Deliberately *not* the full
+/// `TopologyContext` — the cost model never needs the tables themselves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DomainSizes {
+    sizes: BTreeMap<String, usize>,
+    pub nlev: usize,
+}
+
+impl DomainSizes {
+    pub fn new(nlev: usize) -> DomainSizes {
+        DomainSizes {
+            sizes: BTreeMap::new(),
+            nlev: nlev.max(1),
+        }
+    }
+
+    pub fn with(mut self, domain: &str, n: usize) -> DomainSizes {
+        self.sizes.insert(domain.to_string(), n);
+        self
+    }
+
+    pub fn size(&self, domain: &str) -> usize {
+        *self
+            .sizes
+            .get(domain)
+            .unwrap_or_else(|| panic!("no size declared for domain '{domain}'"))
+    }
+}
+
+/// Everything `analyze_*` needs besides the graph.
+#[derive(Debug, Clone, Copy)]
+pub struct CostInputs<'a> {
+    /// Field shapes (for the working-set estimate).
+    pub ctx: &'a AnalysisContext,
+    pub sizes: &'a DomainSizes,
+    /// Fields whose stores the executor elides (hoisted transients, see
+    /// `CompiledSdfg::elide_transient_stores`); ignored by the naive
+    /// model, which has no elision.
+    pub elided_stores: &'a [String],
+}
+
+/// Cost vector of one map scope (state), already scaled by the domain
+/// size and level count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateCost {
+    pub label: String,
+    pub domain: String,
+    pub entities: usize,
+    /// Level multiplicity of the scope (1 or nlev).
+    pub levels: usize,
+    /// Integer neighbor-table lookups per point — §5.2's headline
+    /// quantity. Per-access for the naive model, unique
+    /// `(relation, slot)` for the compiled model.
+    pub lookups_per_point: usize,
+    /// Gather accesses beyond the first per `(field, relation, slot,
+    /// level)` — the redundancy `hoist_gathers` removes.
+    pub redundant_gathers: usize,
+    pub flops: f64,
+    /// Bytes moved through direct (own-point) accesses, stores included.
+    pub direct_bytes: f64,
+    /// Bytes moved through indirect (gathered) accesses.
+    pub indirect_bytes: f64,
+    /// Bytes of neighbor-table reads.
+    pub lookup_bytes: f64,
+    /// Distinct field storage touched by the scope.
+    pub working_set_bytes: f64,
+    /// Predicted executor counters for this scope.
+    pub stats: ExecStats,
+    pub predicted_time_s: f64,
+    /// FLOP per byte moved.
+    pub intensity: f64,
+}
+
+impl StateCost {
+    pub fn bytes(&self) -> f64 {
+        self.direct_bytes + self.indirect_bytes + self.lookup_bytes
+    }
+}
+
+/// Cost vector of a whole program under one execution model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgramCost {
+    pub name: String,
+    /// "naive" or "compiled".
+    pub model: &'static str,
+    pub states: Vec<StateCost>,
+    /// Sum of per-state per-point lookup counts.
+    pub lookups_per_point: usize,
+    pub redundant_gathers: usize,
+    pub flops: f64,
+    pub bytes: f64,
+    pub working_set_bytes: f64,
+    /// Predicted executor counters for the whole run.
+    pub stats: ExecStats,
+    pub predicted_time_s: f64,
+    pub intensity: f64,
+}
+
+fn gather_key(a: &FieldAccess) -> Option<(String, String, usize, LevelIndex)> {
+    match &a.point {
+        PointIndex::Lookup { relation, slot } => {
+            Some((a.field.clone(), relation.clone(), *slot, a.level))
+        }
+        PointIndex::Own => None,
+    }
+}
+
+/// Gather accesses beyond the first per `(field, relation, slot, level)`
+/// in one scope.
+fn count_redundant_gathers(st: &State) -> usize {
+    let mut seen: HashSet<(String, String, usize, LevelIndex)> = HashSet::new();
+    let mut redundant = 0;
+    for t in &st.map.tasklets {
+        for a in t.code.accesses() {
+            if let Some(key) = gather_key(a) {
+                if !seen.insert(key) {
+                    redundant += 1;
+                }
+            }
+        }
+    }
+    redundant
+}
+
+/// Distinct field storage touched by a scope, from declared shapes.
+/// Fields absent from the context (e.g. transients on a graph analyzed
+/// before `HoistReport::declare`) fall back to the scope's own domain and
+/// the level-dependence of their accesses; store-elided transients never
+/// reach memory and are excluded.
+fn working_set(st: &State, inputs: &CostInputs) -> f64 {
+    let mut level_dep: HashMap<&str, bool> = HashMap::new();
+    for t in &st.map.tasklets {
+        for a in t.code.accesses().into_iter().chain([&t.write]) {
+            let dep = matches!(a.level, LevelIndex::K | LevelIndex::KOffset(_));
+            *level_dep.entry(a.field.as_str()).or_insert(false) |= dep;
+        }
+    }
+    let mut bytes = 0.0;
+    for (field, dep) in level_dep {
+        if inputs.elided_stores.iter().any(|f| f == field) {
+            continue;
+        }
+        let (domain, is_3d) = match inputs.ctx.fields.get(field) {
+            Some(shape) => (shape.domain.as_str(), shape.is_3d),
+            None => (st.map.domain.as_str(), dep),
+        };
+        let levels = if is_3d { inputs.sizes.nlev } else { 1 };
+        bytes += (inputs.sizes.size(domain) * levels) as f64 * ELEM_BYTES;
+    }
+    bytes
+}
+
+fn finish_state(mut sc: StateCost, roof: &Roofline, launches_in_state: u64) -> StateCost {
+    // One roofline evaluation per launch: the naive model pays the
+    // launch overhead per tasklet, the compiled model once per state.
+    let per_launch_flops = sc.flops / launches_in_state as f64;
+    let per_launch_bytes = sc.bytes() / launches_in_state as f64;
+    sc.predicted_time_s =
+        roof.map_time_s(per_launch_flops, per_launch_bytes) * launches_in_state as f64;
+    sc.intensity = if sc.bytes() > 0.0 { sc.flops / sc.bytes() } else { 0.0 };
+    sc
+}
+
+fn finish_program(name: &str, model: &'static str, states: Vec<StateCost>) -> ProgramCost {
+    let mut total = ProgramCost {
+        name: name.to_string(),
+        model,
+        lookups_per_point: 0,
+        redundant_gathers: 0,
+        flops: 0.0,
+        bytes: 0.0,
+        working_set_bytes: 0.0,
+        stats: ExecStats::default(),
+        predicted_time_s: 0.0,
+        intensity: 0.0,
+        states,
+    };
+    for sc in &total.states {
+        total.lookups_per_point += sc.lookups_per_point;
+        total.redundant_gathers += sc.redundant_gathers;
+        total.flops += sc.flops;
+        total.bytes += sc.bytes();
+        total.working_set_bytes += sc.working_set_bytes;
+        total.stats.map_launches += sc.stats.map_launches;
+        total.stats.index_lookups += sc.stats.index_lookups;
+        total.stats.field_reads += sc.stats.field_reads;
+        total.stats.field_stores += sc.stats.field_stores;
+        total.predicted_time_s += sc.predicted_time_s;
+    }
+    total.intensity = if total.bytes > 0.0 { total.flops / total.bytes } else { 0.0 };
+    total
+}
+
+/// Cost of the graph under the naive (OpenACC-style) execution model:
+/// one launch per tasklet, full re-resolution at every evaluation.
+/// Predicted counters equal `exec::run_naive` on `sdfg.to_program()`
+/// exactly.
+pub fn analyze_naive(sdfg: &Sdfg, inputs: &CostInputs, roof: &Roofline) -> ProgramCost {
+    let nlev = inputs.sizes.nlev;
+    let states = sdfg
+        .states
+        .iter()
+        .map(|st| {
+            let n = inputs.sizes.size(&st.map.domain) as u64;
+            let mut sc = StateCost {
+                label: st.label.clone(),
+                domain: st.map.domain.clone(),
+                entities: n as usize,
+                levels: if st.map.over_levels { nlev } else { 1 },
+                lookups_per_point: 0,
+                redundant_gathers: count_redundant_gathers(st),
+                flops: 0.0,
+                direct_bytes: 0.0,
+                indirect_bytes: 0.0,
+                lookup_bytes: 0.0,
+                working_set_bytes: working_set(st, inputs),
+                stats: ExecStats::default(),
+                predicted_time_s: 0.0,
+                intensity: 0.0,
+            };
+            for t in &st.map.tasklets {
+                // `run_naive` decides the level extent per statement.
+                let levels = if t.code.uses_levels() || t.write.level != LevelIndex::Surface {
+                    nlev as u64
+                } else {
+                    1
+                };
+                let evals = n * levels;
+                sc.stats.map_launches += 1;
+                sc.flops += (t.code.flops() as u64 * evals) as f64;
+                sc.stats.field_stores += evals;
+                sc.direct_bytes += evals as f64 * ELEM_BYTES; // the store
+                for a in t.code.accesses() {
+                    sc.stats.field_reads += evals;
+                    match a.point {
+                        PointIndex::Own => sc.direct_bytes += evals as f64 * ELEM_BYTES,
+                        PointIndex::Lookup { .. } => {
+                            sc.lookups_per_point += 1;
+                            sc.stats.index_lookups += evals;
+                            sc.indirect_bytes += evals as f64 * ELEM_BYTES;
+                            sc.lookup_bytes += evals as f64 * LOOKUP_BYTES;
+                        }
+                    }
+                }
+            }
+            let launches = sc.stats.map_launches;
+            finish_state(sc, roof, launches)
+        })
+        .collect();
+    finish_program(&sdfg.name, "naive", states)
+}
+
+/// Cost of the graph under the compiled (DaCe-style) execution model:
+/// replicates `exec::compile`'s lookup dedup, load collapsing, and
+/// forwarding walk, so predicted counters equal the measured run exactly
+/// (pass the hoisted transients as `elided_stores` when the compiled
+/// graph had `elide_transient_stores` applied).
+pub fn analyze_compiled(sdfg: &Sdfg, inputs: &CostInputs, roof: &Roofline) -> ProgramCost {
+    let nlev = inputs.sizes.nlev;
+    let states = sdfg
+        .states
+        .iter()
+        .map(|st| {
+            let n = inputs.sizes.size(&st.map.domain) as u64;
+            let levels = if st.map.over_levels { nlev as u64 } else { 1 };
+            let mut sc = StateCost {
+                label: st.label.clone(),
+                domain: st.map.domain.clone(),
+                entities: n as usize,
+                levels: levels as usize,
+                lookups_per_point: 0,
+                redundant_gathers: count_redundant_gathers(st),
+                flops: 0.0,
+                direct_bytes: 0.0,
+                indirect_bytes: 0.0,
+                lookup_bytes: 0.0,
+                working_set_bytes: working_set(st, inputs),
+                stats: ExecStats { map_launches: 1, ..ExecStats::default() },
+                predicted_time_s: 0.0,
+                intensity: 0.0,
+            };
+
+            // Replicate the compile() walk: unique (relation, slot)
+            // lookups, loads collapsed by (field, point, level),
+            // pointwise reads of written (field, level) forwarded.
+            let mut idx: Vec<(String, usize)> = Vec::new();
+            let mut loads: Vec<(String, PointIndex, LevelIndex)> = Vec::new();
+            let mut written: HashSet<(String, LevelIndex)> = HashSet::new();
+            for t in &st.map.tasklets {
+                let evals = n * levels;
+                sc.flops += (t.code.flops() as u64 * evals) as f64;
+                for a in t.code.accesses() {
+                    if a.point == PointIndex::Own
+                        && written.contains(&(a.field.clone(), a.level))
+                    {
+                        continue; // forwarded: no memory traffic
+                    }
+                    if let PointIndex::Lookup { relation, slot } = &a.point {
+                        if !idx.iter().any(|(r, s)| r == relation && s == slot) {
+                            idx.push((relation.clone(), *slot));
+                        }
+                    }
+                    let slot = (a.field.clone(), a.point.clone(), a.level);
+                    if !loads.contains(&slot) {
+                        loads.push(slot);
+                    }
+                }
+                written.insert((t.write.field.clone(), t.write.level));
+                if !inputs.elided_stores.contains(&t.write.field) {
+                    sc.stats.field_stores += evals;
+                    sc.direct_bytes += evals as f64 * ELEM_BYTES;
+                }
+            }
+            sc.lookups_per_point = idx.len();
+            sc.stats.index_lookups = idx.len() as u64 * n;
+            sc.lookup_bytes = sc.stats.index_lookups as f64 * LOOKUP_BYTES;
+            for (_, point, level) in &loads {
+                // Level-independent loads are hoisted out of the level
+                // loop: once per point. Level-dependent: per (point, k).
+                let level_dependent = matches!(level, LevelIndex::K | LevelIndex::KOffset(_));
+                let reads = if level_dependent { n * levels } else { n };
+                sc.stats.field_reads += reads;
+                match point {
+                    PointIndex::Own => sc.direct_bytes += reads as f64 * ELEM_BYTES,
+                    PointIndex::Lookup { .. } => sc.indirect_bytes += reads as f64 * ELEM_BYTES,
+                }
+            }
+            finish_state(sc, roof, 1)
+        })
+        .collect();
+    finish_program(&sdfg.name, "compiled", states)
+}
+
+// ------------------------------------------------------------------
+// Perf diagnostics (W0501, W0502)
+// ------------------------------------------------------------------
+
+/// Scan a graph for performance findings:
+///
+/// * `W0501` — one per gather repeated within a map body, anchored at
+///   its second occurrence;
+/// * `W0502` — one per scope whose (compiled-model) arithmetic intensity
+///   sits below the machine balance point *while redundant gathers
+///   remain*: memory-bound with a known remedy. Scopes that are merely
+///   memory-bound (every climate kernel) are not flagged.
+pub fn perf_diagnostics(sdfg: &Sdfg, inputs: &CostInputs, roof: &Roofline) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let cost = analyze_compiled(sdfg, inputs, roof);
+    for (st, sc) in sdfg.states.iter().zip(&cost.states) {
+        type GatherCount = ((String, String, usize, LevelIndex), usize, crate::loc::Span);
+        let mut counts: Vec<GatherCount> = Vec::new();
+        for t in &st.map.tasklets {
+            for a in t.code.accesses() {
+                if let Some(key) = gather_key(a) {
+                    match counts.iter_mut().find(|(k, _, _)| *k == key) {
+                        Some((_, count, span)) => {
+                            *count += 1;
+                            if *count == 2 {
+                                *span = a.span; // anchor at the 2nd occurrence
+                            }
+                        }
+                        None => counts.push((key, 1, a.span)),
+                    }
+                }
+            }
+        }
+        for ((field, rel, slot, level), count, span) in counts {
+            if count >= 2 {
+                diags.push(Diagnostic::new(
+                    DiagCode::RedundantGather,
+                    format!(
+                        "indirect gather `{field}[{rel}(p,{slot}), {}]` is loaded {count}x \
+                         in one map body; `hoist_gathers` would materialize it once",
+                        LevelRel::from_index(level)
+                    ),
+                    span,
+                    &st.label,
+                ));
+            }
+        }
+        if sc.redundant_gathers > 0 && sc.intensity < roof.balance_flops_per_byte() {
+            diags.push(Diagnostic::new(
+                DiagCode::BelowRoofline,
+                format!(
+                    "arithmetic intensity {:.3} FLOP/B is below the machine balance \
+                     ({:.1} FLOP/B on {}): memory-bound with {} redundant gather(s) — \
+                     apply `hoist_gathers`",
+                    sc.intensity,
+                    roof.balance_flops_per_byte(),
+                    roof.name,
+                    sc.redundant_gathers
+                ),
+                st.span,
+                &st.label,
+            ));
+        }
+    }
+    diags
+}
+
+// ------------------------------------------------------------------
+// Cost-regression gate (E0503)
+// ------------------------------------------------------------------
+
+/// One line of the checked-in cost baseline (`results/cost_baseline.json`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineEntry {
+    pub name: String,
+    /// Per-point lookup count of the optimized graph (gated exactly).
+    pub lookups_per_point: usize,
+    /// Predicted time of the optimized graph (gated with
+    /// [`TIME_REGRESSION_TOLERANCE`]).
+    pub predicted_time_s: f64,
+}
+
+/// Compare a current optimized-graph cost against its baseline entry.
+/// Returns `E0503` diagnostics on regression; empty when within bounds.
+pub fn check_regression(current: &ProgramCost, base: &BaselineEntry) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    if current.lookups_per_point > base.lookups_per_point {
+        diags.push(Diagnostic::new(
+            DiagCode::CostRegression,
+            format!(
+                "per-point index lookups regressed: {} now vs {} in the baseline",
+                current.lookups_per_point, base.lookups_per_point
+            ),
+            crate::loc::Span::synthetic(),
+            &base.name,
+        ));
+    }
+    let limit = base.predicted_time_s * (1.0 + TIME_REGRESSION_TOLERANCE);
+    if current.predicted_time_s > limit {
+        diags.push(Diagnostic::new(
+            DiagCode::CostRegression,
+            format!(
+                "predicted time regressed: {:.3} ms now vs {:.3} ms baseline (+{:.0}% tolerance)",
+                current.predicted_time_s * 1e3,
+                base.predicted_time_s * 1e3,
+                TIME_REGRESSION_TOLERANCE * 100.0
+            ),
+            crate::loc::Span::synthetic(),
+            &base.name,
+        ));
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::FieldIo;
+    use crate::parser::parse;
+    use crate::sdfg::Sdfg;
+
+    const EKINH: &str = r#"
+        kernel z_ekinh over cells
+          ekin(p,k) = w1(p) * kin(edge(p,0), k)
+                    + w2(p) * kin(edge(p,1), k)
+                    + w3(p) * kin(edge(p,2), k);
+          out(p,k)  = ekin(p,k) * w1(p) + kin(edge(p,0), k);
+        end
+    "#;
+
+    fn ekinh_ctx() -> AnalysisContext {
+        let mut ctx = AnalysisContext::new()
+            .domain("cells")
+            .relation("edge", "cells", "cells", 3);
+        for w in ["w1", "w2", "w3"] {
+            ctx = ctx.field(w, "cells", false, FieldIo::Input);
+        }
+        ctx.field("kin", "cells", true, FieldIo::Input)
+            .field("ekin", "cells", true, FieldIo::Output)
+            .field("out", "cells", true, FieldIo::Output)
+    }
+
+    fn ekinh_setup() -> (Sdfg, DomainSizes, AnalysisContext, Roofline) {
+        let sdfg = Sdfg::from_program("ekinh", &parse(EKINH).unwrap());
+        let sizes = DomainSizes::new(4).with("cells", 100);
+        (sdfg, sizes, ekinh_ctx(), Roofline::gh200_dace())
+    }
+
+    #[test]
+    fn naive_counts_match_the_naive_executor_rules() {
+        let (sdfg, sizes, ctx, roof) = ekinh_setup();
+        let inputs = CostInputs { ctx: &ctx, sizes: &sizes, elided_stores: &[] };
+        let cost = analyze_naive(&sdfg, &inputs, &roof);
+        // Statement 1: 6 reads (3 gathers), statement 2: 3 reads (1 gather),
+        // each over 100 points x 4 levels.
+        assert_eq!(cost.lookups_per_point, 4);
+        assert_eq!(cost.stats.map_launches, 2);
+        assert_eq!(cost.stats.index_lookups, 4 * 400);
+        assert_eq!(cost.stats.field_reads, 9 * 400);
+        assert_eq!(cost.stats.field_stores, 2 * 400);
+        assert!(cost.intensity < 1.0, "climate kernels are memory-bound");
+    }
+
+    #[test]
+    fn compiled_counts_dedup_and_forward() {
+        let (sdfg, sizes, ctx, roof) = ekinh_setup();
+        let fused = crate::transforms::fuse_maps(&sdfg);
+        assert_eq!(fused.states.len(), 1);
+        let inputs = CostInputs { ctx: &ctx, sizes: &sizes, elided_stores: &[] };
+        let cost = analyze_compiled(&fused, &inputs, &roof);
+        // Unique (edge,0..2) resolved once per point; kin(edge(p,0),k)
+        // collapses across the two tasklets; ekin(p,k) is forwarded.
+        assert_eq!(cost.lookups_per_point, 3);
+        assert_eq!(cost.stats.index_lookups, 3 * 100);
+        // Loads: 3 surface weights once/point + 3 gathered kin per
+        // (point, level); stores: 2 tasklets per (point, level).
+        assert_eq!(cost.stats.field_reads, 3 * 100 + 3 * 400);
+        assert_eq!(cost.stats.field_stores, 2 * 400);
+        assert_eq!(cost.redundant_gathers, 1, "kin(edge(p,0),k) repeats");
+    }
+
+    #[test]
+    fn working_set_uses_declared_shapes() {
+        let (sdfg, sizes, ctx, roof) = ekinh_setup();
+        let inputs = CostInputs { ctx: &ctx, sizes: &sizes, elided_stores: &[] };
+        let cost = analyze_naive(&sdfg, &inputs, &roof);
+        // State 0 touches w1,w2,w3 (2-D) + kin,ekin (3-D):
+        let s0 = &cost.states[0];
+        assert_eq!(s0.working_set_bytes, (3 * 100 + 2 * 400) as f64 * ELEM_BYTES);
+    }
+
+    #[test]
+    fn naive_predicts_slower_than_compiled() {
+        let (sdfg, sizes, ctx, roof) = ekinh_setup();
+        let inputs = CostInputs { ctx: &ctx, sizes: &sizes, elided_stores: &[] };
+        let naive = analyze_naive(&sdfg, &inputs, &roof);
+        let fused = crate::transforms::fuse_maps(&sdfg);
+        let compiled = analyze_compiled(&fused, &inputs, &roof);
+        assert!(naive.predicted_time_s > compiled.predicted_time_s);
+        assert!(naive.bytes > compiled.bytes);
+    }
+
+    #[test]
+    fn redundant_gather_fires_w0501_and_w0502() {
+        let (sdfg, sizes, ctx, roof) = ekinh_setup();
+        let fused = crate::transforms::fuse_maps(&sdfg);
+        let inputs = CostInputs { ctx: &ctx, sizes: &sizes, elided_stores: &[] };
+        let diags = perf_diagnostics(&fused, &inputs, &roof);
+        let w0501: Vec<_> = diags.iter().filter(|d| d.code == DiagCode::RedundantGather).collect();
+        assert_eq!(w0501.len(), 1);
+        assert!(w0501[0].message.contains("kin[edge(p,0), k]"), "{}", w0501[0].message);
+        assert!(!w0501[0].span.is_synthetic(), "anchored at the repeat");
+        assert!(diags.iter().any(|d| d.code == DiagCode::BelowRoofline));
+    }
+
+    #[test]
+    fn clean_graphs_produce_no_perf_diagnostics() {
+        let src = "kernel t over cells out(p,k) = kin(edge(p,0),k) + w1(p); end";
+        let sdfg = Sdfg::from_program("t", &parse(src).unwrap());
+        let (_, sizes, ctx, roof) = ekinh_setup();
+        let inputs = CostInputs { ctx: &ctx, sizes: &sizes, elided_stores: &[] };
+        assert!(perf_diagnostics(&sdfg, &inputs, &roof).is_empty());
+    }
+
+    #[test]
+    fn regression_gate_fires_on_worse_numbers_only() {
+        let (sdfg, sizes, ctx, roof) = ekinh_setup();
+        let inputs = CostInputs { ctx: &ctx, sizes: &sizes, elided_stores: &[] };
+        let cost = analyze_compiled(&sdfg, &inputs, &roof);
+        let good = BaselineEntry {
+            name: "ekinh".into(),
+            lookups_per_point: cost.lookups_per_point,
+            predicted_time_s: cost.predicted_time_s,
+        };
+        assert!(check_regression(&cost, &good).is_empty());
+
+        let tight = BaselineEntry {
+            name: "ekinh".into(),
+            lookups_per_point: cost.lookups_per_point - 1,
+            predicted_time_s: cost.predicted_time_s / 2.0,
+        };
+        let diags = check_regression(&cost, &tight);
+        assert_eq!(diags.len(), 2);
+        assert!(diags.iter().all(|d| d.code == DiagCode::CostRegression));
+        assert!(diags[0].message.contains("lookups regressed"));
+    }
+}

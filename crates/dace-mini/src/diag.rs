@@ -1,0 +1,75 @@
+//! Shared rustc-style diagnostic rendering.
+//!
+//! One place owns the textual shape of a [`Diagnostic`] — the compact
+//! one-liner (`Display` of [`Diagnostic`] delegates here) and the full
+//! form with a caret-annotated source snippet that `esm-lint` prints.
+//! Before this module the two renderings lived separately in
+//! `analysis.rs` and `crates/lint` and had already drifted; every new
+//! consumer (the perf diagnostics, `--json` output) goes through here.
+
+use crate::analysis::Diagnostic;
+use crate::loc::render_snippet;
+use std::fmt::Write as _;
+
+/// Compact one-line rendering:
+/// `severity[code]: message (in `state` at line:col)`.
+pub fn render(d: &Diagnostic) -> String {
+    format!(
+        "{}[{}]: {} (in `{}` at {})",
+        d.severity(),
+        d.code.code(),
+        d.message,
+        d.state,
+        d.span
+    )
+}
+
+/// Full rustc-style rendering: header line plus, when the diagnostic has
+/// a real span into a non-empty source, the caret snippet pointing at the
+/// offending access. `source_name` labels the snippet's `-->` line.
+pub fn render_with_source(source_name: &str, source: &str, d: &Diagnostic) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{}[{}]: {} (state `{}`)",
+        d.severity(),
+        d.code.code(),
+        d.message,
+        d.state
+    );
+    if !d.span.is_synthetic() && !source.is_empty() {
+        let _ = writeln!(out, "{}", render_snippet(source_name, source, d.span));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::DiagCode;
+    use crate::loc::Span;
+
+    fn diag(span: Span) -> Diagnostic {
+        Diagnostic::new(DiagCode::RedundantGather, "gather repeated", span, "s0")
+    }
+
+    #[test]
+    fn one_liner_matches_display() {
+        let d = diag(Span::new(2, 5, 3));
+        assert_eq!(render(&d), format!("{d}"));
+        assert!(render(&d).starts_with("warning[W0501]: gather repeated"));
+    }
+
+    #[test]
+    fn snippet_appears_only_with_a_real_span_and_source() {
+        let src = "line one\nkernel a over cells\n";
+        let with = render_with_source("t", src, &diag(Span::new(2, 1, 6)));
+        assert!(with.contains("--> t:2:1"), "{with}");
+        assert!(with.contains("^^^^^^"), "{with}");
+
+        let synthetic = render_with_source("t", src, &diag(Span::synthetic()));
+        assert!(!synthetic.contains("-->"));
+        let empty_src = render_with_source("t", "", &diag(Span::new(2, 1, 6)));
+        assert!(!empty_src.contains("-->"));
+    }
+}

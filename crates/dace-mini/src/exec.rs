@@ -267,6 +267,11 @@ struct CompiledTasklet {
     write_level: LevelIndex,
     /// Result register holding the computed value (for forwarding).
     result_reg: u16,
+    /// Store the result to memory. `false` only for hoisted transients
+    /// whose every consumer is served by forwarding
+    /// ([`CompiledSdfg::elide_transient_stores`]): the value lives in the
+    /// result register alone and the field needs no buffer at all.
+    store: bool,
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -320,6 +325,7 @@ pub fn compile(sdfg: &Sdfg) -> CompiledSdfg {
                     write_field: t.write.field.clone(),
                     write_level: t.write.level,
                     result_reg,
+                    store: true,
                 });
                 written.insert(
                     (t.write.field.clone(), t.write.level),
@@ -485,6 +491,32 @@ impl CompiledSdfg {
         self.states.len()
     }
 
+    /// Demote the given fields (the transients introduced by
+    /// `transforms::hoist_gathers`) to register-only values: their
+    /// tasklets still execute — forwarding serves every consumer — but
+    /// nothing is stored, so the fields need no [`DataContext`] buffer
+    /// and the run's memory traffic matches the un-hoisted graph's.
+    ///
+    /// Panics if any state still *loads* one of these fields from memory
+    /// (a consumer forwarding could not serve), which would change
+    /// results — the hoist transform guarantees this never holds.
+    pub fn elide_transient_stores(&mut self, transients: &[String]) {
+        for st in &mut self.states {
+            for l in &st.loads {
+                assert!(
+                    !transients.contains(&l.field),
+                    "transient '{}' is loaded from memory; its store cannot be elided",
+                    l.field
+                );
+            }
+            for t in &mut st.tasklets {
+                if transients.contains(&t.write_field) {
+                    t.store = false;
+                }
+            }
+        }
+    }
+
     /// How many states carry the entity-parallel schedule.
     pub fn n_parallel_states(&self) -> usize {
         self.states.iter().filter(|s| s.parallel).count()
@@ -509,8 +541,14 @@ fn run_state_parallel(
     let n = topo.domain_size(&st.domain);
     let nlev = if st.over_levels { data.nlev } else { 1 };
 
-    // Take the written buffers out of the context.
-    let mut written: Vec<String> = st.tasklets.iter().map(|t| t.write_field.clone()).collect();
+    // Take the written buffers out of the context (store-elided
+    // transients have no buffer and never reach memory).
+    let mut written: Vec<String> = st
+        .tasklets
+        .iter()
+        .filter(|t| t.store)
+        .map(|t| t.write_field.clone())
+        .collect();
     written.sort();
     written.dedup();
     let mut bufs: Vec<(String, FieldBuf)> = written
@@ -575,6 +613,9 @@ fn run_state_parallel(
                     for tl in &st.tasklets {
                         let v = eval_ops(&tl.ops, &regs, &mut stack);
                         regs[tl.result_reg as usize] = v;
+                        if !tl.store {
+                            continue;
+                        }
                         let fi = field_slot[tl.write_field.as_str()];
                         let stride = strides[fi];
                         let kk = match tl.write_level {
@@ -645,6 +686,9 @@ fn run_state(st: &CompiledState, topo: &TopologyContext, data: &mut DataContext,
             for t in &st.tasklets {
                 let v = eval_ops(&t.ops, regs, stack);
                 regs[t.result_reg as usize] = v;
+                if !t.store {
+                    continue;
+                }
                 let fb = data.field_mut(&t.write_field);
                 let kk = match t.write_level {
                     LevelIndex::Surface => 0,
@@ -807,6 +851,53 @@ mod tests {
         let (opt, _) = gh200_pipeline(&sdfg);
         compile(&opt).run(&topo, &mut d2);
         assert_eq!(d1, d2);
+    }
+
+    /// Repeated gathers of `kin` through edges 0 and 2 — the hoist
+    /// pass materializes both into transients.
+    const REPEATED: &str = r#"
+        kernel a over cells
+          ekin(p,k) = kin(edge(p,0),k) + kin(edge(p,2),k);
+          out(p,k)  = kin(edge(p,0),k) * kin(edge(p,2),k) + f1(edge(p,0),k);
+        end
+    "#;
+
+    #[test]
+    fn elided_transients_are_bitwise_exact_and_add_no_traffic() {
+        use crate::transforms::{fuse_maps, hoist_gathers, HoistOptions};
+        let prog = parse(REPEATED).unwrap();
+        let topo = ring_topology(23);
+        let mut d1 = data(23, 4);
+        let mut d2 = d1.clone();
+        let mut d3 = d1.clone();
+        run_naive(&prog, &topo, &mut d1);
+
+        let fused = fuse_maps(&Sdfg::from_program("a", &prog));
+        let plain_stats = compile(&fused).run(&topo, &mut d3);
+
+        let (hoisted, report) = hoist_gathers(&fused, &HoistOptions::default());
+        assert_eq!(report.transients.len(), 2);
+        let mut compiled = compile(&hoisted);
+        compiled.elide_transient_stores(&report.transient_names());
+        let stats = compiled.run(&topo, &mut d2);
+
+        // The transients never touch the DataContext, so full equality
+        // with the naive run holds — no extra buffers, no extra stores.
+        assert_eq!(d1, d2);
+        assert_eq!(
+            stats, plain_stats,
+            "hoist + elision must not change measured traffic vs the \
+             plain compiled run (gathers were already registers there)"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "loaded from memory")]
+    fn eliding_a_loaded_field_is_rejected() {
+        let prog = parse(EKINH).unwrap();
+        let fused = crate::transforms::fuse_maps(&Sdfg::from_program("e", &prog));
+        let mut compiled = compile(&fused);
+        compiled.elide_transient_stores(&["kin".to_string()]);
     }
 
     #[test]

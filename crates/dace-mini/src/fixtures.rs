@@ -26,6 +26,23 @@ pub struct Fixture {
     pub expect: Vec<DiagCode>,
 }
 
+/// A perf fixture for the static cost model: the fused kernel is run
+/// through [`crate::cost::perf_diagnostics`] (and, when `baseline` is
+/// set, [`crate::cost::check_regression`]) and must produce the
+/// expected codes.
+pub struct PerfFixture {
+    pub name: &'static str,
+    pub source: &'static str,
+    pub sdfg: Sdfg,
+    pub ctx: AnalysisContext,
+    pub sizes: crate::cost::DomainSizes,
+    /// Baseline to diff the compiled-model cost against (tampered low
+    /// for the regression fixture, so the gate must fire).
+    pub baseline: Option<crate::cost::BaselineEntry>,
+    /// Codes that MUST appear among the perf + regression diagnostics.
+    pub expect: Vec<DiagCode>,
+}
+
 /// A negative fixture for the fusion-legality check: states `pair.0`
 /// and `pair.1` must refuse to fuse with the given code.
 pub struct FusionFixture {
@@ -223,6 +240,55 @@ pub fn verifier_fixtures() -> Vec<Fixture> {
     ]
 }
 
+const REDUNDANT_GATHER_SRC: &str = r#"kernel wasteful over cells
+  out(p,k) = vn_e(edge(p,0),k) * vn_e(edge(p,0),k) + inp(p,k);
+  out2(p,k) = vn_e(edge(p,0),k) + vn_e(edge(p,1),k);
+end"#;
+
+const COST_REGRESSION_SRC: &str = r#"kernel honest over cells
+  out(p,k) = vn_e(edge(p,0),k) + inp(p,k) * th(p,k);
+end"#;
+
+fn perf_sizes() -> crate::cost::DomainSizes {
+    crate::cost::DomainSizes::new(30)
+        .with("cells", 20_000)
+        .with("edges", 30_000)
+}
+
+/// Perf fixtures for the cost-model diagnostics. The fused form of the
+/// redundant-gather kernel loads `vn_e[edge(p,0), k]` three times in one
+/// map body (W0501) and sits below the roofline balance point while
+/// doing so (W0502); the regression fixture is clean but is diffed
+/// against a baseline recorded with impossibly good numbers, so the
+/// E0503 gate must fire on both the lookup count and the predicted
+/// time.
+pub fn perf_fixtures() -> Vec<PerfFixture> {
+    vec![
+        PerfFixture {
+            name: "redundant_gather",
+            source: REDUNDANT_GATHER_SRC,
+            sdfg: lower("redundant_gather", REDUNDANT_GATHER_SRC),
+            ctx: base_ctx(),
+            sizes: perf_sizes(),
+            baseline: None,
+            expect: vec![DiagCode::RedundantGather, DiagCode::BelowRoofline],
+        },
+        PerfFixture {
+            name: "cost_regression",
+            source: COST_REGRESSION_SRC,
+            sdfg: lower("cost_regression", COST_REGRESSION_SRC),
+            ctx: base_ctx(),
+            sizes: perf_sizes(),
+            baseline: Some(crate::cost::BaselineEntry {
+                name: "cost_regression".into(),
+                lookups_per_point: 0,
+                predicted_time_s: 1e-12,
+            }),
+            expect: vec![DiagCode::CostRegression],
+        },
+    ]
+}
+
 /// Fusion-legality fixtures: each pair must refuse to fuse. Both were
 /// silently miscompiled by the pre-analysis `can_fuse` (the fused result
 /// diverged bitwise from the naive backend).
@@ -279,6 +345,39 @@ mod tests {
                 }
                 _ => {}
             }
+        }
+    }
+
+    #[test]
+    fn every_perf_fixture_triggers_its_codes() {
+        use crate::cost::{self, CostInputs};
+        use crate::transforms::fuse_maps;
+        let roof = machine::Roofline::gh200_dace();
+        for f in perf_fixtures() {
+            let fused = fuse_maps(&f.sdfg);
+            let inputs = CostInputs {
+                ctx: &f.ctx,
+                sizes: &f.sizes,
+                elided_stores: &[],
+            };
+            let mut diags = cost::perf_diagnostics(&fused, &inputs, &roof);
+            if let Some(base) = &f.baseline {
+                let cur = cost::analyze_compiled(&fused, &inputs, &roof);
+                diags.extend(cost::check_regression(&cur, base));
+            }
+            for code in &f.expect {
+                assert!(
+                    diags.iter().any(|d| d.code == *code),
+                    "perf fixture `{}` missing expected {:?}; got {:?}",
+                    f.name,
+                    code,
+                    diags
+                );
+            }
+            // Perf findings are never fabricated errors: the verifier
+            // still certifies these kernels as race-free.
+            let rep = verify_sdfg(&f.sdfg, &f.ctx);
+            assert!(rep.is_clean(), "perf fixture `{}` must verify clean", f.name);
         }
     }
 

@@ -38,6 +38,8 @@
 
 pub mod analysis;
 pub mod ast;
+pub mod cost;
+pub mod diag;
 pub mod exec;
 pub mod fixtures;
 pub mod loc;

@@ -88,6 +88,35 @@ impl Sdfg {
         }
     }
 
+    /// Reconstruct a runnable [`Program`] from a (possibly transformed)
+    /// graph: one kernel per state, statements in tasklet order. Tasklets
+    /// execute sequentially per point in both representations, so
+    /// `exec::run_naive` on the result realizes exactly this graph's
+    /// semantics — the cross-check used by the transform tests.
+    pub fn to_program(&self) -> Program {
+        Program {
+            kernels: self
+                .states
+                .iter()
+                .map(|s| Kernel {
+                    name: s.label.clone(),
+                    domain: s.map.domain.clone(),
+                    statements: s
+                        .map
+                        .tasklets
+                        .iter()
+                        .map(|t| Statement {
+                            target: t.write.clone(),
+                            expr: t.code.clone(),
+                            span: s.span,
+                        })
+                        .collect(),
+                    span: s.span,
+                })
+                .collect(),
+        }
+    }
+
     /// Number of map launches per execution (the kernel-launch count of
     /// the generated code).
     pub fn n_map_launches(&self) -> usize {

@@ -146,6 +146,15 @@ pub fn suite_context() -> crate::analysis::AnalysisContext {
     ctx
 }
 
+/// Representative extents for the static cost model: the 20k-cell
+/// mini-mesh the bench figures run on (30 levels). This is what
+/// `esm-lint --cost-report` scales the suite's per-point counts by.
+pub fn suite_sizes() -> crate::cost::DomainSizes {
+    crate::cost::DomainSizes::new(30)
+        .with("cells", 20_000)
+        .with("edges", 30_000)
+}
+
 /// Build the topology context from raw mesh tables:
 /// `cell_edges`/`cell_neighbors` have arity 3 (icosahedral triangles),
 /// `edge_cells` arity 2.
@@ -340,6 +349,100 @@ mod tests {
         assert!(compiled.n_parallel_states() > 0);
         compiled.run(&topo, &mut d2);
         assert_eq!(d1, d2, "certified parallel execution must agree bitwise");
+    }
+
+    #[test]
+    fn hoisted_pipeline_reaches_8x_and_stays_bitwise_identical() {
+        // The acceptance claim: >= 8x fewer per-point lookups after
+        // `hoist_gathers`, with the transformed execution bitwise equal
+        // to the naive one — on the full DataContext, since the elided
+        // transients never materialize in memory.
+        use crate::transforms::gh200_hoisted_pipeline;
+        let prog = dycore_program();
+        let topo = synthetic_topology(60);
+        let mut d1 = synthetic_data(&topo, 5, 42);
+        let mut d2 = d1.clone();
+        run_naive(&prog, &topo, &mut d1);
+
+        let sdfg = Sdfg::from_program("dycore", &prog);
+        let (hoisted, report) = gh200_hoisted_pipeline(&sdfg);
+        assert!(
+            report.reduction_factor() >= 8.0,
+            "only {:.2}x ({} -> {})",
+            report.reduction_factor(),
+            report.lookups_before,
+            report.lookups_after
+        );
+        assert!(report.states_hoisted >= 2, "cells and edges passes hoist");
+        assert!(!report.transients.is_empty());
+
+        let mut compiled = compile(&hoisted);
+        compiled.elide_transient_stores(&report.transient_names());
+        compiled.run(&topo, &mut d2);
+        assert_eq!(d1, d2, "hoisted execution must agree bitwise with naive");
+    }
+
+    #[test]
+    fn hoisted_suite_verifies_clean_and_runs_certified_parallel() {
+        use crate::analysis::verify_sdfg;
+        use crate::exec::compile_certified;
+        use crate::transforms::gh200_hoisted_pipeline;
+        let prog = dycore_program();
+        let sdfg = Sdfg::from_program("dycore", &prog);
+        let (hoisted, report) = gh200_hoisted_pipeline(&sdfg);
+        let ctx = report.declare(&suite_context());
+        let rep = verify_sdfg(&hoisted, &ctx);
+        assert!(
+            rep.is_clean(),
+            "hoisted suite must re-certify: {:#?}",
+            rep.errors().collect::<Vec<_>>()
+        );
+        assert!(rep.all_parallel_safe(), "{:?}", rep.states);
+
+        let topo = synthetic_topology(320);
+        let mut d1 = synthetic_data(&topo, 6, 3);
+        let mut d2 = d1.clone();
+        run_naive(&prog, &topo, &mut d1);
+        let mut compiled = compile_certified(&hoisted, &rep);
+        compiled.elide_transient_stores(&report.transient_names());
+        assert!(compiled.n_parallel_states() > 0);
+        compiled.run(&topo, &mut d2);
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn static_cost_model_predicts_executor_counters_exactly() {
+        // The exec-stats cross-check: both execution models' predicted
+        // counters equal the measured ones bit for bit.
+        use crate::cost::{self, CostInputs};
+        use crate::transforms::gh200_hoisted_pipeline;
+        let prog = dycore_program();
+        let topo = synthetic_topology(60);
+        let nlev = 5;
+        let sizes = cost::DomainSizes::new(nlev)
+            .with("cells", topo.domain_size("cells"))
+            .with("edges", topo.domain_size("edges"));
+        let ctx = suite_context();
+        let roof = machine::Roofline::gh200_dace();
+        let sdfg = Sdfg::from_program("dycore", &prog);
+
+        let mut d1 = synthetic_data(&topo, nlev, 7);
+        let mut d2 = d1.clone();
+        let naive_measured = run_naive(&prog, &topo, &mut d1);
+        let inputs = CostInputs { ctx: &ctx, sizes: &sizes, elided_stores: &[] };
+        let naive_pred = cost::analyze_naive(&sdfg, &inputs, &roof);
+        assert_eq!(naive_pred.stats, naive_measured, "naive model is exact");
+
+        let (hoisted, report) = gh200_hoisted_pipeline(&sdfg);
+        let names = report.transient_names();
+        let mut compiled = compile(&hoisted);
+        compiled.elide_transient_stores(&names);
+        let measured = compiled.run(&topo, &mut d2);
+        let hctx = report.declare(&ctx);
+        let hinputs = CostInputs { ctx: &hctx, sizes: &sizes, elided_stores: &names };
+        let pred = cost::analyze_compiled(&hoisted, &hinputs, &roof);
+        assert_eq!(pred.stats, measured, "compiled model is exact");
+        assert!(pred.predicted_time_s > 0.0 && pred.intensity > 0.0);
     }
 
     #[test]

@@ -1,0 +1,211 @@
+//! Property-based tests of the static cost model and the gather-hoist
+//! metaprogram (ISSUE: static_analysis, the 8x metaprogram).
+//!
+//! Two families over randomly generated *legal* kernels (pointwise
+//! writes, reads through a small access space so repeated gathers are
+//! common):
+//!
+//! 1. **Semantic preservation**: `hoist_gathers` output — with the
+//!    introduced transients store-elided — re-certifies under the
+//!    declared context and executes bitwise-identically to the naive
+//!    interpreter, sequentially and on the certified parallel path at
+//!    pool widths 1 and 4.
+//! 2. **Model exactness**: the executor's measured access counters
+//!    (launches, index lookups, reads, stores) equal the static cost
+//!    model's predictions, for both the naive and the compiled model —
+//!    so the model can never under-predict the paper's 8x metric.
+
+use dace_mini::analysis::{self, AnalysisContext, FieldIo};
+use dace_mini::cost::{self, CostInputs, DomainSizes};
+use dace_mini::exec::{compile, compile_certified, run_naive, FieldBuf};
+use dace_mini::parser::parse;
+use dace_mini::transforms::{fuse_maps, hoist_gathers, HoistOptions};
+use dace_mini::{suite, DataContext, Sdfg};
+use machine::Roofline;
+use proptest::prelude::*;
+
+const NLEV: usize = 4;
+const N_CELLS: usize = 64;
+
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.wrapping_mul(0x9E3779B97F4A7C15) | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+
+    fn pick(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+const INPUTS_3D: [&str; 3] = ["i0", "i1", "i2"];
+const INPUTS_2D: [&str; 1] = ["s0"];
+
+/// A random access drawn from a deliberately small space (3 fields x
+/// 3 points x 3 levels) so that repeated gathers — the hoist pass's
+/// subject — occur in most generated kernels.
+fn access(r: &mut Rng) -> String {
+    let choice = r.pick(8);
+    if choice == 0 {
+        return format!("{}(p)", INPUTS_2D[r.pick(INPUTS_2D.len())]);
+    }
+    let f = INPUTS_3D[r.pick(INPUTS_3D.len())];
+    let point = match r.pick(3) {
+        0 => "p".to_string(),
+        n => format!("neighbor(p,{})", n - 1),
+    };
+    let level = match r.pick(8) {
+        0 => "k+1",
+        1 => "k-1",
+        _ => "k",
+    };
+    format!("{f}({point},{level})")
+}
+
+/// Generate a random legal kernel: statement `i` writes `oi(p,k)`.
+fn legal_kernel(seed: u64) -> (String, usize) {
+    let mut r = Rng::new(seed);
+    let n_stmts = 2 + r.pick(3);
+    let mut src = String::from("kernel gen over cells\n");
+    for i in 0..n_stmts {
+        let terms: Vec<String> = (0..(1 + r.pick(4))).map(|_| access(&mut r)).collect();
+        src.push_str(&format!("  o{i}(p,k) = {};\n", terms.join(" + ")));
+    }
+    src.push_str("end\n");
+    (src, n_stmts)
+}
+
+fn gen_ctx(n_stmts: usize) -> AnalysisContext {
+    let mut ctx = AnalysisContext::new()
+        .domain("cells")
+        .relation("neighbor", "cells", "cells", 3)
+        .with_halo(1)
+        .with_nlev(NLEV);
+    for f in INPUTS_3D {
+        ctx = ctx.field(f, "cells", true, FieldIo::Input);
+    }
+    for f in INPUTS_2D {
+        ctx = ctx.field(f, "cells", false, FieldIo::Input);
+    }
+    for i in 0..n_stmts {
+        ctx = ctx.field(&format!("o{i}"), "cells", true, FieldIo::Output);
+    }
+    ctx
+}
+
+fn gen_data(n_stmts: usize, seed: u64) -> DataContext {
+    let mut d = DataContext::new(NLEV);
+    let mut r = Rng::new(seed ^ 0xD1F7);
+    for f in INPUTS_3D {
+        let mut buf = FieldBuf::zeros(N_CELLS, NLEV);
+        for v in buf.data.iter_mut() {
+            *v = (r.next() >> 11) as f64 / (1u64 << 53) as f64 + 0.25;
+        }
+        d.add(f, buf);
+    }
+    for f in INPUTS_2D {
+        let mut buf = FieldBuf::zeros(N_CELLS, 1);
+        for v in buf.data.iter_mut() {
+            *v = (r.next() >> 11) as f64 / (1u64 << 53) as f64 + 0.25;
+        }
+        d.add(f, buf);
+    }
+    for i in 0..n_stmts {
+        d.add(format!("o{i}"), FieldBuf::zeros(N_CELLS, NLEV));
+    }
+    d
+}
+
+fn set_width(n: usize) {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(n)
+        .build_global()
+        .expect("shim build_global is infallible");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Family 1: hoisting + store elision preserves semantics bitwise,
+    /// sequentially and in parallel at widths 1 and 4.
+    #[test]
+    fn hoisted_kernels_run_bitwise_identical_across_widths(seed in 0u64..1_000_000) {
+        let (src, n_stmts) = legal_kernel(seed);
+        let prog = parse(&src).unwrap();
+        let sdfg = Sdfg::from_program("gen", &prog);
+        let ctx = gen_ctx(n_stmts);
+
+        let fused = fuse_maps(&sdfg);
+        let (hoisted, report) = hoist_gathers(&fused, &HoistOptions::default());
+        let hctx = report.declare(&ctx);
+        let hreport = analysis::verify_sdfg(&hoisted, &hctx);
+        prop_assert!(hreport.is_clean(), "hoisted kernel rejected:\n{src}\n{:?}",
+            hreport.errors().collect::<Vec<_>>());
+        prop_assert!(hreport.all_parallel_safe(), "{src}");
+
+        let topo = suite::synthetic_topology(N_CELLS);
+        let elided = report.transient_names();
+        let mut d_naive = gen_data(n_stmts, seed);
+        run_naive(&prog, &topo, &mut d_naive);
+
+        let mut compiled = compile(&hoisted);
+        compiled.elide_transient_stores(&elided);
+        let mut d_seq = gen_data(n_stmts, seed);
+        compiled.run(&topo, &mut d_seq);
+        prop_assert_eq!(&d_naive, &d_seq, "hoisted/sequential diverged:\n{}", &src);
+
+        for width in [1usize, 4] {
+            set_width(width);
+            let mut cp = compile_certified(&hoisted, &hreport);
+            cp.elide_transient_stores(&elided);
+            let mut d_par = gen_data(n_stmts, seed);
+            cp.run(&topo, &mut d_par);
+            prop_assert_eq!(&d_naive, &d_par,
+                "hoisted/parallel diverged at width {}:\n{}", width, &src);
+        }
+    }
+
+    /// Family 2: the static cost model's predicted counters equal the
+    /// measured ones — naive model vs interpreter, compiled model vs
+    /// bytecode executor on the fused + hoisted + store-elided graph.
+    #[test]
+    fn measured_counters_equal_static_predictions(seed in 0u64..1_000_000) {
+        let (src, n_stmts) = legal_kernel(seed);
+        let prog = parse(&src).unwrap();
+        let sdfg = Sdfg::from_program("gen", &prog);
+        let ctx = gen_ctx(n_stmts);
+        let sizes = DomainSizes::new(NLEV).with("cells", N_CELLS);
+        let roof = Roofline::gh200_dace();
+        let topo = suite::synthetic_topology(N_CELLS);
+
+        let mut d1 = gen_data(n_stmts, seed);
+        let measured_naive = run_naive(&prog, &topo, &mut d1);
+        let inputs = CostInputs { ctx: &ctx, sizes: &sizes, elided_stores: &[] };
+        let pred_naive = cost::analyze_naive(&sdfg, &inputs, &roof);
+        prop_assert_eq!(pred_naive.stats, measured_naive, "naive model diverged:\n{}", &src);
+
+        let fused = fuse_maps(&sdfg);
+        let (hoisted, report) = hoist_gathers(&fused, &HoistOptions::default());
+        let elided = report.transient_names();
+        let mut compiled = compile(&hoisted);
+        compiled.elide_transient_stores(&elided);
+        let mut d2 = gen_data(n_stmts, seed);
+        let measured = compiled.run(&topo, &mut d2);
+        let hctx = report.declare(&ctx);
+        let hinputs = CostInputs { ctx: &hctx, sizes: &sizes, elided_stores: &elided };
+        let pred = cost::analyze_compiled(&hoisted, &hinputs, &roof);
+        prop_assert_eq!(pred.stats, measured, "compiled model diverged:\n{}", &src);
+
+        // In particular the model can never under-count the lookups the
+        // headline 8x ratio is built from.
+        prop_assert!(pred.stats.index_lookups >= measured.index_lookups);
+    }
+}

@@ -58,6 +58,15 @@ pub fn dsl_relations() -> Vec<(&'static str, &'static str, &'static str, usize)>
 /// Soil columns read one level up/down (percolation, heat flux).
 pub const DSL_HALO: i32 = 1;
 
+/// Soil layers assumed by the static cost model.
+pub const DSL_NLEV: usize = 5;
+
+/// Representative horizontal extents for the static cost model:
+/// `(domain, entities)` — land columns sit under the same cell grid.
+pub fn dsl_sizes() -> Vec<(&'static str, usize)> {
+    vec![("cells", 20_480)]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -11,13 +11,13 @@
 //! finding goes undetected — the lint gate proves both "the kernels are
 //! clean" and "the analyzer still catches what it must".
 
-use dace_mini::analysis::{
-    fusion_legality, verify_sdfg, AnalysisContext, Certification, Diagnostic, FieldIo, Severity,
-};
-use dace_mini::loc::render_snippet;
+use dace_mini::analysis::{fusion_legality, verify_sdfg, AnalysisContext, Certification, Diagnostic, FieldIo};
+use dace_mini::cost::{self, BaselineEntry, CostInputs, ProgramCost};
 use dace_mini::parser::parse;
-use dace_mini::transforms::gh200_pipeline;
+use dace_mini::transforms::{fuse_maps, gh200_hoisted_pipeline, gh200_pipeline};
 use dace_mini::{suite, Sdfg};
+use machine::Roofline;
+use serde_json::{json, Value};
 use std::fmt::Write as _;
 
 /// One lintable kernel suite.
@@ -26,6 +26,16 @@ pub struct LintTarget {
     pub source: String,
     pub sdfg: Sdfg,
     pub ctx: AnalysisContext,
+    /// Representative domain extents for the static cost model.
+    pub sizes: cost::DomainSizes,
+}
+
+fn sizes_from(table: &[(&'static str, usize)], nlev: usize) -> cost::DomainSizes {
+    let mut s = cost::DomainSizes::new(nlev);
+    for (domain, n) in table {
+        s = s.with(domain, *n);
+    }
+    s
 }
 
 fn ctx_from_tables(
@@ -61,6 +71,7 @@ pub fn builtin_targets() -> Vec<LintTarget> {
         source: suite::DYCORE_SRC.to_string(),
         sdfg: Sdfg::from_program("dycore", &suite::dycore_program()),
         ctx: suite::suite_context(),
+        sizes: suite::suite_sizes(),
     });
 
     let atmo_prog = parse(atmo::dsl::DSL_SRC).expect("atmo DSL parses");
@@ -69,6 +80,7 @@ pub fn builtin_targets() -> Vec<LintTarget> {
         source: atmo::dsl::DSL_SRC.to_string(),
         sdfg: Sdfg::from_program("atmo", &atmo_prog),
         ctx: ctx_from_tables(&atmo::dsl::dsl_fields(), &atmo::dsl::dsl_relations(), atmo::dsl::DSL_HALO),
+        sizes: sizes_from(&atmo::dsl::dsl_sizes(), atmo::dsl::DSL_NLEV),
     });
 
     let land_prog = parse(land::dsl::DSL_SRC).expect("land DSL parses");
@@ -77,22 +89,16 @@ pub fn builtin_targets() -> Vec<LintTarget> {
         source: land::dsl::DSL_SRC.to_string(),
         sdfg: Sdfg::from_program("land", &land_prog),
         ctx: ctx_from_tables(&land::dsl::dsl_fields(), &land::dsl::dsl_relations(), land::dsl::DSL_HALO),
+        sizes: sizes_from(&land::dsl::dsl_sizes(), land::dsl::DSL_NLEV),
     });
 
     targets
 }
 
-/// Render one diagnostic rustc-style into `out`.
+/// Render one diagnostic rustc-style into `out` (shared renderer —
+/// `dace_mini::diag` owns the textual shape).
 pub fn render_diagnostic(out: &mut String, target: &LintTarget, d: &Diagnostic) {
-    let code = d.code.code();
-    let sev = match d.severity() {
-        Severity::Error => "error",
-        Severity::Warning => "warning",
-    };
-    let _ = writeln!(out, "{sev}[{code}]: {} (state `{}`)", d.message, d.state);
-    if !d.span.is_synthetic() && !target.source.is_empty() {
-        let _ = writeln!(out, "{}", render_snippet(target.name, &target.source, d.span));
-    }
+    out.push_str(&dace_mini::diag::render_with_source(target.name, &target.source, d));
 }
 
 /// Outcome of a full lint run.
@@ -120,11 +126,19 @@ impl LintSummary {
 pub fn run_lint(out: &mut String) -> LintSummary {
     let mut summary = LintSummary::default();
 
+    let roof = Roofline::gh200_dace();
     for target in builtin_targets() {
         summary.targets += 1;
         let (fused, _) = gh200_pipeline(&target.sdfg);
-        for (phase, graph) in [("source", &target.sdfg), ("gh200", &fused)] {
-            let report = verify_sdfg(graph, &target.ctx);
+        let (hoisted, hoist) = gh200_hoisted_pipeline(&target.sdfg);
+        let hoisted_ctx = hoist.declare(&target.ctx);
+        let phases = [
+            ("source", &target.sdfg, &target.ctx),
+            ("gh200", &fused, &target.ctx),
+            ("hoisted", &hoisted, &hoisted_ctx),
+        ];
+        for (phase, graph, ctx) in phases {
+            let report = verify_sdfg(graph, ctx);
             let n_err = report.errors().count();
             let n_warn = report.warnings().count();
             summary.errors += n_err;
@@ -139,7 +153,7 @@ pub fn run_lint(out: &mut String) -> LintSummary {
             }
             let _ = writeln!(
                 out,
-                "  [{phase:>6}] {}: {} states, {} ParallelSafe, {n_err} errors, {n_warn} warnings",
+                "  [{phase:>7}] {}: {} states, {} ParallelSafe, {n_err} errors, {n_warn} warnings",
                 target.name,
                 report.states.len(),
                 report
@@ -151,6 +165,27 @@ pub fn run_lint(out: &mut String) -> LintSummary {
             for d in &report.diagnostics {
                 render_diagnostic(out, &target, d);
             }
+        }
+
+        // Perf findings on the fused (pre-hoist) graph: redundant
+        // gathers the metaprogram would eliminate, and scopes sitting
+        // below the roofline balance point while re-gathering.
+        let inputs = CostInputs {
+            ctx: &target.ctx,
+            sizes: &target.sizes,
+            elided_stores: &[],
+        };
+        let perf = cost::perf_diagnostics(&fused, &inputs, &roof);
+        summary.warnings += perf.len();
+        let _ = writeln!(
+            out,
+            "  [   perf] {}: {} findings, {:.2}x lookup reduction available",
+            target.name,
+            perf.len(),
+            hoist.reduction_factor(),
+        );
+        for d in &perf {
+            render_diagnostic(out, &target, d);
         }
     }
 
@@ -174,6 +209,35 @@ fn run_fixtures(out: &mut String, summary: &mut LintSummary) {
         if missing.is_empty() {
             let codes: Vec<&str> = f.expect.iter().map(|c| c.code()).collect();
             let _ = writeln!(out, "    {:<28} rejected as expected ({})", f.name, codes.join(", "));
+        } else {
+            summary
+                .fixture_failures
+                .push(format!("{}: expected {} not reported", f.name, missing.join(", ")));
+            let _ = writeln!(out, "    {:<28} MISSED {}", f.name, missing.join(", "));
+        }
+    }
+    let roof = Roofline::gh200_dace();
+    for f in dace_mini::fixtures::perf_fixtures() {
+        let fused = fuse_maps(&f.sdfg);
+        let inputs = CostInputs {
+            ctx: &f.ctx,
+            sizes: &f.sizes,
+            elided_stores: &[],
+        };
+        let mut diags = cost::perf_diagnostics(&fused, &inputs, &roof);
+        if let Some(base) = &f.baseline {
+            let cur = cost::analyze_compiled(&fused, &inputs, &roof);
+            diags.extend(cost::check_regression(&cur, base));
+        }
+        let missing: Vec<&str> = f
+            .expect
+            .iter()
+            .filter(|c| !diags.iter().any(|d| d.code == **c))
+            .map(|c| c.code())
+            .collect();
+        if missing.is_empty() {
+            let codes: Vec<&str> = f.expect.iter().map(|c| c.code()).collect();
+            let _ = writeln!(out, "    {:<28} flagged as expected ({})", f.name, codes.join(", "));
         } else {
             summary
                 .fixture_failures
@@ -211,6 +275,267 @@ fn run_fixtures(out: &mut String, summary: &mut LintSummary) {
     }
 }
 
+// ------------------------------------------------------------------
+// Cost report (`esm-lint --cost-report`) and the regression baseline
+// ------------------------------------------------------------------
+
+/// Cost-model evaluation of one target: the naive (OpenACC-style)
+/// execution of the source graph vs the compiled execution of the
+/// fused + hoisted graph with store-elided transients.
+pub struct CostRow {
+    pub name: String,
+    pub naive: ProgramCost,
+    pub optimized: ProgramCost,
+    /// Per-access lookups on the source graph (what the naive backend
+    /// resolves) vs unique resolutions on the optimized graph — the
+    /// §5.2 headline ratio.
+    pub lookups_before: usize,
+    pub lookups_after: usize,
+    pub reduction: f64,
+    pub transients: usize,
+    pub refusals: usize,
+}
+
+/// Evaluate the static cost model on every builtin target.
+pub fn cost_report() -> Vec<CostRow> {
+    let roof = Roofline::gh200_dace();
+    builtin_targets()
+        .iter()
+        .map(|t| {
+            let inputs = CostInputs {
+                ctx: &t.ctx,
+                sizes: &t.sizes,
+                elided_stores: &[],
+            };
+            let naive = cost::analyze_naive(&t.sdfg, &inputs, &roof);
+            let (hoisted, hoist) = gh200_hoisted_pipeline(&t.sdfg);
+            let hoisted_ctx = hoist.declare(&t.ctx);
+            let elided = hoist.transient_names();
+            let hinputs = CostInputs {
+                ctx: &hoisted_ctx,
+                sizes: &t.sizes,
+                elided_stores: &elided,
+            };
+            let optimized = cost::analyze_compiled(&hoisted, &hinputs, &roof);
+            CostRow {
+                name: t.name.to_string(),
+                lookups_before: hoist.lookups_before,
+                lookups_after: hoist.lookups_after,
+                reduction: hoist.reduction_factor(),
+                transients: hoist.transients.len(),
+                refusals: hoist.refusals.len(),
+                naive,
+                optimized,
+            }
+        })
+        .collect()
+}
+
+fn stats_json(s: &dace_mini::ExecStats) -> Value {
+    json!({
+        "map_launches": s.map_launches,
+        "index_lookups": s.index_lookups,
+        "field_reads": s.field_reads,
+        "field_stores": s.field_stores,
+    })
+}
+
+fn program_cost_json(c: &ProgramCost) -> Value {
+    let states: Vec<Value> = c
+        .states
+        .iter()
+        .map(|s| {
+            json!({
+                "label": s.label,
+                "domain": s.domain,
+                "entities": s.entities,
+                "levels": s.levels,
+                "lookups_per_point": s.lookups_per_point,
+                "redundant_gathers": s.redundant_gathers,
+                "flops": s.flops,
+                "direct_bytes": s.direct_bytes,
+                "indirect_bytes": s.indirect_bytes,
+                "lookup_bytes": s.lookup_bytes,
+                "working_set_bytes": s.working_set_bytes,
+                "stats": stats_json(&s.stats),
+                "predicted_time_s": s.predicted_time_s,
+                "intensity": s.intensity,
+            })
+        })
+        .collect();
+    json!({
+        "model": c.model,
+        "lookups_per_point": c.lookups_per_point,
+        "redundant_gathers": c.redundant_gathers,
+        "flops": c.flops,
+        "bytes": c.bytes,
+        "working_set_bytes": c.working_set_bytes,
+        "stats": stats_json(&c.stats),
+        "predicted_time_s": c.predicted_time_s,
+        "intensity": c.intensity,
+        "states": states,
+    })
+}
+
+/// The full machine-readable report (`results/cost_model.json`).
+pub fn cost_report_json(rows: &[CostRow]) -> Value {
+    let roof = Roofline::gh200_dace();
+    let targets: Vec<Value> = rows
+        .iter()
+        .map(|r| {
+            json!({
+                "name": r.name,
+                "lookups_before": r.lookups_before,
+                "lookups_after": r.lookups_after,
+                "reduction_factor": r.reduction,
+                "transients": r.transients,
+                "refusals": r.refusals,
+                "naive": program_cost_json(&r.naive),
+                "optimized": program_cost_json(&r.optimized),
+            })
+        })
+        .collect();
+    json!({
+        "machine": roof.name,
+        "balance_flops_per_byte": roof.balance_flops_per_byte(),
+        "targets": targets,
+    })
+}
+
+/// The regression baseline (`results/cost_baseline.json`): one entry
+/// per target with the two gated quantities of the optimized graph.
+pub fn baseline_json(rows: &[CostRow]) -> Value {
+    let targets: Vec<Value> = rows
+        .iter()
+        .map(|r| {
+            json!({
+                "name": r.name,
+                "lookups_per_point": r.optimized.lookups_per_point,
+                "predicted_time_s": r.optimized.predicted_time_s,
+            })
+        })
+        .collect();
+    json!({ "targets": targets })
+}
+
+fn extract_str(block: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":");
+    let rest = block[block.find(&pat)? + pat.len()..].trim_start();
+    let rest = rest.strip_prefix('"')?;
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+fn extract_num(block: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let rest = block[block.find(&pat)? + pat.len()..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Parse a baseline file back into entries. The serde_json stand-in has
+/// no parser, so this reads exactly the flat shape [`baseline_json`]
+/// writes: one `{ "name": ..., "lookups_per_point": ...,
+/// "predicted_time_s": ... }` object per target.
+pub fn parse_baseline(text: &str) -> Vec<BaselineEntry> {
+    let mut out = Vec::new();
+    for block in text.split('{').skip(1) {
+        let block = block.split('}').next().unwrap_or("");
+        let (Some(name), Some(lookups), Some(time)) = (
+            extract_str(block, "name"),
+            extract_num(block, "lookups_per_point"),
+            extract_num(block, "predicted_time_s"),
+        ) else {
+            continue;
+        };
+        out.push(BaselineEntry {
+            name,
+            lookups_per_point: lookups as usize,
+            predicted_time_s: time,
+        });
+    }
+    out
+}
+
+/// Diff a cost report against the checked-in baseline. Returns the
+/// human-readable findings and the number of gate failures (E0503
+/// regressions plus targets with no baseline entry).
+pub fn diff_against_baseline(rows: &[CostRow], baseline: &[BaselineEntry]) -> (String, usize) {
+    let mut out = String::new();
+    let mut failures = 0;
+    for r in rows {
+        match baseline.iter().find(|b| b.name == r.name) {
+            None => {
+                failures += 1;
+                let _ = writeln!(
+                    out,
+                    "error[E0503]: target `{}` has no baseline entry; \
+                     regenerate with --write-baseline",
+                    r.name
+                );
+            }
+            Some(base) => {
+                let diags = cost::check_regression(&r.optimized, base);
+                failures += diags.len();
+                if diags.is_empty() {
+                    let _ = writeln!(
+                        out,
+                        "  {:<14} within baseline ({} lookups/pt, {:.3e} s)",
+                        r.name, base.lookups_per_point, base.predicted_time_s
+                    );
+                }
+                for d in &diags {
+                    let _ = writeln!(out, "{}", dace_mini::diag::render(d));
+                }
+            }
+        }
+    }
+    (out, failures)
+}
+
+/// Human-readable cost table for the terminal.
+pub fn render_cost_table(rows: &[CostRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "  {:<14} {:>9} {:>9} {:>9} {:>12} {:>12} {:>9}",
+        "target", "lkups/pt", "deduped", "reduction", "naive [s]", "opt [s]", "AI [f/B]"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "  {:<14} {:>9} {:>9} {:>8.2}x {:>12.3e} {:>12.3e} {:>9.3}",
+            r.name,
+            r.lookups_before,
+            r.lookups_after,
+            r.reduction,
+            r.naive.predicted_time_s,
+            r.optimized.predicted_time_s,
+            r.optimized.intensity,
+        );
+    }
+    out
+}
+
+/// Machine-readable lint summary (`esm-lint --json`).
+pub fn lint_summary_json(summary: &LintSummary) -> Value {
+    let failures: Vec<Value> = summary
+        .fixture_failures
+        .iter()
+        .map(|f| json!(f))
+        .collect();
+    json!({
+        "targets": summary.targets,
+        "errors": summary.errors,
+        "warnings": summary.warnings,
+        "states_total": summary.states_total,
+        "states_parallel_safe": summary.states_parallel_safe,
+        "fixture_failures": failures,
+        "clean": summary.clean(),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -230,6 +555,58 @@ mod tests {
         let suite = &targets[0];
         let report = verify_sdfg(&suite.sdfg, &suite.ctx);
         assert!(report.all_parallel_safe());
+    }
+
+    #[test]
+    fn cost_report_shows_the_papers_8x_on_the_dycore() {
+        let rows = cost_report();
+        let dycore = rows.iter().find(|r| r.name == "dycore-suite").unwrap();
+        assert!(
+            dycore.reduction >= 8.0,
+            "dycore lookup reduction {:.2}x below the paper's 8x",
+            dycore.reduction
+        );
+        assert_eq!(dycore.optimized.lookups_per_point, dycore.lookups_after);
+        assert!(dycore.transients > 0 && dycore.optimized.redundant_gathers == 0);
+        assert!(dycore.optimized.predicted_time_s < dycore.naive.predicted_time_s);
+    }
+
+    #[test]
+    fn baseline_roundtrips_and_gates_regressions() {
+        let rows = cost_report();
+        let text = serde_json::to_string_pretty(&baseline_json(&rows)).unwrap();
+        let parsed = parse_baseline(&text);
+        assert_eq!(parsed.len(), rows.len());
+        let (out, failures) = diff_against_baseline(&rows, &parsed);
+        assert_eq!(failures, 0, "{out}");
+
+        let mut tampered = parsed.clone();
+        tampered[0].lookups_per_point = 0;
+        tampered[0].predicted_time_s /= 100.0;
+        let (out, failures) = diff_against_baseline(&rows, &tampered);
+        assert_eq!(failures, 2, "lookups and time must both gate:\n{out}");
+        assert!(out.contains("E0503"), "{out}");
+
+        let (_, failures) = diff_against_baseline(&rows, &[]);
+        assert_eq!(failures, rows.len(), "missing entries fail the gate");
+    }
+
+    #[test]
+    fn checked_in_baseline_is_current() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/cost_baseline.json");
+        let text = std::fs::read_to_string(path)
+            .expect("results/cost_baseline.json must be checked in (esm-lint --cost-report --write-baseline)");
+        let (out, failures) = diff_against_baseline(&cost_report(), &parse_baseline(&text));
+        assert_eq!(failures, 0, "cost regression vs checked-in baseline:\n{out}");
+    }
+
+    #[test]
+    fn json_summary_round_trips_the_gate_state() {
+        let mut out = String::new();
+        let summary = run_lint(&mut out);
+        let text = serde_json::to_string_pretty(&lint_summary_json(&summary)).unwrap();
+        assert!(text.contains("\"clean\": true"), "{text}");
+        assert!(text.contains("\"targets\": 3"), "{text}");
     }
 
     #[test]

@@ -1,13 +1,78 @@
-//! `esm-lint` — static dataflow verification gate.
+//! `esm-lint` — static dataflow verification and performance gate.
 //!
-//! Verifies every registered kernel suite with the dace-mini analyzer
-//! and exercises the negative fixtures. Exit code 0 only when all
-//! shipped kernels lint clean AND every deliberately-broken fixture is
-//! rejected with its expected diagnostic.
+//! Default mode verifies every registered kernel suite with the
+//! dace-mini analyzer, reports perf findings from the static cost
+//! model, and exercises the negative fixtures. Exit code 0 only when
+//! all shipped kernels lint clean AND every deliberately-broken
+//! fixture is rejected with its expected diagnostic.
+//!
+//! Flags:
+//!
+//! * `--cost-report` — evaluate the static cost model on every target
+//!   (naive vs fused+hoisted execution), write the full report to
+//!   `results/cost_model.json`, and diff the optimized costs against
+//!   the checked-in `results/cost_baseline.json`; any E0503 regression
+//!   (or missing baseline entry) fails the run.
+//! * `--write-baseline` — with `--cost-report`, refresh
+//!   `results/cost_baseline.json` instead of diffing against it.
+//! * `--json` — additionally print the machine-readable summary (lint
+//!   mode) or the full cost report (cost mode) to stdout.
 
 use std::process::ExitCode;
 
-fn main() -> ExitCode {
+const COST_REPORT_PATH: &str = "results/cost_model.json";
+const BASELINE_PATH: &str = "results/cost_baseline.json";
+
+fn cost_mode(write_baseline: bool, json: bool) -> ExitCode {
+    let rows = esm_lint::cost_report();
+    let report = esm_lint::cost_report_json(&rows);
+    let text = serde_json::to_string_pretty(&report).expect("report serializes");
+    if let Err(e) = std::fs::create_dir_all("results")
+        .and_then(|()| std::fs::write(COST_REPORT_PATH, &text))
+    {
+        eprintln!("esm-lint: cannot write {COST_REPORT_PATH}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("esm-lint: static cost model ({} targets)", rows.len());
+    print!("{}", esm_lint::render_cost_table(&rows));
+    println!("esm-lint: wrote {COST_REPORT_PATH}");
+    if json {
+        println!("{text}");
+    }
+
+    if write_baseline {
+        let base = serde_json::to_string_pretty(&esm_lint::baseline_json(&rows))
+            .expect("baseline serializes");
+        if let Err(e) = std::fs::write(BASELINE_PATH, base) {
+            eprintln!("esm-lint: cannot write {BASELINE_PATH}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("esm-lint: wrote {BASELINE_PATH}");
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = match std::fs::read_to_string(BASELINE_PATH) {
+        Ok(text) => esm_lint::parse_baseline(&text),
+        Err(e) => {
+            eprintln!(
+                "esm-lint: cannot read {BASELINE_PATH} ({e}); \
+                 run with --write-baseline to create it"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let (out, failures) = esm_lint::diff_against_baseline(&rows, &baseline);
+    print!("{out}");
+    if failures == 0 {
+        println!("esm-lint: cost gate PASS");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("esm-lint: cost gate FAIL ({failures} regressions)");
+        ExitCode::FAILURE
+    }
+}
+
+fn lint_mode(json: bool) -> ExitCode {
     let mut out = String::new();
     out.push_str("esm-lint: static dataflow verification\n");
     let summary = esm_lint::run_lint(&mut out);
@@ -21,6 +86,11 @@ fn main() -> ExitCode {
         summary.warnings,
         summary.fixture_failures.len()
     );
+    if json {
+        let text = serde_json::to_string_pretty(&esm_lint::lint_summary_json(&summary))
+            .expect("summary serializes");
+        println!("{text}");
+    }
     if summary.clean() {
         println!("esm-lint: PASS");
         ExitCode::SUCCESS
@@ -30,5 +100,35 @@ fn main() -> ExitCode {
         }
         eprintln!("esm-lint: FAIL");
         ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cost = false;
+    let mut write_baseline = false;
+    let mut json = false;
+    for a in &args {
+        match a.as_str() {
+            "--cost-report" => cost = true,
+            "--write-baseline" => write_baseline = true,
+            "--json" => json = true,
+            other => {
+                eprintln!(
+                    "esm-lint: unknown flag `{other}` \
+                     (expected --cost-report, --write-baseline, --json)"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if write_baseline && !cost {
+        eprintln!("esm-lint: --write-baseline requires --cost-report");
+        return ExitCode::FAILURE;
+    }
+    if cost {
+        cost_mode(write_baseline, json)
+    } else {
+        lint_mode(json)
     }
 }

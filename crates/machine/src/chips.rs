@@ -11,6 +11,10 @@ pub struct GpuSpec {
     /// Peak DRAM bandwidth (GB/s). The paper assumes 4 TiB/s for a 100 %
     /// busy GH200 DRAM.
     pub peak_bw_gbs: f64,
+    /// Peak vector FP64 throughput (GFLOP/s), no tensor cores: the
+    /// compute ceiling of the roofline the static cost model evaluates
+    /// kernels against.
+    pub peak_fp64_gflops: f64,
     /// Nominal power draw at full load (W).
     pub max_power_w: f64,
 }
@@ -20,6 +24,7 @@ pub const HOPPER: GpuSpec = GpuSpec {
     name: "H100 (GH200)",
     mem_gib: 96.0,
     peak_bw_gbs: 4096.0,
+    peak_fp64_gflops: 34_000.0,
     max_power_w: 700.0,
 };
 
@@ -28,6 +33,7 @@ pub const A100: GpuSpec = GpuSpec {
     name: "A100-80GB",
     mem_gib: 80.0,
     peak_bw_gbs: 2039.0,
+    peak_fp64_gflops: 9_700.0,
     max_power_w: 400.0,
 };
 
@@ -40,6 +46,8 @@ pub struct CpuSpec {
     pub mem_gib: f64,
     /// Peak memory bandwidth (GB/s).
     pub peak_bw_gbs: f64,
+    /// Peak vector FP64 throughput (GFLOP/s) across all cores.
+    pub peak_fp64_gflops: f64,
     /// Nominal power draw at full load (W).
     pub max_power_w: f64,
 }
@@ -50,6 +58,7 @@ pub const GRACE: CpuSpec = CpuSpec {
     cores: 72,
     mem_gib: 120.0,
     peak_bw_gbs: 500.0,
+    peak_fp64_gflops: 3_550.0,
     max_power_w: 300.0,
 };
 
@@ -59,6 +68,7 @@ pub const AMD_7763_X2: CpuSpec = CpuSpec {
     cores: 128,
     mem_gib: 256.0,
     peak_bw_gbs: 409.6,
+    peak_fp64_gflops: 5_017.0,
     max_power_w: 560.0,
 };
 

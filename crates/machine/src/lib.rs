@@ -29,9 +29,11 @@ pub mod cost;
 pub mod graphs;
 pub mod iomodel;
 pub mod power;
+pub mod roofline;
 pub mod systems;
 
 pub use chips::{CpuSpec, GpuSpec, Superchip};
+pub use roofline::Roofline;
 pub use config::{Component, GridConfig};
 pub use cost::{ComponentCost, Device, Mapping, ScalingPoint, ThroughputModel};
 pub use systems::{Network, SystemSpec};

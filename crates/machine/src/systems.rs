@@ -124,6 +124,7 @@ pub const LEVANTE_CPU: SystemSpec = SystemSpec {
             name: "none",
             mem_gib: 0.0,
             peak_bw_gbs: 0.0,
+            peak_fp64_gflops: 0.0,
             max_power_w: 0.0,
         },
         cpu: AMD_7763_X2,
