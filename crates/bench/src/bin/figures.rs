@@ -6,8 +6,8 @@
 //! ```
 //!
 //! Artifacts: table1 table2 table3 fig2 fig4 dace loc cudagraphs io
-//! tau_limits mapping resilience cost_roofline. Output is printed and
-//! written to `results/*.json`.
+//! tau_limits mapping resilience storage cost_roofline. Output is
+//! printed and written to `results/*.json`.
 
 use esm_bench::figures;
 use std::fs;
@@ -30,6 +30,7 @@ fn main() {
             "tau_limits" => Some(figures::tau_limits()),
             "mapping" => Some(figures::mapping()),
             "resilience" => Some(figures::resilience()),
+            "storage" => Some(figures::storage()),
             "cost_roofline" => Some(figures::cost_roofline()),
             other => {
                 eprintln!("unknown artifact '{other}'");

@@ -543,6 +543,77 @@ pub fn resilience() -> Value {
     })
 }
 
+/// Storage-fault artifact (DESIGN.md §11): a seeded `FaultFs` chaos run
+/// of the resilient driver — every checkpoint retry, output heal, and
+/// shed visible on the report, end state bit-exact — plus the size of the
+/// crash-point space one checkpoint generation exposes (what
+/// `tests/storage_crash.rs` enumerates exhaustively).
+pub fn storage() -> Value {
+    use esm_core::{CoupledEsm, EsmConfig, ResilienceConfig};
+    use iosys::{CheckpointRing, FaultFs, RetryPolicy, Snapshot, Storage};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    println!("\n== Storage faults: seeded chaos through the resilient driver ==");
+    let windows = 4u64;
+    let mut rows = Vec::new();
+    for seed in [3u64, 11, 42] {
+        let dir = iosys::restart::scratch_dir(&format!("figures_storage_{seed}"));
+        let ffs = Arc::new(FaultFs::seeded(seed, 6));
+        let rcfg = ResilienceConfig {
+            checkpoint_every: 1,
+            diagnostics_every: 1,
+            storage: Some(ffs.clone() as Arc<dyn Storage>),
+            checkpoint_retry: RetryPolicy { attempts: 4, backoff: Duration::from_millis(1) },
+            ..ResilienceConfig::default()
+        };
+        let mut chaotic = CoupledEsm::new(EsmConfig::tiny());
+        let report = chaotic
+            .run_windows_resilient(windows, false, &dir, &rcfg, None)
+            .expect("seeded storage faults are absorbable");
+        std::fs::remove_dir_all(&dir).ok();
+        let mut clean = CoupledEsm::new(EsmConfig::tiny());
+        clean.run_windows(windows as usize, false).unwrap();
+        let bitwise = chaotic.snapshot() == clean.snapshot();
+        let fired = ffs.report();
+        println!(
+            "seed {seed}: {} fault(s) fired, {} ckpt retries, {} ckpt failures, \
+             {} output errors, {} shed, bit-exact: {bitwise}",
+            fired.total(),
+            report.checkpoint_retries,
+            report.checkpoint_failures,
+            report.output_write_errors,
+            report.records_shed
+        );
+        rows.push(json!({
+            "seed": seed,
+            "faults_fired": fired.total(),
+            "checkpoint_retries": report.checkpoint_retries,
+            "checkpoint_failures": report.checkpoint_failures,
+            "output_write_errors": report.output_write_errors,
+            "records_written": report.records_written,
+            "records_shed": report.records_shed,
+            "bitwise_identical_to_fault_free": bitwise,
+        }));
+    }
+
+    // Crash-point space of one generation write: every op on this log is
+    // a distinct "the machine died here" scenario the harness replays.
+    let dir = iosys::restart::scratch_dir("figures_storage_probe");
+    let ffs = Arc::new(FaultFs::new());
+    let mut snap = Snapshot::new();
+    snap.push("a", vec![1.0; 64]).unwrap();
+    snap.push("b", vec![2.0; 64]).unwrap();
+    let mut ring = CheckpointRing::new_with(ffs.clone() as Arc<dyn Storage>, &dir, "restart", 3)
+        .expect("open probe ring");
+    ring.write(&snap, 2).expect("probe generation");
+    let crash_points = ffs.ops();
+    std::fs::remove_dir_all(&dir).ok();
+    println!("one 2-shard generation write = {crash_points} enumerable crash points");
+
+    json!({ "seeded_runs": rows, "crash_points_per_generation": crash_points })
+}
+
 /// Run everything; returns (name, value) pairs.
 /// Static cost model vs the machine: predicted roofline times for the
 /// mini-dycore (naive vs fused+hoisted execution) next to measured wall
@@ -661,6 +732,7 @@ pub fn all() -> Vec<(&'static str, Value)> {
         ("tau_limits", tau_limits()),
         ("mapping", mapping()),
         ("resilience", resilience()),
+        ("storage", storage()),
         ("cost_roofline", cost_roofline()),
     ]
 }

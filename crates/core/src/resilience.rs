@@ -33,7 +33,10 @@
 use crate::esm::CoupledEsm;
 use crate::health::{HealthError, HealthEvent};
 use coupler::{FluxError, QuarantineEvent};
-use iosys::{CheckpointRing, RestartError, Snapshot};
+use iosys::{
+    CheckpointRing, FullPolicy, OutputPolicy, OutputRequest, OutputServer, RealFs, Reduction,
+    RestartError, RetryPolicy, Snapshot, Storage,
+};
 use mpisim::{CommError, FaultPlan, World};
 use std::path::Path;
 use std::sync::Arc;
@@ -62,6 +65,17 @@ pub struct ResilienceConfig {
     /// numbers right after they are written, simulating silent storage
     /// corruption that the next restore must detect and fall back over.
     pub corrupt_generations: Vec<u64>,
+    /// Storage backend for checkpoints and diagnostics. `None`: the real
+    /// file system. Inject a `FaultFs` here to chaos-test the I/O path.
+    pub storage: Option<Arc<dyn Storage>>,
+    /// Retry policy for checkpoint-generation writes.
+    pub checkpoint_retry: RetryPolicy,
+    /// Post per-variable mean diagnostics every this many completed
+    /// windows (`0`: diagnostics off). Diagnostics are shed, never
+    /// blocking and never fatal.
+    pub diagnostics_every: u64,
+    /// Queue depth of the diagnostics output server.
+    pub output_queue: usize,
 }
 
 impl Default for ResilienceConfig {
@@ -79,6 +93,10 @@ impl Default for ResilienceConfig {
             // genuine blow-up overflows toward infinity well past this.
             max_abs: 1e30,
             corrupt_generations: Vec::new(),
+            storage: None,
+            checkpoint_retry: RetryPolicy::default(),
+            diagnostics_every: 0,
+            output_queue: 16,
         }
     }
 }
@@ -179,6 +197,19 @@ pub struct ResilienceReport {
     pub timeline: Vec<HealthEvent>,
     /// Localized rank respawns performed by the supervisor.
     pub respawns: u64,
+    /// Checkpoint write attempts that failed transiently and were retried.
+    pub checkpoint_retries: u64,
+    /// Checkpoint generations that could not be written at all (the run
+    /// continued on the previous generation — a recorded degraded event).
+    pub checkpoint_failures: u64,
+    /// Diagnostic records that reached disk.
+    pub records_written: u64,
+    /// Diagnostic samples shed under disk or queue pressure.
+    pub records_shed: u64,
+    /// Failed diagnostic appends that were retried.
+    pub output_write_retries: u64,
+    /// Storage errors seen on the diagnostics path (including retried).
+    pub output_write_errors: u64,
 }
 
 /// Why one guard round failed (internal; mapped onto report strings and
@@ -344,14 +375,56 @@ impl CoupledEsm {
     ) -> Result<ResilienceReport, EsmError> {
         let mut report = ResilienceReport::default();
         let w0 = self.windows_run();
-        let mut ring = CheckpointRing::new(dir, "restart", rcfg.keep_generations)?;
+        let storage = rcfg.storage.clone().unwrap_or_else(RealFs::shared);
+        let mut ring =
+            CheckpointRing::new_with(storage.clone(), dir, "restart", rcfg.keep_generations)?;
+        ring.set_retry(rcfg.checkpoint_retry);
+
+        // Diagnostics ride a shedding output server: they must never
+        // block the integration or kill the run.
+        let mut diag: Option<OutputServer> = if rcfg.diagnostics_every > 0 {
+            match OutputServer::spawn_with(
+                storage.clone(),
+                dir.join("diag"),
+                rcfg.output_queue,
+                OutputPolicy {
+                    on_full: FullPolicy::Shed,
+                    ..OutputPolicy::default()
+                },
+            ) {
+                Ok(srv) => Some(srv),
+                Err(e) => {
+                    report
+                        .faults_absorbed
+                        .push(format!("diagnostics disabled: {e}"));
+                    None
+                }
+            }
+        } else {
+            None
+        };
+        // Highest window whose diagnostics were already posted, so replays
+        // after a rollback do not produce duplicate records.
+        let mut max_posted = 0u64;
 
         // Generation 1: the starting state, so the very first window can
-        // roll back.
-        let mut newest_gen = ring.write(&self.snapshot(), rcfg.n_files)?;
-        report.checkpoints_written += 1;
-        if rcfg.corrupt_generations.contains(&newest_gen) {
-            corrupt_generation_on_disk(dir, newest_gen)?;
+        // roll back. A failed write is degraded, not fatal — the run just
+        // has no rollback point until the next checkpoint lands.
+        let mut newest_gen = 0u64;
+        match ring.write(&self.snapshot(), rcfg.n_files) {
+            Ok(g) => {
+                newest_gen = g;
+                report.checkpoints_written += 1;
+                if rcfg.corrupt_generations.contains(&newest_gen) {
+                    corrupt_generation_on_disk(dir, newest_gen)?;
+                }
+            }
+            Err(e) => {
+                report.checkpoint_failures += 1;
+                report
+                    .faults_absorbed
+                    .push(format!("initial checkpoint write failed ({e})"));
+            }
         }
 
         let mut done = 0u64;
@@ -366,10 +439,54 @@ impl CoupledEsm {
                     done += 1;
                     attempts = 0;
                     if done.is_multiple_of(rcfg.checkpoint_every) || done == n_windows {
-                        newest_gen = ring.write(&snap, rcfg.n_files)?;
-                        report.checkpoints_written += 1;
-                        if rcfg.corrupt_generations.contains(&newest_gen) {
-                            corrupt_generation_on_disk(dir, newest_gen)?;
+                        match ring.write(&snap, rcfg.n_files) {
+                            Ok(g) => {
+                                newest_gen = g;
+                                report.checkpoints_written += 1;
+                                if rcfg.corrupt_generations.contains(&newest_gen) {
+                                    corrupt_generation_on_disk(dir, newest_gen)?;
+                                }
+                            }
+                            Err(e) => {
+                                // Degraded, not fatal: the ring still holds
+                                // the previous intact generation, so a later
+                                // rollback just falls back one further.
+                                report.checkpoint_failures += 1;
+                                report.faults_absorbed.push(format!(
+                                    "window {done}: checkpoint write failed ({e}); \
+                                     continuing on generation {newest_gen}"
+                                ));
+                            }
+                        }
+                    }
+                    if rcfg.diagnostics_every > 0
+                        && done > max_posted
+                        && done.is_multiple_of(rcfg.diagnostics_every)
+                    {
+                        max_posted = done;
+                        if let Some(srv) = &diag {
+                            let means: Vec<f64> = snap
+                                .vars
+                                .iter()
+                                .map(|(_, d)| {
+                                    if d.is_empty() {
+                                        0.0
+                                    } else {
+                                        d.iter().sum::<f64>() / d.len() as f64
+                                    }
+                                })
+                                .collect();
+                            if let Err(e) = srv.post(OutputRequest {
+                                name: "window_means",
+                                time_s: done as f64,
+                                data: means,
+                                reduction: Reduction::Instantaneous,
+                            }) {
+                                report
+                                    .faults_absorbed
+                                    .push(format!("window {done}: diagnostics lost ({e})"));
+                                diag = None;
+                            }
                         }
                     }
                 }
@@ -412,6 +529,22 @@ impl CoupledEsm {
         }
         report.windows_run = done;
         report.final_generation = newest_gen;
+        report.checkpoint_retries = ring.io_retries();
+        if let Some(srv) = diag {
+            match srv.finish() {
+                Ok(stats) => {
+                    report.records_written = stats.records_written;
+                    report.records_shed = stats.shed_queue_full + stats.shed_write_failure;
+                    report.output_write_retries = stats.write_retries;
+                    report.output_write_errors = stats.write_errors;
+                }
+                Err(e) => {
+                    report
+                        .faults_absorbed
+                        .push(format!("diagnostics server died at shutdown ({e})"));
+                }
+            }
+        }
         Ok(report)
     }
 }
@@ -468,6 +601,60 @@ mod tests {
         let mut b = CoupledEsm::new(cfg);
         b.run_windows(3, false).unwrap();
         assert_eq!(a.snapshot(), b.snapshot());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failed_checkpoint_writes_degrade_instead_of_killing_the_run() {
+        use iosys::{FaultFs, StorageFault};
+
+        let cfg = EsmConfig::tiny();
+        let dir = scratch_dir("res_enospc");
+        // The disk fills up immediately: every checkpoint write fails.
+        let storage: Arc<dyn Storage> =
+            Arc::new(FaultFs::new().fault(StorageFault::NoSpace { nth_write: 1 }));
+        let rcfg = ResilienceConfig {
+            storage: Some(storage),
+            checkpoint_retry: RetryPolicy {
+                attempts: 1,
+                backoff: Duration::from_micros(100),
+            },
+            ..quick_rcfg()
+        };
+        let mut a = CoupledEsm::new(cfg.clone());
+        let report = a.run_windows_resilient(4, false, &dir, &rcfg, None).unwrap();
+        assert_eq!(report.windows_run, 4, "ENOSPC must not kill the run");
+        assert_eq!(report.checkpoints_written, 0);
+        assert_eq!(report.checkpoint_failures, 3, "every generation recorded as degraded");
+        assert!(report.checkpoint_retries >= 3, "{}", report.checkpoint_retries);
+        assert_eq!(report.faults_absorbed.len(), 3, "{:?}", report.faults_absorbed);
+
+        let mut b = CoupledEsm::new(cfg);
+        b.run_windows(4, false).unwrap();
+        assert_eq!(a.snapshot(), b.snapshot(), "degraded run is still bit-exact");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn diagnostics_are_posted_once_per_window_and_rolled_up() {
+        let cfg = EsmConfig::tiny();
+        let dir = scratch_dir("res_diag");
+        let rcfg = ResilienceConfig {
+            diagnostics_every: 1,
+            ..quick_rcfg()
+        };
+        // One rollback (dropped guard partial in window 2) must not
+        // duplicate diagnostic records for replayed windows.
+        let plan = Arc::new(FaultPlan::new().inject(1, 0, 2, mpisim::FaultAction::Drop));
+        let mut esm = CoupledEsm::new(cfg);
+        let report = esm
+            .run_windows_resilient(3, false, &dir, &rcfg, Some(plan))
+            .unwrap();
+        assert_eq!(report.rollbacks, 1);
+        assert_eq!(report.records_written, 3, "one record per window, replays deduped");
+        let recs = iosys::read_records(&dir.join("diag"), "window_means").unwrap();
+        assert_eq!(recs.len(), 3);
+        assert_eq!(recs[2].0, 3.0, "stamped with the window number");
         std::fs::remove_dir_all(&dir).ok();
     }
 

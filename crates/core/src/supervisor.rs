@@ -44,7 +44,7 @@ use crate::esm::CoupledEsm;
 use crate::health::{FailureDetector, HealthConfig, HealthError, Verdict};
 use crate::resilience::{EsmError, ResilienceReport};
 use coupler::{FluxSet, PersistenceFallback, QuarantineGate, RepairPolicy};
-use iosys::{CheckpointRing, RestartError};
+use iosys::{CheckpointRing, RealFs, RestartError, RetryPolicy, Storage};
 use mpisim::{heartbeat_round, FaultPlan};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -119,6 +119,11 @@ pub struct SupervisorConfig {
     /// of that field in its producer's output with NaN — re-applied
     /// identically during replay, like a deterministic model bug.
     pub corrupt_flux: Vec<(u64, &'static str)>,
+    /// Storage backend for the per-side checkpoint rings. `None`: the
+    /// real file system.
+    pub storage: Option<Arc<dyn Storage>>,
+    /// Retry policy for checkpoint-generation writes.
+    pub checkpoint_retry: RetryPolicy,
 }
 
 impl Default for SupervisorConfig {
@@ -134,6 +139,8 @@ impl Default for SupervisorConfig {
             policy: RepairPolicy::ClampToBounds,
             max_respawns: 4,
             corrupt_flux: Vec::new(),
+            storage: None,
+            checkpoint_retry: RetryPolicy::default(),
         }
     }
 }
@@ -229,21 +236,31 @@ impl Supervision<'_> {
     }
 
     /// Write one generation of both per-side rings (state after
-    /// `completed` local windows).
-    fn checkpoint(&mut self, esm: &CoupledEsm, completed: u64) -> Result<(), EsmError> {
+    /// `completed` local windows). A side whose write fails (beyond the
+    /// ring's own retries) is a recorded degraded event, not a run
+    /// killer: that side simply has no generation at this base, and
+    /// `recover` falls back to the previous *common* base.
+    fn checkpoint(&mut self, esm: &CoupledEsm, completed: u64) {
         for side in SIDES {
             let snap = match side {
                 Side::Fast => esm.snapshot_fast(),
                 Side::Slow => esm.snapshot_slow(),
             };
-            let gen = self.rings[side.idx()]
-                .write(&snap, self.scfg.n_files)
-                .map_err(EsmError::Restart)?;
-            self.gen_at[side.idx()].push((gen, completed));
-            self.report.checkpoints_written += 1;
-            self.newest_gen = self.newest_gen.max(gen);
+            match self.rings[side.idx()].write(&snap, self.scfg.n_files) {
+                Ok(gen) => {
+                    self.gen_at[side.idx()].push((gen, completed));
+                    self.report.checkpoints_written += 1;
+                    self.newest_gen = self.newest_gen.max(gen);
+                }
+                Err(e) => {
+                    self.report.checkpoint_failures += 1;
+                    self.report.faults_absorbed.push(format!(
+                        "window {completed}: {} checkpoint write failed ({e})",
+                        side.stem()
+                    ));
+                }
+            }
         }
-        Ok(())
     }
 
     /// Localized recovery of `failed` at local window `w`: restore both
@@ -378,12 +395,29 @@ impl CoupledEsm {
             w0: self.windows_run,
             init_to_fast: self.pending_to_fast.clone(),
             init_to_slow: self.pending_to_slow.clone(),
-            rings: [
-                CheckpointRing::new(dir, Side::Fast.stem(), scfg.keep_generations)
+            rings: {
+                let storage = scfg.storage.clone().unwrap_or_else(RealFs::shared);
+                let mut rings = [
+                    CheckpointRing::new_with(
+                        storage.clone(),
+                        dir,
+                        Side::Fast.stem(),
+                        scfg.keep_generations,
+                    )
                     .map_err(EsmError::Restart)?,
-                CheckpointRing::new(dir, Side::Slow.stem(), scfg.keep_generations)
+                    CheckpointRing::new_with(
+                        storage,
+                        dir,
+                        Side::Slow.stem(),
+                        scfg.keep_generations,
+                    )
                     .map_err(EsmError::Restart)?,
-            ],
+                ];
+                for ring in &mut rings {
+                    ring.set_retry(scfg.checkpoint_retry);
+                }
+                rings
+            },
             gen_at: [Vec::new(), Vec::new()],
             out_log: [vec![None; n as usize], vec![None; n as usize]],
             gates: [gate_fast, gate_slow],
@@ -397,7 +431,7 @@ impl CoupledEsm {
             newest_gen: 0,
         };
         // Generation covering the starting state, so window 0 can recover.
-        sup.checkpoint(self, 0)?;
+        sup.checkpoint(self, 0);
 
         for w in 0..n {
             let abs = sup.w0 + w;
@@ -493,7 +527,7 @@ impl CoupledEsm {
                 && !sup.detector.any_unhealthy()
                 && (w + 1).is_multiple_of(scfg.checkpoint_every)
             {
-                sup.checkpoint(self, w + 1)?;
+                sup.checkpoint(self, w + 1);
             }
         }
 
@@ -530,6 +564,7 @@ impl CoupledEsm {
         let mut report = sup.report;
         report.windows_run = n;
         report.final_generation = sup.newest_gen;
+        report.checkpoint_retries = sup.rings.iter().map(|r| r.io_retries()).sum();
         report.timeline = sup.detector.into_timeline();
         let mut events: Vec<_> = sup.gates[0].events().to_vec();
         events.extend_from_slice(sup.gates[1].events());
@@ -700,6 +735,37 @@ mod tests {
         assert_eq!(report.quarantine_events.len(), 1);
         assert_eq!(report.quarantine_events[0].action, "persisted");
         assert!(esm.atm.state.t_surface.as_slice().iter().all(|v| v.is_finite()));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn supervised_run_absorbs_transient_checkpoint_faults_bitwise() {
+        use iosys::{FaultFs, StorageFault};
+
+        let dir = scratch_dir("sup_storage");
+        let storage: Arc<dyn Storage> = Arc::new(
+            FaultFs::new()
+                .fault(StorageFault::TransientIo { nth_write: 2 })
+                .fault(StorageFault::TornWrite { nth_write: 5, keep: 9 })
+                .fault(StorageFault::RenameFail { nth_rename: 7 }),
+        );
+        let scfg = SupervisorConfig {
+            storage: Some(storage),
+            checkpoint_retry: RetryPolicy {
+                attempts: 3,
+                backoff: Duration::from_micros(200),
+            },
+            ..quick_scfg()
+        };
+        let mut a = tiny();
+        let report = a.run_windows_supervised(4, &dir, &scfg, None).unwrap();
+        assert_eq!(report.checkpoint_failures, 0, "all faults transient: {:?}", report.faults_absorbed);
+        assert_eq!(report.checkpoints_written, 6);
+        assert!(report.checkpoint_retries >= 3, "{}", report.checkpoint_retries);
+
+        let mut b = tiny();
+        b.run_windows(4, false).unwrap();
+        assert_states_eq(&a, &b);
         std::fs::remove_dir_all(&dir).ok();
     }
 

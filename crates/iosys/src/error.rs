@@ -123,6 +123,78 @@ impl From<RestartError> for std::io::Error {
     }
 }
 
+/// Why the asynchronous output path failed — the record-stream analog of
+/// [`RestartError`]. The server thread never panics on these; they surface
+/// through `post`/`flush`/`finish` or as typed read errors.
+#[derive(Debug)]
+pub enum OutputError {
+    /// Underlying storage failure on a specific file.
+    Io { path: PathBuf, source: std::io::Error },
+    /// A `.rec` file ends mid-record (torn append, truncation).
+    Truncated {
+        path: PathBuf,
+        /// Byte offset of the record that could not be read whole.
+        offset: u64,
+        context: &'static str,
+    },
+    /// Structurally invalid record data (bad magic, nonsense length).
+    Corrupt {
+        path: PathBuf,
+        offset: u64,
+        context: String,
+    },
+    /// A v2 record frame whose CRC-32 does not match its payload.
+    ChecksumMismatch {
+        path: PathBuf,
+        offset: u64,
+        stored: u32,
+        computed: u32,
+    },
+    /// The server thread exited (I/O give-up or panic); `cause` is its
+    /// final error message.
+    ServerDied { cause: String },
+}
+
+impl std::fmt::Display for OutputError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OutputError::Io { path, source } => {
+                write!(f, "{}: output I/O error: {source}", path.display())
+            }
+            OutputError::Truncated { path, offset, context } => write!(
+                f,
+                "{}: truncated record at byte {offset} ({context})",
+                path.display()
+            ),
+            OutputError::Corrupt { path, offset, context } => {
+                write!(f, "{}: corrupt record at byte {offset}: {context}", path.display())
+            }
+            OutputError::ChecksumMismatch {
+                path,
+                offset,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "{}: record CRC mismatch at byte {offset} (stored {stored:#010x}, computed {computed:#010x})",
+                path.display()
+            ),
+            OutputError::ServerDied { cause } => {
+                write!(f, "output server thread died: {cause}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OutputError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OutputError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -12,6 +12,11 @@
 //!   concurrently, exactly the scheme ICON uses so that "I/O does not
 //!   appreciably impact tau".
 //!
+//! * [`vfs`] — the **storage abstraction** both paths run on: a
+//!   [`Storage`] trait with a real backend ([`RealFs`]) and a seeded
+//!   fault-injecting backend ([`FaultFs`]) for crash-consistency testing
+//!   (torn writes, `ENOSPC`, fsync lies, rename failures, crash points).
+//!
 //! Paper-scale throughput numbers (615.61 GiB/s read, 198.19 GiB/s write,
 //! 9265.50 + 7030.91 GiB restart sizes) come from the `machine::iomodel`
 //! file-system model; this crate provides the real, laptop-scale
@@ -21,7 +26,14 @@ pub mod crc;
 pub mod error;
 pub mod output;
 pub mod restart;
+pub mod vfs;
 
-pub use error::RestartError;
-pub use output::{OutputRequest, OutputServer, Reduction};
-pub use restart::{read_checkpoint, write_checkpoint, CheckpointRing, Snapshot};
+pub use error::{OutputError, RestartError};
+pub use output::{
+    read_records, recover_records, FullPolicy, OutputPolicy, OutputRequest, OutputServer,
+    OutputStats, PostOutcome, RecoveredRecords, Reduction,
+};
+pub use restart::{
+    read_checkpoint, write_checkpoint, CheckpointRing, RetryPolicy, Snapshot,
+};
+pub use vfs::{FaultFs, OpKind, OpRecord, RealFs, Storage, StorageFault, StorageFaultReport};

@@ -31,12 +31,13 @@
 //! file), the scheme the paper uses to reach 615 GiB/s. Version-1 files
 //! (no checksums, no shard header) remain readable.
 
-use std::fs::{self, File};
-use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
 
 use crate::crc::crc32;
 use crate::error::RestartError;
+use crate::vfs::{RealFs, Storage};
 
 const MAGIC: &[u8; 4] = b"ESMR";
 const TRAILER_MAGIC: &[u8; 4] = b"RMSE";
@@ -120,17 +121,19 @@ fn encode_file_v2(snapshot: &Snapshot, f: usize, n_files: usize) -> Vec<u8> {
 }
 
 /// Write `bytes` to `path` atomically: temp file in the same directory,
-/// flush + fsync, then rename. A crash at any point leaves either the old
-/// file or no file — never a torn one under the final name.
-fn atomic_write(path: &Path, bytes: &[u8]) -> Result<(), RestartError> {
+/// fsync, rename, then **fsync the parent directory** so the rename itself
+/// is durable. A crash at any point leaves either the old file or no file
+/// — never a torn one under the final name — and once this returns, the
+/// new name survives power loss (without the dir fsync a completed
+/// generation can vanish with the unsynced directory entry).
+fn atomic_write_with(storage: &dyn Storage, path: &Path, bytes: &[u8]) -> Result<(), RestartError> {
     let tmp = path.with_extension("esmr.tmp");
-    {
-        let mut f = File::create(&tmp)?;
-        f.write_all(bytes)?;
-        f.flush()?;
-        f.sync_all()?;
+    storage.write(&tmp, bytes)?;
+    storage.fsync(&tmp)?;
+    storage.rename(&tmp, path)?;
+    if let Some(parent) = path.parent() {
+        storage.fsync_dir(parent)?;
     }
-    fs::rename(&tmp, path)?;
     Ok(())
 }
 
@@ -144,12 +147,23 @@ pub fn write_checkpoint(
     snapshot: &Snapshot,
     n_files: usize,
 ) -> Result<Vec<PathBuf>, RestartError> {
+    write_checkpoint_with(&RealFs, dir, stem, snapshot, n_files)
+}
+
+/// [`write_checkpoint`] over an explicit [`Storage`] backend.
+pub fn write_checkpoint_with(
+    storage: &dyn Storage,
+    dir: &Path,
+    stem: &str,
+    snapshot: &Snapshot,
+    n_files: usize,
+) -> Result<Vec<PathBuf>, RestartError> {
     assert!(n_files >= 1);
-    fs::create_dir_all(dir)?;
+    storage.create_dir_all(dir)?;
     let mut paths = Vec::with_capacity(n_files);
     for f in 0..n_files {
         let path = dir.join(format!("{stem}_{f:03}.esmr"));
-        atomic_write(&path, &encode_file_v2(snapshot, f, n_files))?;
+        atomic_write_with(storage, &path, &encode_file_v2(snapshot, f, n_files))?;
         paths.push(path);
     }
     Ok(paths)
@@ -318,10 +332,21 @@ fn parse_file(path: &Path, bytes: &[u8]) -> Result<ParsedFile, RestartError> {
 /// incomplete generation — returns a typed [`RestartError`]; this path
 /// never panics on bad input.
 pub fn read_checkpoint(dir: &Path, stem: &str, n_readers: usize) -> Result<Snapshot, RestartError> {
+    read_checkpoint_with(&RealFs, dir, stem, n_readers)
+}
+
+/// [`read_checkpoint`] over an explicit [`Storage`] backend.
+pub fn read_checkpoint_with(
+    storage: &dyn Storage,
+    dir: &Path,
+    stem: &str,
+    n_readers: usize,
+) -> Result<Snapshot, RestartError> {
     assert!(n_readers >= 1);
-    // Discover the files.
-    let mut files: Vec<PathBuf> = fs::read_dir(dir)?
-        .filter_map(|e| e.ok().map(|e| e.path()))
+    // Discover the files (`list` returns them sorted).
+    let files: Vec<PathBuf> = storage
+        .list(dir)?
+        .into_iter()
         .filter(|p| {
             p.file_name()
                 .and_then(|n| n.to_str())
@@ -329,7 +354,6 @@ pub fn read_checkpoint(dir: &Path, stem: &str, n_readers: usize) -> Result<Snaps
                 .unwrap_or(false)
         })
         .collect();
-    files.sort();
     if files.is_empty() {
         return Err(RestartError::NotFound {
             dir: dir.to_path_buf(),
@@ -363,7 +387,7 @@ pub fn read_checkpoint(dir: &Path, stem: &str, n_readers: usize) -> Result<Snaps
     let mut declared_n_files: Option<usize> = None;
     let mut seen_shards: Vec<usize> = Vec::new();
     for &fi in order.iter().take(n) {
-        let bytes = fs::read(&files[fi])?;
+        let bytes = storage.read(&files[fi])?;
         let parsed = parse_file(&files[fi], &bytes)?;
         // v2 files name their shard; v1 falls back to sorted position.
         let (shard_index, shard_count) = match parsed.shard {
@@ -416,35 +440,91 @@ pub fn read_checkpoint(dir: &Path, stem: &str, n_readers: usize) -> Result<Snaps
     Ok(snap)
 }
 
+/// Bounded retry with linear backoff for transient storage errors on the
+/// checkpoint write path. `attempts` is the number of *re*-tries after the
+/// first failure; attempt `i` (1-based) sleeps `i * backoff` first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    pub attempts: u32,
+    pub backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 3,
+            backoff: Duration::from_millis(2),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries at all — every storage error surfaces immediately.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 0,
+            backoff: Duration::ZERO,
+        }
+    }
+}
+
 /// Generation-numbered checkpoint ring: `stem.g0001_000.esmr`, keeping the
 /// newest `keep` generations and falling back on read until an intact one
 /// is found.
+#[derive(Debug)]
 pub struct CheckpointRing {
+    storage: Arc<dyn Storage>,
     dir: PathBuf,
     stem: String,
     keep: usize,
     next_gen: u64,
+    retry: RetryPolicy,
+    io_retries: u64,
 }
 
 impl CheckpointRing {
-    /// Open (or start) a ring in `dir`. Scans for existing generations so
-    /// a restarted writer continues the numbering instead of overwriting.
+    /// Open (or start) a ring in `dir` on the real file system. Scans for
+    /// existing generations so a restarted writer continues the numbering
+    /// instead of overwriting.
     pub fn new(
+        dir: impl Into<PathBuf>,
+        stem: impl Into<String>,
+        keep: usize,
+    ) -> Result<CheckpointRing, RestartError> {
+        CheckpointRing::new_with(RealFs::shared(), dir, stem, keep)
+    }
+
+    /// [`CheckpointRing::new`] over an explicit [`Storage`] backend.
+    pub fn new_with(
+        storage: Arc<dyn Storage>,
         dir: impl Into<PathBuf>,
         stem: impl Into<String>,
         keep: usize,
     ) -> Result<CheckpointRing, RestartError> {
         assert!(keep >= 1, "must keep at least one generation");
         let mut ring = CheckpointRing {
+            storage,
             dir: dir.into(),
             stem: stem.into(),
             keep,
             next_gen: 1,
+            retry: RetryPolicy::default(),
+            io_retries: 0,
         };
         if let Some(&newest) = ring.generations()?.last() {
             ring.next_gen = newest + 1;
         }
         Ok(ring)
+    }
+
+    /// Replace the write retry policy (builder style).
+    pub fn set_retry(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
+    }
+
+    /// Write attempts that failed and were retried so far.
+    pub fn io_retries(&self) -> u64 {
+        self.io_retries
     }
 
     fn gen_stem(&self, generation: u64) -> String {
@@ -454,15 +534,16 @@ impl CheckpointRing {
     /// Generation numbers currently on disk, sorted ascending.
     pub fn generations(&self) -> Result<Vec<u64>, RestartError> {
         let mut gens: Vec<u64> = Vec::new();
-        let entries = match fs::read_dir(&self.dir) {
+        let entries = match self.storage.list(&self.dir) {
             Ok(e) => e,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(gens),
             Err(e) => return Err(e.into()),
         };
         let prefix = format!("{}.g", self.stem);
-        for entry in entries.filter_map(|e| e.ok()) {
-            let name = entry.file_name();
-            let Some(name) = name.to_str() else { continue };
+        for path in entries {
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
             if !name.starts_with(&prefix) || !name.ends_with(".esmr") {
                 continue;
             }
@@ -479,29 +560,63 @@ impl CheckpointRing {
         Ok(gens)
     }
 
-    /// Write the next generation atomically, then prune down to the newest
-    /// `keep` generations. Returns the generation number written.
+    /// Write the next generation atomically, retrying transient storage
+    /// errors per the [`RetryPolicy`], then prune down to the newest
+    /// `keep` generations. Returns the generation number written. On
+    /// persistent failure the generation number is **not** consumed and
+    /// any partial shards are cleaned up best-effort, so the ring still
+    /// holds its previous intact generations — the caller can fall back a
+    /// generation and continue.
     pub fn write(&mut self, snapshot: &Snapshot, n_files: usize) -> Result<u64, RestartError> {
         let generation = self.next_gen;
-        write_checkpoint(&self.dir, &self.gen_stem(generation), snapshot, n_files)?;
+        let stem = self.gen_stem(generation);
+        let mut attempt = 0u32;
+        loop {
+            match write_checkpoint_with(self.storage.as_ref(), &self.dir, &stem, snapshot, n_files)
+            {
+                Ok(_) => break,
+                Err(e) => {
+                    if attempt >= self.retry.attempts {
+                        self.cleanup_generation(generation);
+                        return Err(e);
+                    }
+                    attempt += 1;
+                    self.io_retries += 1;
+                    std::thread::sleep(self.retry.backoff * attempt);
+                }
+            }
+        }
         self.next_gen += 1;
 
         // Prune only after the new generation is fully in place.
         let gens = self.generations()?;
         if gens.len() > self.keep {
             for &old in &gens[..gens.len() - self.keep] {
-                let stem = self.gen_stem(old);
-                for entry in fs::read_dir(&self.dir)?.filter_map(|e| e.ok()) {
-                    let name = entry.file_name();
-                    let Some(name) = name.to_str() else { continue };
-                    if name.starts_with(&format!("{stem}_")) && name.ends_with(".esmr") {
-                        // Best-effort: a vanished file is already pruned.
-                        let _ = fs::remove_file(entry.path());
-                    }
-                }
+                self.cleanup_generation(old);
             }
         }
         Ok(generation)
+    }
+
+    /// Best-effort removal of every shard (and temp file) of `generation`.
+    /// Used for pruning and for clearing the debris of a failed write so a
+    /// later `read_latest_intact` never considers a partial generation.
+    fn cleanup_generation(&self, generation: u64) {
+        let stem = self.gen_stem(generation);
+        let Ok(paths) = self.storage.list(&self.dir) else {
+            return;
+        };
+        for path in paths {
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            if name.starts_with(&format!("{stem}_"))
+                && (name.ends_with(".esmr") || name.ends_with(".tmp"))
+            {
+                // Best-effort: a vanished file is already pruned.
+                let _ = self.storage.remove(&path);
+            }
+        }
     }
 
     /// Read one *specific* generation, with full integrity checking but
@@ -513,7 +628,7 @@ impl CheckpointRing {
         generation: u64,
         n_readers: usize,
     ) -> Result<Snapshot, RestartError> {
-        read_checkpoint(&self.dir, &self.gen_stem(generation), n_readers)
+        read_checkpoint_with(self.storage.as_ref(), &self.dir, &self.gen_stem(generation), n_readers)
     }
 
     /// Read back the newest generation that passes every integrity check,
@@ -530,7 +645,7 @@ impl CheckpointRing {
         let mut tried = Vec::new();
         for &g in gens.iter().rev() {
             tried.push(g);
-            match read_checkpoint(&self.dir, &self.gen_stem(g), n_readers) {
+            match read_checkpoint_with(self.storage.as_ref(), &self.dir, &self.gen_stem(g), n_readers) {
                 Ok(snap) => return Ok((g, snap)),
                 Err(_) => continue,
             }
@@ -556,6 +671,8 @@ pub fn scratch_dir(tag: &str) -> PathBuf {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::vfs::{FaultFs, StorageFault};
+    use std::fs;
 
     fn sample() -> Snapshot {
         let mut s = Snapshot::new();
@@ -856,6 +973,73 @@ mod tests {
             }
             other => panic!("expected NoIntactGeneration, got {other:?}"),
         }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn ring_retries_transient_write_faults() {
+        let dir = scratch_dir("ring_retry");
+        let storage = Arc::new(
+            FaultFs::new()
+                .fault(StorageFault::TransientIo { nth_write: 1 })
+                .fault(StorageFault::RenameFail { nth_rename: 2 }),
+        );
+        let mut ring = CheckpointRing::new_with(storage.clone(), &dir, "restart", 3).unwrap();
+        ring.set_retry(RetryPolicy {
+            attempts: 3,
+            backoff: Duration::from_micros(100),
+        });
+        let mut s = Snapshot::new();
+        s.push("v", vec![1.0, 2.0]).unwrap();
+        assert_eq!(ring.write(&s, 2).unwrap(), 1, "faults absorbed by retry");
+        assert!(ring.io_retries() >= 2, "both faults retried: {}", ring.io_retries());
+        assert_eq!(storage.report().transient_io, 1);
+        assert_eq!(storage.report().rename_failures, 1);
+        let (g, back) = ring.read_latest_intact(1).unwrap();
+        assert_eq!((g, back), (1, s));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn ring_write_failure_preserves_previous_generations() {
+        let dir = scratch_dir("ring_fail");
+        let storage = Arc::new(FaultFs::new());
+        let mut ring = CheckpointRing::new_with(storage.clone(), &dir, "restart", 3).unwrap();
+        ring.set_retry(RetryPolicy::none());
+        let mut s1 = Snapshot::new();
+        s1.push("v", vec![1.0]).unwrap();
+        ring.write(&s1, 2).unwrap();
+
+        // Storage goes dark: the next write fails, but generation 1 must
+        // stay intact and the ring must not leave partial-gen debris.
+        storage.set_crash_after(Some(storage.ops()));
+        let mut s2 = Snapshot::new();
+        s2.push("v", vec![2.0]).unwrap();
+        assert!(ring.write(&s2, 2).is_err());
+        storage.set_crash_after(None);
+
+        assert_eq!(ring.generations().unwrap(), vec![1]);
+        let (g, back) = ring.read_latest_intact(1).unwrap();
+        assert_eq!(g, 1);
+        assert_eq!(back, s1);
+        // The failed generation number is reusable once storage recovers.
+        assert_eq!(ring.write(&s2, 2).unwrap(), 2);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn atomic_write_fsyncs_parent_directory() {
+        let dir = scratch_dir("ring_dirsync");
+        let storage = Arc::new(FaultFs::new());
+        let mut ring = CheckpointRing::new_with(storage.clone(), &dir, "restart", 2).unwrap();
+        let mut s = Snapshot::new();
+        s.push("v", vec![7.0]).unwrap();
+        ring.write(&s, 2).unwrap();
+        // A completed generation must survive power loss — this is exactly
+        // the dir-fsync-after-rename guarantee.
+        storage.simulate_power_loss().unwrap();
+        let (g, back) = ring.read_latest_intact(1).unwrap();
+        assert_eq!((g, back), (1, s));
         fs::remove_dir_all(&dir).ok();
     }
 }

@@ -44,6 +44,32 @@ pub mod channel {
         }
     }
 
+    /// Error returned by [`Sender::try_send`]: the channel was full or
+    /// every receiver is gone. The payload is handed back either way.
+    #[derive(PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        Full(T),
+        Disconnected(T),
+    }
+
+    impl<T> std::fmt::Debug for TrySendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TrySendError::Full(_) => write!(f, "Full(..)"),
+                TrySendError::Disconnected(_) => write!(f, "Disconnected(..)"),
+            }
+        }
+    }
+
+    impl<T> std::fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TrySendError::Full(_) => write!(f, "sending on a full channel"),
+                TrySendError::Disconnected(_) => write!(f, "sending on a disconnected channel"),
+            }
+        }
+    }
+
     /// Error returned by [`Receiver::recv`] when the channel is empty and
     /// every sender is gone.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -164,6 +190,21 @@ pub mod channel {
                     .unwrap_or_else(|p| p.into_inner());
             }
         }
+
+        /// Non-blocking send: hands the value back instead of waiting when
+        /// the channel is full (the load-shedding path).
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut st = self.chan.state.lock().unwrap_or_else(|p| p.into_inner());
+            if st.receivers == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            if st.cap.is_some_and(|c| st.queue.len() >= c) {
+                return Err(TrySendError::Full(value));
+            }
+            st.queue.push_back(value);
+            self.chan.not_empty.notify_one();
+            Ok(())
+        }
     }
 
     impl<T> Receiver<T> {
@@ -267,6 +308,17 @@ pub mod channel {
             assert_eq!(rx.recv(), Ok(10));
             assert_eq!(rx.recv(), Ok(20));
             assert_eq!(h.join().unwrap(), 30);
+        }
+
+        #[test]
+        fn try_send_reports_full_and_disconnected() {
+            let (tx, rx) = bounded(1);
+            tx.try_send(1u32).unwrap();
+            assert_eq!(tx.try_send(2), Err(TrySendError::Full(2)));
+            assert_eq!(rx.recv(), Ok(1));
+            tx.try_send(3).unwrap();
+            drop(rx);
+            assert_eq!(tx.try_send(4), Err(TrySendError::Disconnected(4)));
         }
 
         #[test]

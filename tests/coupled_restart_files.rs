@@ -60,16 +60,19 @@ fn async_output_records_coupled_diagnostics() {
             time_s: esm.time_s(),
             data: (0..esm.grid.n_cells).map(|c| esm.ocean.sst(c)).collect(),
             reduction: Reduction::Instantaneous,
-        });
+        })
+        .expect("post sst");
         srv.post(OutputRequest {
             name: "precip_mean",
             time_s: esm.time_s(),
             data: esm.atm.state.precip_rate.as_slice().to_vec(),
             reduction: Reduction::TimeMean,
-        });
+        })
+        .expect("post precip");
     }
-    let records = srv.finish().expect("server finished");
-    assert_eq!(records, 4, "3 instantaneous + 1 time mean");
+    let stats = srv.finish().expect("server finished");
+    assert_eq!(stats.records_written, 4, "3 instantaneous + 1 time mean");
+    assert_eq!(stats.shed_queue_full + stats.shed_write_failure, 0);
 
     let ssts = iosys::output::read_records(&dir, "sst").expect("read sst records");
     assert_eq!(ssts.len(), 3);

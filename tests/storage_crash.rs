@@ -1,0 +1,434 @@
+//! Crash-consistency harness for the storage layer (DESIGN.md §11).
+//!
+//! The `FaultFs` op counter turns "the machine died at an arbitrary
+//! point" into an enumerable space: a probe run records every file-system
+//! operation a checkpoint generation (or an output flush) performs, then
+//! the harness replays the same workload once per op index `k`, killing
+//! storage after the `k`-th op. After every crash point — with and
+//! without simulated power loss — readers must land on a bit-exact prior
+//! or complete state, never a torn one.
+//!
+//! The seeded chaos scenarios drive the full resilient driver through a
+//! `FaultFs` plan and require the end state to be bit-identical to a
+//! fault-free run, with every retry, fallback, and shed visible in the
+//! `ResilienceReport`.
+
+use esm_core::{CoupledEsm, EsmConfig, ResilienceConfig};
+use iosys::restart::scratch_dir;
+use iosys::{
+    recover_records, CheckpointRing, FaultFs, OpKind, OutputPolicy, OutputRequest, OutputServer,
+    RetryPolicy, Snapshot, Storage, StorageFault,
+};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn snap(tag: f64) -> Snapshot {
+    let mut s = Snapshot::new();
+    s.push("a", vec![tag, tag + 0.5, tag * 2.0]).unwrap();
+    s.push("b", vec![tag - 1.0; 5]).unwrap();
+    s
+}
+
+/// Every rename on the op log must be immediately followed by an fsync of
+/// the destination's parent directory — the crash window between "entry
+/// renamed" and "entry durable" must be closed before `atomic_write`
+/// returns (the gap fixed in this layer's dir-fsync satellite).
+fn assert_renames_are_dir_synced(log: &[iosys::OpRecord]) {
+    for (i, op) in log.iter().enumerate() {
+        if op.kind != OpKind::Rename {
+            continue;
+        }
+        let dest = op.dest.as_ref().expect("rename records its destination");
+        let parent = dest.parent().expect("checkpoint files live in a directory");
+        let next = log
+            .get(i + 1)
+            .unwrap_or_else(|| panic!("rename at op {} is the last op on the log", op.index));
+        assert_eq!(
+            (next.kind, next.path.as_path()),
+            (OpKind::FsyncDir, parent),
+            "rename at op {} not followed by an fsync of its parent dir",
+            op.index
+        );
+    }
+}
+
+/// Enumerate every crash point inside one checkpoint-generation write:
+/// for each op index `k` the write fails, and `read_latest_intact` — both
+/// on plain reopen and after simulated power loss — returns a bit-exact
+/// complete generation, never a torn one.
+#[test]
+fn checkpoint_write_survives_a_crash_after_every_op() {
+    let base = snap(1.0);
+    let next = snap(2.0);
+
+    // Probe: count the ops one generation write performs, fault-free.
+    let dir = scratch_dir("storage_crash_probe");
+    let ffs = Arc::new(FaultFs::new());
+    let mut ring = CheckpointRing::new_with(ffs.clone() as Arc<dyn Storage>, &dir, "restart", 3)
+        .expect("open ring");
+    ring.write(&base, 2).expect("fault-free gen 1");
+    let ops_before = ffs.ops();
+    ring.write(&next, 2).expect("fault-free gen 2");
+    let gen2_ops = ffs.ops() - ops_before;
+    assert!(gen2_ops >= 9, "2 shards are at least 9 ops, got {gen2_ops}");
+    assert_renames_are_dir_synced(&ffs.op_log());
+    std::fs::remove_dir_all(&dir).ok();
+
+    // Replay, crashing after each op of the gen-2 write in turn.
+    for k in 0..gen2_ops {
+        let dir = scratch_dir(&format!("storage_crash_k{k}"));
+        let ffs = Arc::new(FaultFs::new());
+        let mut ring =
+            CheckpointRing::new_with(ffs.clone() as Arc<dyn Storage>, &dir, "restart", 3)
+                .expect("open ring");
+        ring.set_retry(RetryPolicy::none());
+        ring.write(&base, 2).expect("fault-free gen 1");
+
+        ffs.set_crash_after(Some(ffs.ops() + k));
+        ring.write(&next, 2)
+            .expect_err("a crash inside the write must surface as an error");
+        ffs.set_crash_after(None);
+
+        // Plain reopen (process died, disk intact): the newest readable
+        // generation is complete — gen 1 always, gen 2 only if every file
+        // op had finished before the crash point.
+        let reader = CheckpointRing::new_with(ffs.clone() as Arc<dyn Storage>, &dir, "restart", 3)
+            .expect("reopen ring");
+        let (g, got) = reader
+            .read_latest_intact(2)
+            .unwrap_or_else(|e| panic!("crash at +{k}: no intact generation on reopen: {e}"));
+        let want = if g == 1 { &base } else { &next };
+        assert_eq!(&got, want, "crash at +{k}: generation {g} is not bit-exact");
+
+        // Power loss (process AND page cache died): only fsynced bytes
+        // and fsynced directory entries survive; readers must still land
+        // on a complete generation.
+        ffs.simulate_power_loss().expect("apply durability model");
+        let (g, got) = reader
+            .read_latest_intact(2)
+            .unwrap_or_else(|e| panic!("crash at +{k}: no intact generation after power loss: {e}"));
+        let want = if g == 1 { &base } else { &next };
+        assert_eq!(
+            &got, want,
+            "crash at +{k}: generation {g} is not bit-exact after power loss"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// Post the fixed output workload: 3 instantaneous samples of one
+/// variable plus 3 accumulating samples of a time mean, then flush
+/// everything via `finish`.
+fn drive_output(srv: &OutputServer) {
+    for i in 0..3u64 {
+        let t = (i + 1) as f64;
+        srv.post(OutputRequest {
+            name: "inst",
+            time_s: t,
+            data: vec![t * 0.5, t * 0.5 + 0.125, -t],
+            reduction: iosys::Reduction::Instantaneous,
+        })
+        .expect("post inst");
+        srv.post(OutputRequest {
+            name: "tmean",
+            time_s: t,
+            data: vec![t, 2.0 * t],
+            reduction: iosys::Reduction::TimeMean,
+        })
+        .expect("post tmean");
+    }
+}
+
+fn assert_bitwise_prefix(got: &[(f64, Vec<f64>)], full: &[(f64, Vec<f64>)], label: &str) {
+    assert!(
+        got.len() <= full.len(),
+        "{label}: {} records recovered, only {} ever written",
+        got.len(),
+        full.len()
+    );
+    for (i, (g, f)) in got.iter().zip(full).enumerate() {
+        assert_eq!(g.0.to_bits(), f.0.to_bits(), "{label}: record {i} time differs");
+        assert_eq!(g.1.len(), f.1.len(), "{label}: record {i} length differs");
+        for (j, (a, b)) in g.1.iter().zip(&f.1).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "{label}: record {i} value {j} differs"
+            );
+        }
+    }
+}
+
+/// Enumerate every crash point inside an output run + flush: whatever op
+/// the storage died after, `recover_records` must hand back a bit-exact
+/// prefix of the fault-free record stream — torn tails are dropped, never
+/// surfaced, and never a panic.
+#[test]
+fn output_flush_survives_a_crash_after_every_op() {
+    // Probe: fault-free run, record op count and the full record streams.
+    let dir = scratch_dir("output_crash_probe");
+    let ffs = Arc::new(FaultFs::new());
+    let srv = OutputServer::spawn_with(
+        ffs.clone() as Arc<dyn Storage>,
+        dir.clone(),
+        16,
+        OutputPolicy::default(),
+    )
+    .expect("spawn probe server");
+    drive_output(&srv);
+    let stats = srv.finish().expect("probe finish");
+    assert_eq!(stats.records_written, 4, "3 inst + 1 time mean");
+    let n_ops = ffs.ops();
+    let clean_inst = iosys::read_records(&dir, "inst").expect("probe inst");
+    let clean_tmean = iosys::read_records(&dir, "tmean").expect("probe tmean");
+    assert_eq!((clean_inst.len(), clean_tmean.len()), (3, 1));
+    std::fs::remove_dir_all(&dir).ok();
+
+    for k in 0..n_ops {
+        let dir = scratch_dir(&format!("output_crash_k{k}"));
+        let ffs = Arc::new(FaultFs::new().crash_after(k));
+        let srv = match OutputServer::spawn_with(
+            ffs.clone() as Arc<dyn Storage>,
+            dir.clone(),
+            16,
+            OutputPolicy::default(),
+        ) {
+            Ok(srv) => srv,
+            // k = 0: storage dead before the output dir could be made.
+            Err(_) => continue,
+        };
+        drive_output(&srv);
+        // The default policy sheds on persistent failure instead of dying,
+        // so the server always shuts down cleanly.
+        let stats = srv.finish().expect("server sheds, never dies");
+        assert_eq!(stats.posted, 6, "crash at {k}");
+
+        ffs.set_crash_after(None);
+        ffs.simulate_power_loss().expect("apply durability model");
+
+        for (name, clean) in [("inst", &clean_inst), ("tmean", &clean_tmean)] {
+            let rec = recover_records(&dir, name)
+                .unwrap_or_else(|e| panic!("crash at {k}: recovery of {name} failed: {e}"));
+            assert_bitwise_prefix(&rec.records, clean, &format!("crash at {k}, {name}"));
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// Seeded absorbable storage chaos under the full resilient driver: the
+/// run must end bit-identical to the fault-free run, every planned fault
+/// must actually fire, and every fired write-path fault must be visible
+/// in the report as a checkpoint retry/failure or an output write error.
+#[test]
+fn seeded_storage_chaos_resilient_run_is_bit_exact() {
+    let windows = 6u64;
+    let cfg = EsmConfig::tiny();
+    for seed in [3u64, 11] {
+        let dir = scratch_dir(&format!("storage_chaos_{seed}"));
+        let ffs = Arc::new(FaultFs::seeded(seed, 6));
+        let rcfg = ResilienceConfig {
+            checkpoint_every: 1,
+            diagnostics_every: 1,
+            storage: Some(ffs.clone() as Arc<dyn Storage>),
+            checkpoint_retry: RetryPolicy {
+                attempts: 4,
+                backoff: Duration::from_millis(1),
+            },
+            ..ResilienceConfig::default()
+        };
+
+        let mut chaotic = CoupledEsm::new(cfg.clone());
+        let report = chaotic
+            .run_windows_resilient(windows, false, &dir, &rcfg, None)
+            .unwrap_or_else(|e| panic!("seed {seed}: absorbable faults killed the run: {e}"));
+        assert_eq!(report.windows_run, windows, "seed {seed}");
+
+        let mut clean = CoupledEsm::new(cfg.clone());
+        clean.run_windows(windows as usize, false).unwrap();
+        assert_eq!(
+            chaotic.snapshot(),
+            clean.snapshot(),
+            "seed {seed}: chaotic run must end bit-exact with the fault-free run"
+        );
+
+        // Accounting: nothing fired silently. Each transient write, torn
+        // write, and failed rename either burned a checkpoint-ring retry
+        // (or exhausted one into a recorded failure) or was observed as an
+        // output write error — fsync lies are absorbed by design and only
+        // matter under power loss.
+        let fired = ffs.report();
+        assert!(fired.total() >= 1, "seed {seed}: the plan never fired");
+        assert_eq!(
+            fired.transient_io + fired.torn_writes + fired.rename_failures,
+            report.checkpoint_retries + report.output_write_errors + report.checkpoint_failures,
+            "seed {seed}: a fired fault is missing from the report: {fired:?} vs {report:?}"
+        );
+        assert_eq!(report.rollbacks, 0, "seed {seed}: storage faults never roll back");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// Snapshot the fault-free run after 0..=n windows; generation `g` of a
+/// `checkpoint_every: 1` run must read back bit-exact to entry `g - 1`.
+fn clean_window_snapshots(cfg: &EsmConfig, windows: usize) -> Vec<Snapshot> {
+    let mut clean = CoupledEsm::new(cfg.clone());
+    let mut snaps = vec![clean.snapshot()];
+    for _ in 0..windows {
+        clean.run_windows(1, false).unwrap();
+        snaps.push(clean.snapshot());
+    }
+    snaps
+}
+
+fn run_storage_chaos(mode: &str, seed: u64) {
+    let windows = 4u64;
+    let cfg = EsmConfig::tiny();
+    let dir = scratch_dir(&format!("storage_env_{mode}_{seed}"));
+
+    let mut plan = FaultFs::new();
+    match mode {
+        // Persistent ENOSPC from the nth write on: checkpoints degrade,
+        // diagnostics shed, the run itself survives. nth >= 4 so the
+        // initial 3-shard generation always lands.
+        "enospc" => {
+            plan = plan.fault(StorageFault::NoSpace {
+                nth_write: 4 + seed % 8,
+            });
+        }
+        // One torn write: retried on the checkpoint path, healed and
+        // retried on the output path.
+        "torn" => {
+            plan = plan.fault(StorageFault::TornWrite {
+                nth_write: 4 + seed % 8,
+                keep: (seed % 48) as usize,
+            });
+        }
+        // Two fsync lies: invisible while power holds, and the durability
+        // check after simulated power loss below proves a complete
+        // generation still survives them.
+        "fsync-lie" => {
+            plan = plan
+                .fault(StorageFault::FsyncLie {
+                    nth_fsync: 1 + seed % 8,
+                })
+                .fault(StorageFault::FsyncLie {
+                    nth_fsync: 9 + seed % 8,
+                });
+        }
+        // Storage dies entirely mid-run; every later checkpoint fails
+        // (recorded, not fatal) and the integration still completes.
+        "crash" => {
+            plan = plan.crash_after(24 + seed % 40);
+        }
+        other => panic!("STORAGE_CHAOS_MODE must be enospc|torn|fsync-lie|crash, got {other}"),
+    }
+    let ffs = Arc::new(plan);
+
+    let rcfg = ResilienceConfig {
+        checkpoint_every: 1,
+        diagnostics_every: 1,
+        storage: Some(ffs.clone() as Arc<dyn Storage>),
+        checkpoint_retry: RetryPolicy {
+            attempts: 4,
+            backoff: Duration::from_millis(1),
+        },
+        ..ResilienceConfig::default()
+    };
+    let mut chaotic = CoupledEsm::new(cfg.clone());
+    let report = chaotic
+        .run_windows_resilient(windows, false, &dir, &rcfg, None)
+        .unwrap_or_else(|e| panic!("{mode}/seed {seed}: storage chaos killed the run: {e}"));
+    assert_eq!(report.windows_run, windows, "{mode}/seed {seed}");
+
+    let clean_snaps = clean_window_snapshots(&cfg, windows as usize);
+    assert_eq!(
+        chaotic.snapshot(),
+        *clean_snaps.last().unwrap(),
+        "{mode}/seed {seed}: chaotic run must end bit-exact with the fault-free run"
+    );
+    match mode {
+        "enospc" | "crash" => assert!(
+            report.checkpoint_failures >= 1,
+            "{mode}/seed {seed}: persistent storage loss must show up as checkpoint failures: {report:?}"
+        ),
+        "torn" => assert!(
+            report.checkpoint_retries + report.output_write_errors >= 1,
+            "{mode}/seed {seed}: the torn write left no trace: {report:?}"
+        ),
+        _ => {}
+    }
+
+    // Reboot: clear any crash point, apply the power-loss durability
+    // model, and require that the newest surviving generation reads back
+    // bit-exact to the fault-free state at its window.
+    ffs.set_crash_after(None);
+    ffs.simulate_power_loss().expect("apply durability model");
+    let reader =
+        CheckpointRing::new(dir.clone(), "restart", 3).expect("reopen ring on the real fs");
+    let (g, got) = reader
+        .read_latest_intact(2)
+        .unwrap_or_else(|e| panic!("{mode}/seed {seed}: no intact generation survived: {e}"));
+    assert!(
+        (g as usize) <= windows as usize + 1,
+        "{mode}/seed {seed}: impossible generation {g}"
+    );
+    assert_eq!(
+        got,
+        clean_snaps[(g - 1) as usize],
+        "{mode}/seed {seed}: surviving generation {g} is not bit-exact"
+    );
+
+    // Diagnostics that did reach disk are a clean prefix-free record
+    // stream: recovery never surfaces a torn record.
+    let diag = recover_records(&dir.join("diag"), "window_means")
+        .unwrap_or_else(|e| panic!("{mode}/seed {seed}: diag recovery failed: {e}"));
+    for (i, (t, _)) in diag.records.iter().enumerate() {
+        assert_eq!(*t, (i + 1) as f64, "{mode}/seed {seed}: diag record {i} out of order");
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// CI storage-chaos entry point: `STORAGE_CHAOS_MODE` ∈ {enospc, torn,
+/// fsync-lie, crash} and `STORAGE_CHAOS_SEED` (any u64) pick one storage
+/// fault scenario; the resilient driver must absorb it, end bit-exact,
+/// and leave a durable generation behind. Defaults (no env) exercise
+/// `torn` with seed 1 so the test is meaningful locally.
+#[test]
+fn storage_chaos_from_env() {
+    let mode = std::env::var("STORAGE_CHAOS_MODE").unwrap_or_else(|_| "torn".to_string());
+    let seed: u64 = std::env::var("STORAGE_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    run_storage_chaos(&mode, seed);
+}
+
+/// The non-default env modes, pinned at one seed each, so a plain `cargo
+/// test` exercises all four scenarios without any environment setup.
+#[test]
+fn storage_chaos_all_modes_smoke() {
+    for mode in ["enospc", "fsync-lie", "crash"] {
+        run_storage_chaos(mode, 2);
+    }
+}
+
+/// `FaultFs` power loss is pessimistic about directory entries: a file
+/// written and fsynced — but whose directory entry was never fsynced —
+/// does not survive. Guards the harness itself against regressing into an
+/// optimistic model that would hide missing dir-fsyncs.
+#[test]
+fn power_loss_model_is_posix_pessimistic() {
+    let dir = scratch_dir("storage_pessimism");
+    let ffs = FaultFs::new();
+    ffs.create_dir_all(&dir).unwrap();
+    let path = dir.join("fsynced_but_volatile_entry");
+    ffs.write(&path, b"payload").unwrap();
+    ffs.fsync(&path).unwrap();
+    // No fsync_dir: the entry itself is volatile.
+    let (removed, truncated) = ffs.simulate_power_loss().unwrap();
+    assert_eq!((removed, truncated), (1, 0));
+    assert!(!path.exists(), "entry must not survive without a dir fsync");
+    std::fs::remove_dir_all(&dir).ok();
+}
