@@ -66,6 +66,11 @@ fn main() {
         .split(',')
         .filter_map(|t| t.trim().parse().ok())
         .collect();
+    assert!(
+        !widths.is_empty() && widths.windows(2).all(|w| w[1] > w[0]),
+        "SCALING_THREADS must be strictly increasing so the figure's \
+         speedup-vs-width curve is well-defined: {widths:?}"
+    );
 
     let mut cfg = EsmConfig::demo();
     cfg.bisections = bisect;
@@ -77,10 +82,12 @@ fn main() {
     let mut reference: Option<iosys::Snapshot> = None;
     let mut wall_1 = None;
     let mut results = Vec::new();
+    let mut cells = 0;
 
     for &threads in &widths {
         set_width(threads);
         let mut esm = CoupledEsm::new(cfg.clone());
+        cells = esm.grid.n_cells;
         // One warm-up window outside the timed span.
         esm.run_windows(1, false).unwrap();
         let t0 = Instant::now();
@@ -122,10 +129,12 @@ fn main() {
         });
     }
 
+    // `cells` was captured from the swept runs themselves — rebuilding a
+    // whole CoupledEsm here just to read the grid size was pure waste.
     let report = ScalingReport {
         host_threads,
         grid_bisections: cfg.bisections,
-        cells: CoupledEsm::new(cfg.clone()).grid.n_cells,
+        cells,
         windows,
         widths: results,
     };

@@ -5,9 +5,9 @@
 //! cargo run --release -p esm-bench --bin figures table1   # one artifact
 //! ```
 //!
-//! Artifacts: table1 table2 table3 fig2 fig4 dace loc cudagraphs io
-//! tau_limits mapping resilience storage cost_roofline. Output is
-//! printed and written to `results/*.json`.
+//! Artifacts: table1 table2 table3 fig2 fig4 dace loc cudagraphs
+//! graph_replay io tau_limits mapping resilience storage cost_roofline.
+//! Output is printed and written to `results/*.json`.
 
 use esm_bench::figures;
 use std::fs;
@@ -26,6 +26,7 @@ fn main() {
             "dace" => Some(figures::dace()),
             "loc" => Some(figures::loc_inventory()),
             "cudagraphs" => Some(figures::cudagraphs()),
+            "graph_replay" => Some(figures::graph_replay()),
             "io" => Some(figures::io()),
             "tau_limits" => Some(figures::tau_limits()),
             "mapping" => Some(figures::mapping()),

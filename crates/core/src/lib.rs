@@ -28,6 +28,7 @@ pub mod diagnostics;
 pub mod config;
 pub mod esm;
 pub mod health;
+pub mod replay;
 pub mod resilience;
 pub mod solar;
 pub mod supervisor;
@@ -37,6 +38,7 @@ pub use config::EsmConfig;
 pub use coupler::{FluxError, QuarantineEvent, RepairPolicy};
 pub use esm::CoupledEsm;
 pub use health::{FailureDetector, HealthConfig, HealthError, HealthEvent, HealthEventKind};
+pub use replay::{ReplayConfig, ReplayState, WindowReplayStats, WindowShape};
 pub use resilience::{EsmError, ResilienceConfig, ResilienceReport};
 pub use supervisor::{Side, SupervisorConfig};
 pub use timers::Timers;

@@ -210,6 +210,16 @@ pub struct ResilienceReport {
     pub output_write_retries: u64,
     /// Storage errors seen on the diagnostics path (including retried).
     pub output_write_errors: u64,
+    /// Coupled windows that ran as a record/replay recording pass
+    /// (see [`crate::replay`]), re-records included.
+    pub graph_recordings: u64,
+    /// Coupled windows replayed against a recorded window graph.
+    pub graph_replays: u64,
+    /// Recorded window graphs discarded: shape/certification mismatches
+    /// plus every restore (rollback-replay, rank respawn).
+    pub graph_invalidations: u64,
+    /// Recording passes that followed an invalidation.
+    pub graph_rerecords: u64,
 }
 
 /// Why one guard round failed (internal; mapped onto report strings and
@@ -375,6 +385,7 @@ impl CoupledEsm {
     ) -> Result<ResilienceReport, EsmError> {
         let mut report = ResilienceReport::default();
         let w0 = self.windows_run();
+        let graph0 = self.replay.stats;
         let storage = rcfg.storage.clone().unwrap_or_else(RealFs::shared);
         let mut ring =
             CheckpointRing::new_with(storage.clone(), dir, "restart", rcfg.keep_generations)?;
@@ -530,6 +541,11 @@ impl CoupledEsm {
         report.windows_run = done;
         report.final_generation = newest_gen;
         report.checkpoint_retries = ring.io_retries();
+        let graph = self.replay.stats;
+        report.graph_recordings = graph.recorded_windows - graph0.recorded_windows;
+        report.graph_replays = graph.replayed_windows - graph0.replayed_windows;
+        report.graph_invalidations = graph.invalidations - graph0.invalidations;
+        report.graph_rerecords = graph.rerecords - graph0.rerecords;
         if let Some(srv) = diag {
             match srv.finish() {
                 Ok(stats) => {

@@ -432,6 +432,7 @@ impl CoupledEsm {
         };
         // Generation covering the starting state, so window 0 can recover.
         sup.checkpoint(self, 0);
+        let graph0 = self.replay.stats;
 
         for w in 0..n {
             let abs = sup.w0 + w;
@@ -566,6 +567,11 @@ impl CoupledEsm {
         report.final_generation = sup.newest_gen;
         report.checkpoint_retries = sup.rings.iter().map(|r| r.io_retries()).sum();
         report.timeline = sup.detector.into_timeline();
+        let graph = self.replay.stats;
+        report.graph_recordings = graph.recorded_windows - graph0.recorded_windows;
+        report.graph_replays = graph.replayed_windows - graph0.replayed_windows;
+        report.graph_invalidations = graph.invalidations - graph0.invalidations;
+        report.graph_rerecords = graph.rerecords - graph0.rerecords;
         let mut events: Vec<_> = sup.gates[0].events().to_vec();
         events.extend_from_slice(sup.gates[1].events());
         events.sort_by_key(|e| e.window);

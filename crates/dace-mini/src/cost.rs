@@ -226,6 +226,7 @@ fn finish_program(name: &str, model: &'static str, states: Vec<StateCost>) -> Pr
         total.bytes += sc.bytes();
         total.working_set_bytes += sc.working_set_bytes;
         total.stats.map_launches += sc.stats.map_launches;
+        total.stats.dispatched_tasks += sc.stats.dispatched_tasks;
         total.stats.index_lookups += sc.stats.index_lookups;
         total.stats.field_reads += sc.stats.field_reads;
         total.stats.field_stores += sc.stats.field_stores;
@@ -271,6 +272,7 @@ pub fn analyze_naive(sdfg: &Sdfg, inputs: &CostInputs, roof: &Roofline) -> Progr
                 };
                 let evals = n * levels;
                 sc.stats.map_launches += 1;
+                sc.stats.dispatched_tasks += 1;
                 sc.flops += (t.code.flops() as u64 * evals) as f64;
                 sc.stats.field_stores += evals;
                 sc.direct_bytes += evals as f64 * ELEM_BYTES; // the store
@@ -319,7 +321,7 @@ pub fn analyze_compiled(sdfg: &Sdfg, inputs: &CostInputs, roof: &Roofline) -> Pr
                 indirect_bytes: 0.0,
                 lookup_bytes: 0.0,
                 working_set_bytes: working_set(st, inputs),
-                stats: ExecStats { map_launches: 1, ..ExecStats::default() },
+                stats: ExecStats { map_launches: 1, dispatched_tasks: 1, ..ExecStats::default() },
                 predicted_time_s: 0.0,
                 intensity: 0.0,
             };
@@ -487,6 +489,63 @@ pub fn check_regression(current: &ProgramCost, base: &BaselineEntry) -> Vec<Diag
         ));
     }
     diags
+}
+
+// ------------------------------------------------------------------
+// Dispatch prediction for graph replay
+// ------------------------------------------------------------------
+
+/// Host dispatch decisions per window under the certified eager path vs
+/// a recorded [`crate::graph::ExecGraph`] replay — the CPU analog of the
+/// paper's CUDA-graph launch-latency elimination (§5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DispatchPrediction {
+    /// Dispatches paid by `compile_certified` + eager execution: one per
+    /// sequential state, one per `rayon` task of a parallel state.
+    pub eager: u64,
+    /// Dispatches paid by a recorded-graph replay: one for the graph
+    /// launch itself plus one per node the analysis left unfrozen
+    /// (`Certification::Sequential`).
+    pub replay: u64,
+}
+
+impl DispatchPrediction {
+    /// Dispatch decisions a replay eliminates per window.
+    pub fn eliminated(&self) -> u64 {
+        self.eager.saturating_sub(self.replay)
+    }
+
+    /// Eager-to-replay dispatch ratio (the paper's ≥8x claim analog).
+    pub fn factor(&self) -> f64 {
+        self.eager as f64 / self.replay.max(1) as f64
+    }
+}
+
+/// Predict the dispatch counts of one window of `sdfg` under its
+/// certification `report`, both eager and replayed. Built by compiling
+/// the graph exactly as [`crate::graph::ExecGraph::record`] does and
+/// replicating the two executors' dispatch accounting, so the prediction
+/// equals the measured [`ExecStats::dispatched_tasks`] bit for bit
+/// (asserted by the graph-replay tests and bench figure).
+pub fn predict_dispatch(
+    sdfg: &Sdfg,
+    report: &crate::analysis::AnalysisReport,
+    sizes: &DomainSizes,
+) -> DispatchPrediction {
+    let compiled = crate::exec::compile_certified(sdfg, report);
+    let mut eager = 0u64;
+    let mut replay = 1u64; // the graph launch itself
+    for (i, cs) in compiled.states.iter().enumerate() {
+        if cs.parallel {
+            eager += rayon::task_count(sizes.size(&cs.domain)) as u64;
+        } else {
+            eager += 1;
+            if report.cert(i) == crate::analysis::Certification::Sequential {
+                replay += 1; // unfrozen node: dispatched eagerly on replay
+            }
+        }
+    }
+    DispatchPrediction { eager, replay }
 }
 
 #[cfg(test)]

@@ -24,8 +24,8 @@ use std::collections::HashMap;
 /// Topology tables: named entity domains and named neighbor relations.
 #[derive(Debug, Clone, Default)]
 pub struct TopologyContext {
-    domains: HashMap<String, usize>,
-    relations: HashMap<String, Relation>,
+    pub(crate) domains: HashMap<String, usize>,
+    pub(crate) relations: HashMap<String, Relation>,
 }
 
 #[derive(Debug, Clone)]
@@ -150,6 +150,13 @@ pub struct ExecStats {
     pub field_reads: u64,
     /// Field element stores to memory.
     pub field_stores: u64,
+    /// Dispatch decisions made by the host: one per naive statement pass,
+    /// one per compiled sequential state, one per parallel task of a
+    /// certified state — and exactly **one per window** when a recorded
+    /// [`crate::graph::ExecGraph`] replays (plus one per node the
+    /// analysis left unfrozen). This is the CPU analog of the paper's
+    /// §5.1 kernel-launch count that CUDA graphs collapse.
+    pub dispatched_tasks: u64,
 }
 
 // ------------------------------------------------------------------
@@ -164,6 +171,7 @@ pub fn run_naive(prog: &Program, topo: &TopologyContext, data: &mut DataContext)
         let n = topo.domain_size(&kernel.domain);
         for st in &kernel.statements {
             stats.map_launches += 1;
+            stats.dispatched_tasks += 1;
             let levels = if st.expr.uses_levels() || st.target.level != LevelIndex::Surface {
                 data.nlev
             } else {
@@ -275,8 +283,8 @@ struct CompiledTasklet {
 }
 
 #[derive(Debug, Clone, PartialEq)]
-struct CompiledState {
-    domain: String,
+pub(crate) struct CompiledState {
+    pub(crate) domain: String,
     over_levels: bool,
     schedule: Schedule,
     /// Unique (relation, slot) pairs resolved once per point.
@@ -286,14 +294,14 @@ struct CompiledState {
     /// Run entity-parallel. Set ONLY by [`compile_certified`] for states
     /// the analysis certified [`Certification::ParallelSafe`]; `compile`
     /// always produces the sequential schedule.
-    parallel: bool,
+    pub(crate) parallel: bool,
 }
 
 /// A compiled SDFG, ready to run repeatedly.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CompiledSdfg {
     pub name: String,
-    states: Vec<CompiledState>,
+    pub(crate) states: Vec<CompiledState>,
 }
 
 /// Compile a (transformed) SDFG: hoist and deduplicate index lookups,
@@ -523,7 +531,56 @@ impl CompiledSdfg {
     }
 }
 
+/// Reusable per-task execution scratch of one state: the value
+/// registers, the resolved neighbor indices, the expression stack, and a
+/// per-task counter slot. Sized once — at compile time for the eager
+/// runners, at **record** time for [`crate::graph::ExecGraph`] — and
+/// reused across drives, so a replayed window allocates nothing.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct StateScratch {
+    regs: Vec<f64>,
+    idx: Vec<usize>,
+    stack: Vec<f64>,
+    /// Written by the frozen parallel runner's task, summed in
+    /// task-index order by the caller (width-invariant counters).
+    stats: ExecStats,
+}
+
+impl StateScratch {
+    pub(crate) fn for_state(st: &CompiledState) -> StateScratch {
+        StateScratch {
+            regs: vec![0.0; st.loads.len() + st.tasklets.len()],
+            idx: vec![0; st.idx_lookups.len()],
+            stack: Vec::with_capacity(16),
+            stats: ExecStats::default(),
+        }
+    }
+}
+
 /// Entity-parallel execution of one certified state.
+///
+/// The eager wrapper: derives the task boundaries from the current
+/// domain size, counts one dispatch decision per task, allocates fresh
+/// per-task scratch, and delegates to the frozen runner.
+fn run_state_parallel(
+    st: &CompiledState,
+    topo: &TopologyContext,
+    data: &mut DataContext,
+    stats: &mut ExecStats,
+) {
+    let n = topo.domain_size(&st.domain);
+    let ranges = rayon::task_ranges(n);
+    stats.dispatched_tasks += ranges.len() as u64;
+    let mut scratch: Vec<StateScratch> =
+        ranges.iter().map(|_| StateScratch::for_state(st)).collect();
+    run_state_parallel_frozen(st, topo, data, stats, &ranges, &mut scratch);
+}
+
+/// One task's frozen unit of work: its entity range, its disjoint slices
+/// of every written buffer, and its private scratch.
+type TaskWork<'a> = ((usize, usize), Vec<&'a mut [f64]>, &'a mut StateScratch);
+
+/// Entity-parallel execution over **given** task boundaries and scratch.
 ///
 /// Written fields are taken out of the [`DataContext`] and pre-split at
 /// the deterministic task boundaries (`rayon::task_ranges`, a function of
@@ -532,13 +589,19 @@ impl CompiledSdfg {
 /// (certification + eligibility guarantee no load touches a written
 /// field). Per-task [`ExecStats`] are summed in task index order, so
 /// counters are bitwise invariant to thread count, like the results.
-fn run_state_parallel(
+///
+/// Counts **no** dispatch decisions: a recorded graph froze the
+/// boundaries at record time, so a replay makes none; the eager wrapper
+/// accounts for its own.
+pub(crate) fn run_state_parallel_frozen(
     st: &CompiledState,
     topo: &TopologyContext,
     data: &mut DataContext,
     stats: &mut ExecStats,
+    ranges: &[(usize, usize)],
+    scratch: &mut [StateScratch],
 ) {
-    let n = topo.domain_size(&st.domain);
+    assert_eq!(ranges.len(), scratch.len(), "one scratch per task");
     let nlev = if st.over_levels { data.nlev } else { 1 };
 
     // Take the written buffers out of the context (store-elided
@@ -571,78 +634,77 @@ fn run_state_parallel(
         .collect();
 
     // Pre-split every written buffer at the fixed entity boundaries.
-    let ranges = rayon::task_ranges(n);
-    let mut tasks: Vec<Vec<&mut [f64]>> = ranges.iter().map(|_| Vec::new()).collect();
+    let mut work: Vec<TaskWork<'_>> = ranges
+        .iter()
+        .zip(scratch.iter_mut())
+        .map(|(&r, sc)| (r, Vec::new(), sc))
+        .collect();
     for (fi, (_, buf)) in bufs.iter_mut().enumerate() {
         let stride = strides[fi];
         let mut rest: &mut [f64] = &mut buf.data;
-        for (t, &(s, e)) in ranges.iter().enumerate() {
-            let (head, tail) = rest.split_at_mut((e - s) * stride);
+        for ((s, e), slices, _) in work.iter_mut() {
+            let (head, tail) = rest.split_at_mut((*e - *s) * stride);
             rest = tail;
-            tasks[t].push(head);
+            slices.push(head);
         }
     }
 
     let shared: &DataContext = data;
-    let task_stats: Vec<ExecStats> = tasks
-        .par_iter_mut()
-        .enumerate()
-        .map(|(t, slices)| {
-            let (start, end) = ranges[t];
-            let mut local = ExecStats::default();
-            let n_regs = st.loads.len() + st.tasklets.len();
-            let mut regs = vec![0.0f64; n_regs];
-            let mut idx = vec![0usize; st.idx_lookups.len()];
-            let mut stack: Vec<f64> = Vec::with_capacity(16);
-            for e in start..end {
-                for (i, (rel, slot)) in st.idx_lookups.iter().enumerate() {
-                    idx[i] = topo.lookup(rel, e, *slot);
-                    local.index_lookups += 1;
-                }
-                for (i, l) in st.loads.iter().enumerate() {
-                    if !l.level_dependent {
-                        regs[i] = load(l, e, 0, &idx, shared, &mut local);
-                    }
-                }
-                for k in 0..nlev {
-                    for (i, l) in st.loads.iter().enumerate() {
-                        if l.level_dependent {
-                            regs[i] = load(l, e, k, &idx, shared, &mut local);
-                        }
-                    }
-                    for tl in &st.tasklets {
-                        let v = eval_ops(&tl.ops, &regs, &mut stack);
-                        regs[tl.result_reg as usize] = v;
-                        if !tl.store {
-                            continue;
-                        }
-                        let fi = field_slot[tl.write_field.as_str()];
-                        let stride = strides[fi];
-                        let kk = match tl.write_level {
-                            LevelIndex::Surface => 0,
-                            LevelIndex::K => k.min(stride - 1),
-                            LevelIndex::KOffset(o) => {
-                                (k as i64 + o as i64).clamp(0, stride as i64 - 1) as usize
-                            }
-                            LevelIndex::Fixed(f) => f.min(stride - 1),
-                        };
-                        slices[fi][(e - start) * stride + kk] = v;
-                        local.field_stores += 1;
-                    }
+    work.par_iter_mut().for_each(|item| {
+        let ((start, end), slices, sc) = item;
+        let (start, end) = (*start, *end);
+        let mut local = ExecStats::default();
+        let regs = &mut sc.regs;
+        let idx = &mut sc.idx;
+        let stack = &mut sc.stack;
+        for e in start..end {
+            for (i, (rel, slot)) in st.idx_lookups.iter().enumerate() {
+                idx[i] = topo.lookup(rel, e, *slot);
+                local.index_lookups += 1;
+            }
+            for (i, l) in st.loads.iter().enumerate() {
+                if !l.level_dependent {
+                    regs[i] = load(l, e, 0, idx, shared, &mut local);
                 }
             }
-            local
-        })
-        .collect();
+            for k in 0..nlev {
+                for (i, l) in st.loads.iter().enumerate() {
+                    if l.level_dependent {
+                        regs[i] = load(l, e, k, idx, shared, &mut local);
+                    }
+                }
+                for tl in &st.tasklets {
+                    let v = eval_ops(&tl.ops, regs, stack);
+                    regs[tl.result_reg as usize] = v;
+                    if !tl.store {
+                        continue;
+                    }
+                    let fi = field_slot[tl.write_field.as_str()];
+                    let stride = strides[fi];
+                    let kk = match tl.write_level {
+                        LevelIndex::Surface => 0,
+                        LevelIndex::K => k.min(stride - 1),
+                        LevelIndex::KOffset(o) => {
+                            (k as i64 + o as i64).clamp(0, stride as i64 - 1) as usize
+                        }
+                        LevelIndex::Fixed(f) => f.min(stride - 1),
+                    };
+                    slices[fi][(e - start) * stride + kk] = v;
+                    local.field_stores += 1;
+                }
+            }
+        }
+        sc.stats = local;
+    });
 
     // Release the split borrows before handing the buffers back.
-    drop(tasks);
+    drop(work);
 
     // Task-order summation: width-invariant counters.
-    for ts in task_stats {
-        stats.index_lookups += ts.index_lookups;
-        stats.field_reads += ts.field_reads;
-        stats.field_stores += ts.field_stores;
+    for sc in scratch.iter() {
+        stats.index_lookups += sc.stats.index_lookups;
+        stats.field_reads += sc.stats.field_reads;
+        stats.field_stores += sc.stats.field_stores;
     }
 
     // Hand the written buffers back.
@@ -651,13 +713,31 @@ fn run_state_parallel(
     }
 }
 
+/// Sequential execution of one state: the eager wrapper counts its one
+/// dispatch decision and allocates fresh scratch.
 fn run_state(st: &CompiledState, topo: &TopologyContext, data: &mut DataContext, stats: &mut ExecStats) {
+    stats.dispatched_tasks += 1;
+    let mut scratch = StateScratch::for_state(st);
+    run_state_with(st, topo, data, stats, &mut scratch);
+}
+
+/// Sequential execution of one state over **given** scratch. Counts no
+/// dispatch decisions (see [`run_state_parallel_frozen`]).
+pub(crate) fn run_state_with(
+    st: &CompiledState,
+    topo: &TopologyContext,
+    data: &mut DataContext,
+    stats: &mut ExecStats,
+    scratch: &mut StateScratch,
+) {
     let n = topo.domain_size(&st.domain);
     let nlev = if st.over_levels { data.nlev } else { 1 };
-    let n_regs = st.loads.len() + st.tasklets.len();
-    let mut regs = vec![0.0f64; n_regs];
-    let mut idx = vec![0usize; st.idx_lookups.len()];
-    let mut stack: Vec<f64> = Vec::with_capacity(16);
+    // Move the scratch vectors out (and back below): zero allocation,
+    // and the body below is identical to the historical eager runner —
+    // replay correctness is by construction, not by a parallel code path.
+    let mut regs = std::mem::take(&mut scratch.regs);
+    let mut idx = std::mem::take(&mut scratch.idx);
+    let mut stack = std::mem::take(&mut scratch.stack);
 
     let entity_body = |e: usize,
                        regs: &mut [f64],
@@ -727,6 +807,10 @@ fn run_state(st: &CompiledState, topo: &TopologyContext, data: &mut DataContext,
             }
         }
     }
+
+    scratch.regs = regs;
+    scratch.idx = idx;
+    scratch.stack = stack;
 }
 
 #[inline]
@@ -1004,7 +1088,16 @@ mod tests {
         let s1 = seq.run(&topo, &mut d_seq);
         let s2 = par.run(&topo, &mut d_par);
         assert_eq!(d_seq, d_par, "parallel schedule is bitwise identical");
-        assert_eq!(s1, s2, "stats summed in task order are width-invariant");
+        // Memory-traffic counters are summed in task order and therefore
+        // width-invariant; only the dispatch count differs: the parallel
+        // schedule dispatches one task per fixed range, the sequential
+        // one a single task per state.
+        assert_eq!(s1.map_launches, s2.map_launches);
+        assert_eq!(s1.index_lookups, s2.index_lookups);
+        assert_eq!(s1.field_reads, s2.field_reads);
+        assert_eq!(s1.field_stores, s2.field_stores);
+        assert_eq!(s1.dispatched_tasks, seq.n_states() as u64);
+        assert_eq!(s2.dispatched_tasks, rayon::task_count(300) as u64);
     }
 
     #[test]

@@ -30,6 +30,11 @@
 //!   launches one pass per statement and re-resolves every index lookup
 //!   (the OpenACC-style baseline), and a compiled bytecode executor for
 //!   the transformed SDFG (fused passes, cached lookups and loads);
+//! * [`graph`] — recorded execution graphs, the CPU analog of the paper's
+//!   CUDA-graph replay (§5.1): one certified eager window is frozen into
+//!   an arena-allocated [`graph::ExecGraph`] (buffers sized, task ranges
+//!   and scratch fixed at record time) that replays later windows with a
+//!   single dispatch decision and zero allocation;
 //! * [`loc`] — the source-line classifier reproducing the code-complexity
 //!   numbers (2728 -> ~1400 lines, 20 % OpenACC / 12 % other directives /
 //!   6 % duplicated loops);
@@ -42,6 +47,7 @@ pub mod cost;
 pub mod diag;
 pub mod exec;
 pub mod fixtures;
+pub mod graph;
 pub mod loc;
 pub mod memlet;
 pub mod parser;
@@ -51,5 +57,7 @@ pub mod transforms;
 
 pub use analysis::{AnalysisContext, AnalysisError, AnalysisReport, Certification};
 pub use ast::Program;
+pub use cost::{predict_dispatch, DispatchPrediction};
 pub use exec::{DataContext, ExecStats, TopologyContext};
+pub use graph::{ExecGraph, GraphInvalid, ShapeSignature};
 pub use sdfg::Sdfg;

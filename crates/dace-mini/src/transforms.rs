@@ -393,6 +393,20 @@ pub fn gh200_hoisted_pipeline(sdfg: &Sdfg) -> (Sdfg, HoistReport) {
     (scheduled, report)
 }
 
+/// [`gh200_hoisted_pipeline`] plus certification: declares the hoisted
+/// transients in a copy of `ctx` and verifies the optimized graph, so
+/// callers get the transformed SDFG together with the `AnalysisReport`
+/// that gates parallel execution and graph recording in one call.
+pub fn gh200_certified_pipeline(
+    sdfg: &Sdfg,
+    ctx: &crate::analysis::AnalysisContext,
+) -> (Sdfg, crate::analysis::AnalysisReport, HoistReport) {
+    let (opt, hoist) = gh200_hoisted_pipeline(sdfg);
+    let ctx = hoist.declare(ctx);
+    let report = crate::analysis::verify_sdfg(&opt, &ctx);
+    (opt, report, hoist)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

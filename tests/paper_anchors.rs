@@ -69,6 +69,47 @@ fn land_cuda_graph_speedup_band() {
     }
 }
 
+/// §5.1 (`results/cudagraphs.json` / the `graph_replay` figure): replay
+/// dispatch overhead for the land-model suite is at most 1/8 of eager
+/// per-window dispatch — the structural floor under the paper's 8-10x
+/// CUDA-graph speedup. Measured on the real mini-JSBach kernels, both
+/// launch modes.
+#[test]
+fn land_replay_dispatch_is_at_most_an_eighth_of_eager() {
+    use icongrid::Grid;
+    use land::{kernels::LaunchMode, LandModel, LandParams};
+    use std::sync::Arc;
+    let steps = 3u64;
+    let mut launches = [0u64; 2];
+    for (i, mode) in [LaunchMode::Individual, LaunchMode::Graph].into_iter().enumerate() {
+        let g = Arc::new(Grid::build(3, icongrid::EARTH_RADIUS_M));
+        let land_cells: Vec<u32> = (0..g.n_cells as u32)
+            .filter(|&c| g.cell_center[c as usize].x > 0.0)
+            .collect();
+        let elev: Vec<f64> = (0..g.n_cells)
+            .map(|c| g.cell_center[c].x.max(0.0) * 1000.0)
+            .collect();
+        let mut m = LandModel::new(g, LandParams::new(600.0), land_cells, &elev, mode);
+        for _ in 0..steps {
+            m.step();
+        }
+        launches[i] = match mode {
+            // Every kernel pays a dispatch, every step.
+            LaunchMode::Individual => m.recorder.kernel_launches / steps,
+            // One graph launch per replayed step.
+            LaunchMode::Graph => {
+                assert_eq!(m.recorder.graph_replays, steps - 1);
+                1
+            }
+        };
+    }
+    let [eager, replay] = launches;
+    assert!(
+        replay * 8 <= eager,
+        "replay dispatch {replay}/window must be <= 1/8 of eager {eager}/window"
+    );
+}
+
 /// §5.1: in the paper's mapping the ocean runs "for free" — the
 /// atmosphere never waits for it at any benchmarked scale.
 #[test]

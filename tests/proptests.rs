@@ -1,7 +1,7 @@
 //! Property-based tests over the core invariants (DESIGN.md §5) and the
 //! storage fault model (DESIGN.md §11).
 
-use dace_mini::{exec, sdfg::Sdfg, suite, transforms};
+use dace_mini::{analysis, exec, parser, sdfg::Sdfg, suite, transforms, ExecGraph, GraphInvalid};
 use icongrid::column::thomas_solve;
 use icongrid::geom::Vec3;
 use icongrid::{ops, Decomposition, Field3, Grid};
@@ -9,6 +9,104 @@ use proptest::prelude::*;
 
 fn small_grid() -> Grid {
     Grid::build(2, icongrid::EARTH_RADIUS_M)
+}
+
+const RAND_NLEV: usize = 4;
+
+/// Declarations for the random-kernel generator below: the
+/// `fixtures::base_ctx` field set at the test nlev.
+fn rand_kernel_ctx() -> analysis::AnalysisContext {
+    use analysis::FieldIo;
+    analysis::AnalysisContext::new()
+        .domain("cells")
+        .domain("edges")
+        .relation("edge", "cells", "edges", 3)
+        .relation("neighbor", "cells", "cells", 3)
+        .field("inp", "cells", true, FieldIo::Input)
+        .field("x", "cells", true, FieldIo::Input)
+        .field("th", "cells", true, FieldIo::Input)
+        .field("vn_e", "edges", true, FieldIo::Input)
+        .field("out", "cells", true, FieldIo::Output)
+        .field("out2", "cells", true, FieldIo::Output)
+        .with_halo(1)
+        .with_nlev(RAND_NLEV)
+}
+
+/// A random *certifiable* kernel: 1-2 statements writing `out`/`out2`
+/// at the own point from gathers and own reads of input fields only —
+/// no self-reads, no scatters — so the verifier must certify every
+/// state (`ParallelSafe`, never `Sequential`).
+fn rand_kernel_src(seed: u64, n_stmts: usize) -> String {
+    fn rnd(state: &mut u64) -> u64 {
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        *state
+    }
+    fn term(buf: &mut String, state: &mut u64) {
+        match rnd(state) % 8 {
+            0 => buf.push_str("inp(p,k)"),
+            1 => buf.push_str("x(p,k)"),
+            2 => buf.push_str("th(p,k)"),
+            3 => buf.push_str("inp(p,0)"),
+            4 | 5 => {
+                let s = rnd(state) % 3;
+                buf.push_str(&format!("vn_e(edge(p,{s}),k)"));
+            }
+            6 => {
+                let s = rnd(state) % 3;
+                buf.push_str(&format!("inp(neighbor(p,{s}),k)"));
+            }
+            _ => {
+                let c = (rnd(state) % 19) as f64 / 4.0 + 0.25;
+                buf.push_str(&format!("{c:.2}"));
+            }
+        }
+    }
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    let mut src = String::from("kernel randk over cells\n");
+    for i in 0..n_stmts {
+        let target = if i == 0 { "out" } else { "out2" };
+        src.push_str(&format!("  {target}(p,k) = "));
+        let n_terms = 2 + (rnd(&mut state) % 3) as usize;
+        for t in 0..n_terms {
+            if t > 0 {
+                src.push_str(match rnd(&mut state) % 3 {
+                    0 => " + ",
+                    1 => " * ",
+                    _ => " - ",
+                });
+            }
+            term(&mut src, &mut state);
+        }
+        src.push_str(";\n");
+    }
+    src.push_str("end");
+    src
+}
+
+/// Random data for the random kernels (synthetic_data fills the dycore
+/// suite's fields, not these).
+fn rand_kernel_data(topo: &dace_mini::TopologyContext, seed: u64) -> dace_mini::DataContext {
+    use dace_mini::exec::FieldBuf;
+    let mut d = dace_mini::DataContext::new(RAND_NLEV);
+    let mut state = seed.wrapping_mul(0xD1B54A32D192ED03) | 1;
+    let mut rnd = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+    };
+    for (name, domain) in [("inp", "cells"), ("x", "cells"), ("th", "cells"), ("vn_e", "edges")] {
+        let mut f = FieldBuf::zeros(topo.domain_size(domain), RAND_NLEV);
+        for v in f.data.iter_mut() {
+            *v = rnd() * 2.0 + 1.0;
+        }
+        d.add(name, f);
+    }
+    d.add("out", FieldBuf::zeros(topo.domain_size("cells"), RAND_NLEV));
+    d.add("out2", FieldBuf::zeros(topo.domain_size("cells"), RAND_NLEV));
+    d
 }
 
 proptest! {
@@ -187,6 +285,97 @@ proptest! {
         let strict = read_records(&dir, "var").expect("post-repair stream is clean");
         prop_assert_eq!(&strict, &rec.records);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Any random certified kernel agrees bitwise across all three
+    /// execution backends: naive interpretation, certified-parallel
+    /// compilation, and recorded-graph replay (ISSUE 7).
+    #[test]
+    fn random_certified_kernels_agree_across_naive_parallel_and_replay(
+        seed in 0u64..1_000_000,
+        half_cells in 8usize..32,
+        extra_stmt in 0u8..2,
+    ) {
+        let src = rand_kernel_src(seed, 1 + extra_stmt as usize);
+        let prog = parser::parse(&src).expect("generated kernels are grammatical");
+        let sdfg = Sdfg::from_program("randk", &prog);
+        let report = analysis::verify_sdfg(&sdfg, &rand_kernel_ctx());
+        prop_assert!(report.is_clean(), "{}:\n{:?}", src, report.errors().collect::<Vec<_>>());
+        for i in 0..sdfg.states.len() {
+            // Gather-only kernels must certify (never `Sequential`).
+            prop_assert_ne!(report.cert(i), dace_mini::Certification::Sequential);
+        }
+
+        let topo = suite::synthetic_topology(2 * half_cells);
+        let d0 = rand_kernel_data(&topo, seed);
+        let mut d_naive = d0.clone();
+        let mut d_cert = d0.clone();
+        let mut d_replay = d0;
+        // Window 0 (recording IS an eager window), then a replayed window.
+        exec::run_naive(&prog, &topo, &mut d_naive);
+        exec::compile_certified(&sdfg, &report).run(&topo, &mut d_cert);
+        let (mut graph, _) = ExecGraph::record("randk", &sdfg, &report, &topo, &mut d_replay);
+        prop_assert_eq!(&d_naive, &d_cert, "naive vs certified-parallel");
+        prop_assert_eq!(&d_naive, &d_replay, "naive vs recording pass");
+        exec::run_naive(&prog, &topo, &mut d_naive);
+        exec::compile_certified(&sdfg, &report).run(&topo, &mut d_cert);
+        graph.replay(&topo, &mut d_replay).expect("shapes unchanged");
+        prop_assert_eq!(&d_naive, &d_cert, "window 2: naive vs certified-parallel");
+        prop_assert_eq!(&d_naive, &d_replay, "window 2: naive vs replay");
+    }
+
+    /// Mutating any buffer's entity extent after recording must surface
+    /// the typed invalidation event — never a stale replay, never a
+    /// crash — and a re-record over the new shape must succeed.
+    #[test]
+    fn shape_mutation_after_record_forces_rerecord_not_stale_replay(
+        seed in 0u64..1_000_000,
+        which in 0usize..4,
+        grow in 1usize..4,
+    ) {
+        let src = rand_kernel_src(seed, 2);
+        let prog = parser::parse(&src).expect("generated kernels are grammatical");
+        let sdfg = Sdfg::from_program("randk", &prog);
+        let report = analysis::verify_sdfg(&sdfg, &rand_kernel_ctx());
+        prop_assert!(report.is_clean());
+
+        let topo = suite::synthetic_topology(24);
+        let mut data = rand_kernel_data(&topo, seed);
+        let (mut graph, _) = ExecGraph::record("randk", &sdfg, &report, &topo, &mut data);
+        graph.replay(&topo, &mut data).expect("valid while shapes hold");
+
+        // Grow one input buffer's entity extent.
+        let field = ["inp", "x", "th", "vn_e"][which];
+        let before = data.clone();
+        {
+            let f = data.fields.get_mut(field).unwrap();
+            f.n += grow;
+            f.data.resize(f.n * f.nlev, 1.0);
+        }
+        match graph.replay(&topo, &mut data) {
+            Err(GraphInvalid::ShapeChanged { what, .. }) => {
+                prop_assert!(what.contains(field), "diff names '{}': {}", field, what);
+            }
+            Ok(_) => prop_assert!(false, "stale replay executed after shape change"),
+            Err(other) => prop_assert!(false, "wrong invalidation: {:?}", other),
+        }
+        // The refused replay executed nothing.
+        {
+            let f = data.fields.get_mut(field).unwrap();
+            f.n -= grow;
+            f.data.truncate(f.n * f.nlev);
+        }
+        prop_assert_eq!(&data, &before, "refused replay must not execute");
+
+        // Re-record over the mutated shape: the invalidation's answer.
+        {
+            let f = data.fields.get_mut(field).unwrap();
+            f.n += grow;
+            f.data.resize(f.n * f.nlev, 1.0);
+        }
+        let (mut g2, _) = ExecGraph::record("randk", &sdfg, &report, &topo, &mut data);
+        g2.replay(&topo, &mut data).expect("re-recorded graph replays");
+        prop_assert!(g2.signature() != graph.signature(), "new shape, new signature");
     }
 
     /// Ocean sea-ice thermodynamics conserve energy for any surface state.

@@ -88,6 +88,29 @@ fn chaos_full_schedule_at(threads: usize) {
     );
     assert_eq!(report.faults_absorbed.len(), 2, "{:?}", report.faults_absorbed);
 
+    // The recorded window graph composes with rollback-replay: every
+    // rollback restores an earlier trajectory, which must invalidate the
+    // frozen graph (never replay stale buffers across a restore) and
+    // re-record on the next window.
+    assert_eq!(
+        report.graph_invalidations, report.rollbacks,
+        "each rollback's restore invalidates the recorded graph"
+    );
+    assert_eq!(
+        report.graph_rerecords, report.rollbacks,
+        "each invalidation is answered by exactly one re-record"
+    );
+    assert_eq!(
+        report.graph_recordings,
+        1 + report.rollbacks,
+        "window 0 records, plus one re-record per rollback"
+    );
+    assert!(
+        report.graph_replays >= report.windows_run - report.graph_recordings,
+        "committed windows that did not record must have replayed: {:?}",
+        (report.graph_replays, report.graph_recordings)
+    );
+
     // Every planned fault actually fired (the tolerated ones too).
     let fired = plan.report();
     assert_eq!(fired.dropped, 1);
@@ -263,6 +286,25 @@ fn supervised_ocean_fault_at(threads: usize, mode: &str) {
         );
     }
 
+    // Rank recovery under a recorded graph: the respawn restores each
+    // side as it rolls back, and a fast window re-records between the two
+    // restores — so one respawn costs two invalidations, each answered by
+    // exactly one re-record, and the run stays bit-exact (checked below).
+    assert_eq!(
+        report.graph_invalidations, 2,
+        "{label}: both restores of the respawn invalidate the recorded graph"
+    );
+    assert_eq!(
+        report.graph_rerecords, report.graph_invalidations,
+        "{label}: every invalidation is answered by a re-record"
+    );
+    assert_eq!(
+        report.graph_recordings,
+        1 + report.graph_rerecords,
+        "{label}: window 0 plus the post-restore re-records"
+    );
+    assert!(report.graph_replays >= 2, "{label}");
+
     assert_matches_fault_free(&chaotic, windows, &label);
     std::fs::remove_dir_all(&dir).ok();
 }
@@ -371,6 +413,11 @@ fn chaos_matrix_from_env() {
             }
         } else {
             assert_eq!(report.respawns, 1, "{label}: {:?}", report.timeline);
+            assert!(
+                report.graph_invalidations >= 1,
+                "{label}: a respawn must invalidate the recorded window graph"
+            );
+            assert_eq!(report.graph_rerecords, report.graph_invalidations, "{label}");
             assert_matches_fault_free(&esm, windows, &label);
         }
         std::fs::remove_dir_all(&dir).ok();
