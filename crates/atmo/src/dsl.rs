@@ -37,38 +37,41 @@ kernel atm_vertical over cells
 end
 "#;
 
-/// Field declarations of [`DSL_SRC`]: `(name, domain, is_3d, io)` with
-/// `io` one of `"in"`, `"out"`, `"tmp"`.
-pub fn dsl_fields() -> Vec<(&'static str, &'static str, bool, &'static str)> {
+/// Field declarations of [`DSL_SRC`]: `(name, domain, is_3d, io, unit)`
+/// with `io` one of `"in"`, `"out"`, `"tmp"` and `unit` a physical unit
+/// in `dace-mini` syntax (`"1"` for dimensionless). The lint driver
+/// feeds the units to the dimensional-analysis pass, which proves every
+/// statement of [`DSL_SRC`] dimensionally consistent.
+pub fn dsl_fields() -> Vec<(&'static str, &'static str, bool, &'static str, &'static str)> {
     vec![
-        ("mflux", "edges", true, "in"),
-        ("vn", "edges", true, "in"),
-        ("vt", "edges", true, "in"),
-        ("delta", "cells", true, "in"),
-        ("theta", "cells", true, "in"),
-        ("buoy", "cells", true, "in"),
-        ("gk", "cells", true, "in"),
-        ("geofac1", "cells", false, "in"),
-        ("geofac2", "cells", false, "in"),
-        ("geofac3", "cells", false, "in"),
-        ("ew1", "cells", false, "in"),
-        ("ew2", "cells", false, "in"),
-        ("ew3", "cells", false, "in"),
-        ("dt", "cells", false, "in"),
-        ("montg_s", "cells", false, "in"),
-        ("inv_dz", "cells", false, "in"),
-        ("inv_dual", "edges", false, "in"),
-        ("dt_e", "edges", false, "in"),
-        ("fcor", "edges", false, "in"),
-        ("mass_div", "cells", true, "out"),
-        ("z_ekinh", "cells", true, "out"),
-        ("delta_t", "cells", true, "out"),
-        ("montg", "cells", true, "out"),
-        ("grad_m", "edges", true, "out"),
-        ("grad_e", "edges", true, "out"),
-        ("vn_t", "edges", true, "out"),
-        ("dtheta", "cells", true, "out"),
-        ("w_tend", "cells", true, "out"),
+        ("mflux", "edges", true, "in", "kg m^-2 s^-1"),
+        ("vn", "edges", true, "in", "m s^-1"),
+        ("vt", "edges", true, "in", "m s^-1"),
+        ("delta", "cells", true, "in", "1"),
+        ("theta", "cells", true, "in", "K"),
+        ("buoy", "cells", true, "in", "K m^-1"),
+        ("gk", "cells", true, "in", "m^2 s^-2"),
+        ("geofac1", "cells", false, "in", "m^2 kg^-1"),
+        ("geofac2", "cells", false, "in", "m^2 kg^-1"),
+        ("geofac3", "cells", false, "in", "m^2 kg^-1"),
+        ("ew1", "cells", false, "in", "1"),
+        ("ew2", "cells", false, "in", "1"),
+        ("ew3", "cells", false, "in", "1"),
+        ("dt", "cells", false, "in", "s"),
+        ("montg_s", "cells", false, "in", "m^2 s^-2"),
+        ("inv_dz", "cells", false, "in", "m^-1"),
+        ("inv_dual", "edges", false, "in", "m^-1"),
+        ("dt_e", "edges", false, "in", "s"),
+        ("fcor", "edges", false, "in", "s^-1"),
+        ("mass_div", "cells", true, "out", "s^-1"),
+        ("z_ekinh", "cells", true, "out", "m^2 s^-2"),
+        ("delta_t", "cells", true, "out", "1"),
+        ("montg", "cells", true, "out", "m^2 s^-2"),
+        ("grad_m", "edges", true, "out", "m s^-2"),
+        ("grad_e", "edges", true, "out", "m s^-2"),
+        ("vn_t", "edges", true, "out", "m s^-1"),
+        ("dtheta", "cells", true, "out", "K"),
+        ("w_tend", "cells", true, "out", "K m^-1"),
     ]
 }
 
@@ -105,7 +108,7 @@ mod tests {
         // declared relation, or the kernel header keywords.
         let declared: Vec<&str> = dsl_fields()
             .iter()
-            .map(|(n, _, _, _)| *n)
+            .map(|(n, _, _, _, _)| *n)
             .chain(dsl_relations().iter().map(|(n, _, _, _)| *n))
             .collect();
         for line in DSL_SRC.lines() {

@@ -49,22 +49,6 @@ pub use model::Atmosphere;
 pub use params::AtmParams;
 pub use state::AtmState;
 
-/// Physical ranges of the fluxes this component exports at the coupler
-/// boundary, as `(field, min, max)`. Deliberately generous envelopes: a
-/// violation means garbage (sign error, unit error, blow-up), not an
-/// extreme weather event. Consumed by the coupler's quarantine gate; kept
-/// as plain tuples so the component does not depend on the coupler crate.
-pub fn coupling_flux_bounds() -> &'static [(&'static str, f64, f64)] {
-    &[
-        // Turbulent momentum flux (N/m^2): severe-storm stresses are ~5.
-        ("wind_stress_n", -100.0, 100.0),
-        // Net surface heat flux (W/m^2): extremes are a few hundred.
-        ("heat_flux", -5000.0, 5000.0),
-        // CO2 partial pressure (ppmv).
-        ("pco2_atm", 0.0, 10_000.0),
-        // Shortwave at the surface (W/m^2): solar constant caps ~1361.
-        ("sw_down", 0.0, 1_500.0),
-        // Lowest-level wind speed (m/s).
-        ("wind", -500.0, 500.0),
-    ]
-}
+// The coupling-flux bounds formerly exported here (`coupling_flux_bounds`)
+// live in the typed registry `coupler::fluxreg`, alongside each flux's
+// physical unit and conserved class.

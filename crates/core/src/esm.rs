@@ -903,6 +903,33 @@ mod tests {
     }
 
     #[test]
+    fn fluxspec_tables_match_the_actual_exchange_bundles() {
+        // `fluxspec::consumed_by_*` restates what the window functions
+        // unpack; pin the tables against the real `FluxSet` keys so the
+        // declaration and the code cannot drift apart.
+        let esm = tiny();
+        let to_fast = initial_to_fast(&esm.ocean, &esm.hamocc);
+        let mut want: Vec<&str> = crate::fluxspec::consumed_by_fast()
+            .into_iter()
+            .map(|(n, _, _)| n)
+            .collect();
+        let mut got: Vec<&str> = to_fast.fields.iter().map(|(n, _)| *n).collect();
+        want.sort_unstable();
+        got.sort_unstable();
+        assert_eq!(got, want, "fast-side bundle drifted from fluxspec");
+
+        let to_slow = initial_to_slow(esm.grid.as_ref());
+        let mut want: Vec<&str> = crate::fluxspec::consumed_by_slow()
+            .into_iter()
+            .map(|(n, _, _)| n)
+            .collect();
+        let mut got: Vec<&str> = to_slow.fields.iter().map(|(n, _)| *n).collect();
+        want.sort_unstable();
+        got.sort_unstable();
+        assert_eq!(got, want, "slow-side bundle drifted from fluxspec");
+    }
+
+    #[test]
     fn builds_all_components_consistently() {
         let esm = tiny();
         let g = esm.grid.as_ref();

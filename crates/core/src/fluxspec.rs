@@ -1,0 +1,115 @@
+//! The consumer side of the coupling-flux contract.
+//!
+//! `coupler::fluxreg` declares what each component **emits** at the
+//! coupler boundary (bounds, unit, conserved class). This module declares
+//! what the driver's two window functions (`esm::fast_window`,
+//! `esm::slow_window`) actually **consume** and which `core::budgets`
+//! ledgers the conserved fluxes are accumulated into. The `esm-lint`
+//! conservation phase joins the two sides and reports E0605 (flux emitted
+//! but never consumed / unit or sign mismatch) and E0606 (conserved class
+//! without a matching ledger accumulation).
+//!
+//! These tables restate what the driver code does; the tests in
+//! [`crate::esm`] pin them against the actual `FluxSet` keys so the two
+//! cannot drift apart silently.
+
+use coupler::ConservedClass;
+
+/// One flux as consumed by a driver window: `(name, unit, positive_down)`.
+/// Unit and sign must match the emitter's declaration in
+/// `coupler::fluxreg` exactly (checked as E0605).
+pub type ConsumedFlux = (&'static str, &'static str, bool);
+
+/// Fluxes the fast (atmosphere + land) window unpacks from the incoming
+/// ocean bundle, in the order `esm::fast_window` reads them.
+pub fn consumed_by_fast() -> Vec<ConsumedFlux> {
+    vec![
+        ("sst", "K", false),
+        ("ice_conc", "1", false),
+        ("co2_flux_up", "kg m^-2", false),
+    ]
+}
+
+/// Fluxes the slow (ocean + BGC) window unpacks from the incoming
+/// atmosphere/land bundle, in the order `esm::slow_window` reads them.
+pub fn consumed_by_slow() -> Vec<ConsumedFlux> {
+    vec![
+        ("wind_stress_n", "N m^-2", true),
+        ("heat_flux", "W m^-2", true),
+        ("fw_flux", "m s^-1", true),
+        ("pco2_atm", "1", false),
+        ("sw_down", "W m^-2", true),
+        ("wind", "m s^-1", false),
+    ]
+}
+
+/// Which budget ledger each conserved flux is accumulated into:
+/// freshwater into [`crate::budgets::WaterBudget`] (via
+/// `ocean_water_received_kg`), the air-sea carbon flux into
+/// [`crate::budgets::CarbonBudget`] (via the NEE/outgassing terms).
+/// There is no energy ledger, so `heat_flux`/`sw_down` carry
+/// `ConservedClass::None` in the registry and do not appear here.
+pub fn ledgered() -> Vec<(&'static str, ConservedClass)> {
+    vec![
+        ("fw_flux", ConservedClass::Water),
+        ("co2_flux_up", ConservedClass::Carbon),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn consumed_units_and_signs_match_the_registry() {
+        // The E0605 join the lint performs, pinned here so a drift
+        // between the tables fails close to the edit.
+        for (name, unit, down) in consumed_by_fast().into_iter().chain(consumed_by_slow()) {
+            let d = coupler::fluxreg::decl(name)
+                .unwrap_or_else(|| panic!("`{name}` consumed but never declared"));
+            assert_eq!(d.unit, unit, "`{name}`: unit drift");
+            assert_eq!(d.positive_down, down, "`{name}`: sign-convention drift");
+        }
+    }
+
+    #[test]
+    fn every_registry_flux_is_consumed_exactly_once() {
+        let consumed: Vec<&str> = consumed_by_fast()
+            .into_iter()
+            .chain(consumed_by_slow())
+            .map(|(n, _, _)| n)
+            .collect();
+        for d in coupler::fluxreg::registry() {
+            assert_eq!(
+                consumed.iter().filter(|n| **n == d.name).count(),
+                1,
+                "`{}` must have exactly one consumer",
+                d.name
+            );
+        }
+        assert_eq!(consumed.len(), coupler::fluxreg::registry().len());
+    }
+
+    #[test]
+    fn ledgered_fluxes_cover_every_conserved_class_in_the_registry() {
+        let ledg = ledgered();
+        for d in coupler::fluxreg::registry() {
+            match d.conserved {
+                ConservedClass::None => {
+                    assert!(
+                        !ledg.iter().any(|(n, _)| *n == d.name),
+                        "`{}` ledgered but not conserved",
+                        d.name
+                    );
+                }
+                class => {
+                    assert!(
+                        ledg.iter().any(|(n, c)| *n == d.name && *c == class),
+                        "`{}` carries {class} but has no matching ledger entry",
+                        d.name
+                    );
+                }
+            }
+        }
+    }
+}

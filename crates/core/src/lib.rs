@@ -27,6 +27,7 @@ pub mod budgets;
 pub mod diagnostics;
 pub mod config;
 pub mod esm;
+pub mod fluxspec;
 pub mod health;
 pub mod replay;
 pub mod resilience;

@@ -375,10 +375,10 @@ impl CoupledEsm {
     ) -> Result<ResilienceReport, EsmError> {
         let n = n_windows;
         let mut gate_fast = QuarantineGate::new(scfg.policy);
-        gate_fast.declare_all(atmo::coupling_flux_bounds());
-        gate_fast.declare_all(land::coupling_flux_bounds());
+        gate_fast.declare_all(&coupler::fluxreg::bounds_of("atmo"));
+        gate_fast.declare_all(&coupler::fluxreg::bounds_of("land"));
         let mut gate_slow = QuarantineGate::new(scfg.policy);
-        gate_slow.declare_all(ocean::coupling_flux_bounds());
+        gate_slow.declare_all(&coupler::fluxreg::bounds_of("ocean"));
 
         let mut fallback = [
             PersistenceFallback::new(scfg.max_consecutive_degraded),

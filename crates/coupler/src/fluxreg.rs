@@ -1,0 +1,232 @@
+//! The typed coupling-flux registry: one source of truth for every field
+//! exchanged across the coupler boundary.
+//!
+//! Before this module, three per-crate `coupling_flux_bounds()` string
+//! tables (atmo, land, ocean) each declared `(name, min, max)` and the
+//! quarantine gate was their only consumer. The registry replaces them
+//! with a single typed table that also carries the **physical unit** and
+//! the **conserved quantity class** of each flux, so three consumers
+//! share one declaration:
+//!
+//! * [`crate::quarantine::QuarantineGate`] screens values against the
+//!   bounds (via [`bounds_of`], which reproduces the exact tuples and
+//!   declaration order of the old per-crate tables);
+//! * the `esm-lint` units phase checks that every emitted flux is
+//!   consumed with a matching unit and sign convention (E0605);
+//! * the conservation-closure check verifies that every flux carrying a
+//!   conserved class is accumulated into a matching `core::budgets`
+//!   ledger (E0606).
+
+use dace_mini::units::ConservedClass;
+
+/// Declaration of one coupler-exchanged field: bounds for the quarantine
+/// gate, unit and conservation class for the static closure checks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FluxDecl {
+    pub name: &'static str,
+    /// Component that produces the field (`"atmo"`, `"land"`, `"ocean"`).
+    pub emitter: &'static str,
+    /// Physical range; a violation means garbage (sign error, unit
+    /// error, blow-up), not an extreme event.
+    pub min: f64,
+    pub max: f64,
+    /// Physical unit in `dace_mini::units` syntax (`"1"` = dimensionless).
+    pub unit: &'static str,
+    /// Conserved quantity the flux carries across the boundary, if any.
+    /// `ConservedClass::None` marks diagnostic/state exchanges and
+    /// fluxes whose budget the driver does not (yet) ledger.
+    pub conserved: ConservedClass,
+    /// Sign convention: `true` if positive values are directed downward
+    /// (atmosphere -> surface/ocean). Consumers must agree (E0605).
+    pub positive_down: bool,
+}
+
+/// Every field crossing the coupler boundary, grouped by emitter. The
+/// per-emitter declaration order is load-bearing: [`bounds_of`] feeds
+/// `QuarantineGate::declare_all` in this order, and checkpoints recorded
+/// before the consolidation must stay bitwise identical.
+pub fn registry() -> &'static [FluxDecl] {
+    use ConservedClass::*;
+    &[
+        // --- atmosphere + land -> ocean (the "fast" side's exports) ---
+        // Turbulent momentum flux (N/m^2): severe-storm stresses are ~5.
+        FluxDecl {
+            name: "wind_stress_n",
+            emitter: "atmo",
+            min: -100.0,
+            max: 100.0,
+            unit: "N m^-2",
+            conserved: None,
+            positive_down: true,
+        },
+        // Net surface heat flux (W/m^2): extremes are a few hundred.
+        // Carries energy, but `core::budgets` has no energy ledger yet,
+        // so it is deliberately not classed as conserved (E0606 would
+        // otherwise demand a ledger that does not exist).
+        FluxDecl {
+            name: "heat_flux",
+            emitter: "atmo",
+            min: -5000.0,
+            max: 5000.0,
+            unit: "W m^-2",
+            conserved: None,
+            positive_down: true,
+        },
+        // CO2 partial pressure (ppmv) — a state, not a transfer.
+        FluxDecl {
+            name: "pco2_atm",
+            emitter: "atmo",
+            min: 0.0,
+            max: 10_000.0,
+            unit: "1",
+            conserved: None,
+            positive_down: false,
+        },
+        // Shortwave at the surface (W/m^2): solar constant caps ~1361.
+        FluxDecl {
+            name: "sw_down",
+            emitter: "atmo",
+            min: 0.0,
+            max: 1_500.0,
+            unit: "W m^-2",
+            conserved: None,
+            positive_down: true,
+        },
+        // Lowest-level wind speed (m/s) — forcing state for gas exchange.
+        FluxDecl {
+            name: "wind",
+            emitter: "atmo",
+            min: -500.0,
+            max: 500.0,
+            unit: "m s^-1",
+            conserved: None,
+            positive_down: false,
+        },
+        // Net freshwater flux into the ocean (m/s of liquid water): 1 m/s
+        // would drown the planet in minutes — any violation is garbage.
+        FluxDecl {
+            name: "fw_flux",
+            emitter: "land",
+            min: -1.0,
+            max: 1.0,
+            unit: "m s^-1",
+            conserved: Water,
+            positive_down: true,
+        },
+        // --- ocean + ice + BGC -> atmosphere (the "slow" side) --------
+        // Sea surface temperature (deg C) — a state exchange.
+        FluxDecl {
+            name: "sst",
+            emitter: "ocean",
+            min: -10.0,
+            max: 60.0,
+            unit: "K",
+            conserved: None,
+            positive_down: false,
+        },
+        // Sea-ice concentration is a fraction by definition.
+        FluxDecl {
+            name: "ice_conc",
+            emitter: "ocean",
+            min: 0.0,
+            max: 1.0,
+            unit: "1",
+            conserved: None,
+            positive_down: false,
+        },
+        // Air-sea carbon flux (kg C / m^2 per window): global mean is
+        // ~1e-8; 1.0 is already absurd.
+        FluxDecl {
+            name: "co2_flux_up",
+            emitter: "ocean",
+            min: -1.0,
+            max: 1.0,
+            unit: "kg m^-2",
+            conserved: Carbon,
+            positive_down: false,
+        },
+    ]
+}
+
+/// The `(name, min, max)` bounds of one emitter's fluxes, in declaration
+/// order — exactly the tuples the old `<crate>::coupling_flux_bounds()`
+/// tables exported, in the form `QuarantineGate::declare_all` consumes.
+pub fn bounds_of(emitter: &str) -> Vec<(&'static str, f64, f64)> {
+    registry()
+        .iter()
+        .filter(|d| d.emitter == emitter)
+        .map(|d| (d.name, d.min, d.max))
+        .collect()
+}
+
+/// Look up one declaration by field name.
+pub fn decl(name: &str) -> Option<&'static FluxDecl> {
+    registry().iter().find(|d| d.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique_and_emitters_known() {
+        let mut seen = std::collections::HashSet::new();
+        for d in registry() {
+            assert!(seen.insert(d.name), "duplicate flux `{}`", d.name);
+            assert!(
+                ["atmo", "land", "ocean"].contains(&d.emitter),
+                "unknown emitter `{}`",
+                d.emitter
+            );
+            assert!(d.min < d.max, "{}: empty range", d.name);
+        }
+    }
+
+    #[test]
+    fn every_unit_parses_in_the_dsl_unit_grammar() {
+        for d in registry() {
+            dace_mini::Unit::parse(d.unit)
+                .unwrap_or_else(|e| panic!("{}: bad unit `{}`: {e}", d.name, d.unit));
+        }
+    }
+
+    #[test]
+    fn bounds_reproduce_the_preconsolidation_tables_exactly() {
+        // The three tables `QuarantineGate::declare_all` consumed before
+        // the registry existed, values and order verbatim — checkpoint
+        // compatibility depends on this.
+        assert_eq!(
+            bounds_of("atmo"),
+            vec![
+                ("wind_stress_n", -100.0, 100.0),
+                ("heat_flux", -5000.0, 5000.0),
+                ("pco2_atm", 0.0, 10_000.0),
+                ("sw_down", 0.0, 1_500.0),
+                ("wind", -500.0, 500.0),
+            ]
+        );
+        assert_eq!(bounds_of("land"), vec![("fw_flux", -1.0, 1.0)]);
+        assert_eq!(
+            bounds_of("ocean"),
+            vec![
+                ("sst", -10.0, 60.0),
+                ("ice_conc", 0.0, 1.0),
+                ("co2_flux_up", -1.0, 1.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn conserved_classes_match_the_existing_ledgers() {
+        // core::budgets ledgers Water and Carbon; nothing else may claim
+        // a conserved class until a matching ledger exists.
+        for d in registry() {
+            match d.conserved {
+                ConservedClass::Water => assert_eq!(d.name, "fw_flux"),
+                ConservedClass::Carbon => assert_eq!(d.name, "co2_flux_up"),
+                ConservedClass::None => {}
+                other => panic!("{}: unledgered class {other}", d.name),
+            }
+        }
+    }
+}

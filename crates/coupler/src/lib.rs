@@ -18,10 +18,13 @@
 
 pub mod clock;
 pub mod exchange;
+pub mod fluxreg;
 pub mod quarantine;
 pub mod remap;
 
 pub use clock::{ClockError, CouplingClock};
+pub use dace_mini::units::ConservedClass;
+pub use fluxreg::FluxDecl;
 pub use exchange::{
     run_concurrent_windows, CouplerStats, Endpoint, FluxError, FluxSet, PersistenceFallback,
 };

@@ -116,6 +116,20 @@ pub enum DiagCode {
     /// E0503: per-point lookup count or predicted time regressed against
     /// the checked-in cost baseline.
     CostRegression,
+    /// E0601: operands of +/- (or a declared target and its expression)
+    /// have unequal physical units.
+    UnitMismatch,
+    /// E0602: transcendental intrinsic applied to a dimensioned argument.
+    DimensionlessRequired,
+    /// W0604: a written field's unit is fully unconstrained (no
+    /// declaration, all-literal expression) — inference can't check it.
+    UnconstrainedLiteral,
+    /// E0605: a coupler-exchanged flux is emitted and consumed with
+    /// mismatched units or sign conventions (or never consumed at all).
+    InterfaceUnitMismatch,
+    /// E0606: a flux declared to carry a conserved quantity is not
+    /// accumulated into a matching `core::budgets` ledger.
+    UnclosedConservedFlux,
 }
 
 impl DiagCode {
@@ -141,6 +155,11 @@ impl DiagCode {
             DiagCode::RedundantGather => "W0501",
             DiagCode::BelowRoofline => "W0502",
             DiagCode::CostRegression => "E0503",
+            DiagCode::UnitMismatch => "E0601",
+            DiagCode::DimensionlessRequired => "E0602",
+            DiagCode::UnconstrainedLiteral => "W0604",
+            DiagCode::InterfaceUnitMismatch => "E0605",
+            DiagCode::UnclosedConservedFlux => "E0606",
         }
     }
 
@@ -150,7 +169,8 @@ impl DiagCode {
             | DiagCode::DeadWrite
             | DiagCode::UnusedInput
             | DiagCode::RedundantGather
-            | DiagCode::BelowRoofline => Severity::Warning,
+            | DiagCode::BelowRoofline
+            | DiagCode::UnconstrainedLiteral => Severity::Warning,
             _ => Severity::Error,
         }
     }
@@ -250,6 +270,8 @@ pub struct AnalysisContext {
     pub halo: i32,
     /// Concrete vertical extent when known (bounds Fixed-level accesses).
     pub nlev: Option<usize>,
+    /// Declared physical units, checked by `units::check_units`.
+    pub units: HashMap<String, crate::units::Unit>,
 }
 
 impl AnalysisContext {
@@ -306,6 +328,17 @@ impl AnalysisContext {
 
     pub fn with_nlev(mut self, nlev: usize) -> Self {
         self.nlev = Some(nlev);
+        self
+    }
+
+    /// Declare a field's physical unit (text parsed by
+    /// [`crate::units::Unit::parse`], e.g. `"W m^-2"`). Panics on an
+    /// unparseable unit — declarations are static tables, so a bad one
+    /// is a programming error, not an analysis finding.
+    pub fn unit(mut self, name: &str, unit: &str) -> Self {
+        let u = crate::units::Unit::parse(unit)
+            .unwrap_or_else(|e| panic!("bad unit declaration for `{name}`: {e}"));
+        self.units.insert(name.to_string(), u);
         self
     }
 }

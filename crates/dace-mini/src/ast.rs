@@ -6,11 +6,14 @@
 //! the semantics of the original Fortran loop nests the paper parses.
 
 use crate::loc::Span;
+use crate::units::UnitDecl;
 
 /// A whole source file.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Program {
     pub kernels: Vec<Kernel>,
+    /// `unit NAME = EXPR;` declarations preceding the kernels.
+    pub units: Vec<UnitDecl>,
 }
 
 /// One kernel: `kernel NAME over DOMAIN ... end`.
@@ -73,6 +76,9 @@ pub enum Expr {
     Access(FieldAccess),
     Neg(Box<Expr>),
     Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Unary intrinsic call, e.g. `sqrt(kin(p,k))`. The span covers the
+    /// intrinsic name (for units diagnostics).
+    Call(Intrinsic, Box<Expr>, Span),
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -81,6 +87,58 @@ pub enum BinOp {
     Sub,
     Mul,
     Div,
+}
+
+/// Unary math intrinsics the DSL recognizes. `sqrt` is dimensionally
+/// transparent (halves unit exponents); the transcendentals require a
+/// dimensionless argument.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Intrinsic {
+    Sqrt,
+    Exp,
+    Log,
+    Sin,
+    Cos,
+    Tanh,
+}
+
+impl Intrinsic {
+    /// Look up an intrinsic by its (lowercased) source name.
+    pub fn from_name(name: &str) -> Option<Intrinsic> {
+        Some(match name {
+            "sqrt" => Intrinsic::Sqrt,
+            "exp" => Intrinsic::Exp,
+            "log" => Intrinsic::Log,
+            "sin" => Intrinsic::Sin,
+            "cos" => Intrinsic::Cos,
+            "tanh" => Intrinsic::Tanh,
+            _ => return None,
+        })
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Intrinsic::Sqrt => "sqrt",
+            Intrinsic::Exp => "exp",
+            Intrinsic::Log => "log",
+            Intrinsic::Sin => "sin",
+            Intrinsic::Cos => "cos",
+            Intrinsic::Tanh => "tanh",
+        }
+    }
+
+    /// The one evaluation rule, shared by the naive interpreter and the
+    /// compiled tape so both backends stay bitwise-identical.
+    pub fn apply(self, x: f64) -> f64 {
+        match self {
+            Intrinsic::Sqrt => x.sqrt(),
+            Intrinsic::Exp => x.exp(),
+            Intrinsic::Log => x.ln(),
+            Intrinsic::Sin => x.sin(),
+            Intrinsic::Cos => x.cos(),
+            Intrinsic::Tanh => x.tanh(),
+        }
+    }
 }
 
 impl Expr {
@@ -100,6 +158,7 @@ impl Expr {
                 a.collect_accesses(out);
                 b.collect_accesses(out);
             }
+            Expr::Call(_, a, _) => a.collect_accesses(out),
         }
     }
 
@@ -111,6 +170,7 @@ impl Expr {
             Expr::Num(_) | Expr::Access(_) => 0,
             Expr::Neg(e) => 1 + e.flops(),
             Expr::Bin(_, a, b) => 1 + a.flops() + b.flops(),
+            Expr::Call(_, a, _) => 1 + a.flops(),
         }
     }
 
@@ -246,8 +306,29 @@ mod tests {
             }],
             span: Span::synthetic(),
         };
-        let p = Program { kernels: vec![k] };
+        let p = Program {
+            kernels: vec![k],
+            units: vec![],
+        };
         assert_eq!(p.written_fields(), vec!["out"]);
         assert_eq!(p.read_fields(), vec!["inp"]);
+    }
+
+    #[test]
+    fn intrinsic_calls_count_flops_and_collect_accesses() {
+        let e = Expr::Call(
+            Intrinsic::Sqrt,
+            Box::new(Expr::Bin(
+                BinOp::Mul,
+                Box::new(Expr::Access(acc("a", PointIndex::Own, LevelIndex::K))),
+                Box::new(Expr::Access(acc("a", PointIndex::Own, LevelIndex::K))),
+            )),
+            Span::synthetic(),
+        );
+        assert_eq!(e.flops(), 2, "one mul + one sqrt");
+        assert_eq!(e.accesses().len(), 2);
+        assert_eq!(Intrinsic::from_name("tanh"), Some(Intrinsic::Tanh));
+        assert_eq!(Intrinsic::from_name("vn"), None);
+        assert_eq!(Intrinsic::Sqrt.apply(4.0), 2.0);
     }
 }

@@ -16,7 +16,7 @@
 //! rests on (tested here and by proptest in `tests/`).
 
 use crate::analysis::{AnalysisReport, Certification};
-use crate::ast::{BinOp, Expr, FieldAccess, LevelIndex, PointIndex, Program};
+use crate::ast::{BinOp, Expr, FieldAccess, Intrinsic, LevelIndex, PointIndex, Program};
 use crate::sdfg::{Schedule, Sdfg};
 use rayon::prelude::*;
 use std::collections::HashMap;
@@ -203,6 +203,9 @@ fn eval_naive(
     match expr {
         Expr::Num(v) => *v,
         Expr::Neg(x) => -eval_naive(x, e, k, topo, data, stats),
+        // Both backends funnel through `Intrinsic::apply` so naive and
+        // compiled execution stay bitwise-identical.
+        Expr::Call(intr, x, _) => intr.apply(eval_naive(x, e, k, topo, data, stats)),
         Expr::Bin(op, a, b) => {
             let x = eval_naive(a, e, k, topo, data, stats);
             let y = eval_naive(b, e, k, topo, data, stats);
@@ -244,6 +247,7 @@ enum Op {
     Sub,
     Mul,
     Div,
+    Call(Intrinsic),
 }
 
 /// A preloaded value: where the point index comes from and which level.
@@ -403,6 +407,10 @@ fn compile_expr(
         }
         Expr::Access(a) => {
             ops.push(Op::PushReg(access_register(a, idx_lookups, loads, written)));
+        }
+        Expr::Call(intr, x, _) => {
+            compile_expr(x, ops, idx_lookups, loads, written);
+            ops.push(Op::Call(*intr));
         }
     }
 }
@@ -864,6 +872,10 @@ fn eval_ops(ops: &[Op], regs: &[f64], stack: &mut Vec<f64>) -> f64 {
                 let a = stack.pop().unwrap();
                 stack.push(a / b);
             }
+            Op::Call(intr) => {
+                let a = stack.pop().unwrap();
+                stack.push(intr.apply(a));
+            }
         }
     }
     debug_assert_eq!(stack.len(), 1);
@@ -935,6 +947,26 @@ mod tests {
         let (opt, _) = gh200_pipeline(&sdfg);
         compile(&opt).run(&topo, &mut d2);
         assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn intrinsics_agree_bitwise_between_backends() {
+        let src = r#"
+            kernel t over cells
+              ekin(p,k) = sqrt(kin(edge(p,1),k) * kin(edge(p,1),k) + 1.0);
+              out(p,k)  = exp(-ekin(p,k)) + tanh(w1(p)) * cos(f1(p,k) / (f2(p,k) + 1.0));
+              out2(p,k) = log(1.0 + ekin(p,k)) + sin(w2(p));
+            end
+        "#;
+        let prog = parse(src).unwrap();
+        let topo = ring_topology(13);
+        let mut d1 = data(13, 4);
+        let mut d2 = d1.clone();
+        run_naive(&prog, &topo, &mut d1);
+        let sdfg = Sdfg::from_program("t", &prog);
+        let (opt, _) = gh200_pipeline(&sdfg);
+        compile(&opt).run(&topo, &mut d2);
+        assert_eq!(d1, d2, "intrinsic evaluation must be bitwise-identical");
     }
 
     /// Repeated gathers of `kin` through edges 0 and 2 — the hoist

@@ -53,6 +53,31 @@ pub struct FusionFixture {
     pub expect: DiagCode,
 }
 
+/// A negative (or warning) fixture for the units-inference pass
+/// ([`crate::units::check_units`]): one expected code anchored at an
+/// exact source position.
+pub struct UnitsFixture {
+    pub name: &'static str,
+    pub source: &'static str,
+    pub sdfg: Sdfg,
+    pub ctx: AnalysisContext,
+    pub expect: DiagCode,
+    /// Exact `(line, col)` the diagnostic must anchor to.
+    pub at: (u32, u32),
+}
+
+/// A negative fixture for the conservation-closure check
+/// ([`crate::units::check_conservation`]): a broken coupler boundary.
+/// Boundary findings are registry-level, not source-level, so the
+/// expected span is the synthetic one.
+pub struct ConservationFixture {
+    pub name: &'static str,
+    pub emitted: Vec<crate::units::FluxSpec>,
+    pub consumed: Vec<crate::units::FluxConsumer>,
+    pub ledgers: Vec<crate::units::LedgerEntry>,
+    pub expect: DiagCode,
+}
+
 fn base_ctx() -> AnalysisContext {
     AnalysisContext::new()
         .domain("cells")
@@ -116,6 +141,7 @@ fn racy_scatter() -> Fixture {
             },
             span: Span::synthetic(),
         }],
+        units: vec![],
     };
     Fixture {
         name: "racy_scatter",
@@ -153,6 +179,7 @@ fn scatter_reduction() -> Fixture {
             },
             span: Span::synthetic(),
         }],
+        units: vec![],
     };
     Fixture {
         name: "scatter_reduction",
@@ -289,6 +316,102 @@ pub fn perf_fixtures() -> Vec<PerfFixture> {
     ]
 }
 
+const UNIT_MISMATCH_ADD_SRC: &str = r#"unit vn = m / s;
+unit th = K;
+kernel bad_add over cells
+  out(p,k) = vn(p,k) + th(p,k);
+end"#;
+
+const DIMENSIONED_EXP_SRC: &str = r#"unit th = K;
+kernel bad_exp over cells
+  out(p,k) = exp(th(p,k));
+end"#;
+
+const UNCONSTRAINED_LITERAL_SRC: &str = r#"kernel untethered over cells
+  out(p,k) = 9.81 * 2.0;
+end"#;
+
+/// Units-inference fixtures: each must produce exactly its expected
+/// code at the expected source position. The unit declarations travel
+/// through the parser -> AST -> SDFG path, exercising the same plumbing
+/// the dycore suite uses.
+pub fn units_fixtures() -> Vec<UnitsFixture> {
+    vec![
+        UnitsFixture {
+            name: "unit_mismatch_add",
+            source: UNIT_MISMATCH_ADD_SRC,
+            sdfg: lower("unit_mismatch_add", UNIT_MISMATCH_ADD_SRC),
+            ctx: base_ctx().field("vn", "cells", true, FieldIo::Input),
+            expect: DiagCode::UnitMismatch,
+            // Anchored at the offending operand `th(p,k)`.
+            at: (4, 24),
+        },
+        UnitsFixture {
+            name: "dimensioned_exp",
+            source: DIMENSIONED_EXP_SRC,
+            sdfg: lower("dimensioned_exp", DIMENSIONED_EXP_SRC),
+            ctx: base_ctx(),
+            expect: DiagCode::DimensionlessRequired,
+            // Anchored at the intrinsic name `exp`.
+            at: (3, 14),
+        },
+        UnitsFixture {
+            name: "unconstrained_literal",
+            source: UNCONSTRAINED_LITERAL_SRC,
+            sdfg: lower("unconstrained_literal", UNCONSTRAINED_LITERAL_SRC),
+            ctx: base_ctx(),
+            expect: DiagCode::UnconstrainedLiteral,
+            // Anchored at the write target `out(p,k)`.
+            at: (2, 3),
+        },
+    ]
+}
+
+/// Conservation-closure fixtures: broken coupler boundaries the check
+/// must refuse.
+pub fn conservation_fixtures() -> Vec<ConservationFixture> {
+    use crate::units::{ConservedClass, FluxConsumer, FluxSpec, LedgerEntry};
+    let heat = |conserved| FluxSpec {
+        name: "heat_flux".into(),
+        emitter: "atmosphere".into(),
+        unit: "W m^-2".into(),
+        conserved,
+        positive_down: true,
+    };
+    vec![
+        ConservationFixture {
+            name: "interface_unit_mismatch",
+            emitted: vec![heat(ConservedClass::None)],
+            // The slow side expects a temperature, not an energy flux.
+            consumed: vec![FluxConsumer {
+                name: "heat_flux".into(),
+                consumer: "slow".into(),
+                unit: "K".into(),
+                positive_down: true,
+            }],
+            ledgers: vec![],
+            expect: DiagCode::InterfaceUnitMismatch,
+        },
+        ConservationFixture {
+            name: "unclosed_energy_flux",
+            // Declared to carry energy, consumed correctly — but no
+            // budget ledger accumulates it.
+            emitted: vec![heat(ConservedClass::Energy)],
+            consumed: vec![FluxConsumer {
+                name: "heat_flux".into(),
+                consumer: "slow".into(),
+                unit: "W m^-2".into(),
+                positive_down: true,
+            }],
+            ledgers: vec![LedgerEntry {
+                flux: "heat_flux".into(),
+                ledger: ConservedClass::Water,
+            }],
+            expect: DiagCode::UnclosedConservedFlux,
+        },
+    ]
+}
+
 /// Fusion-legality fixtures: each pair must refuse to fuse. Both were
 /// silently miscompiled by the pre-analysis `can_fuse` (the fused result
 /// diverged bitwise from the naive backend).
@@ -388,6 +511,48 @@ mod tests {
             let d = fusion_legality(&f.sdfg.states[i], &f.sdfg.states[j])
                 .expect_err(f.name);
             assert_eq!(d.code, f.expect, "fixture `{}`", f.name);
+        }
+    }
+
+    #[test]
+    fn every_units_fixture_triggers_its_code_at_the_exact_span() {
+        use crate::units::check_units;
+        for f in units_fixtures() {
+            let rep = check_units(&f.sdfg, &f.ctx);
+            let hit = rep
+                .diagnostics
+                .iter()
+                .find(|d| d.code == f.expect)
+                .unwrap_or_else(|| {
+                    panic!(
+                        "units fixture `{}` missing expected {:?}; got {:?}",
+                        f.name, f.expect, rep.diagnostics
+                    )
+                });
+            assert_eq!(
+                (hit.span.line, hit.span.col),
+                f.at,
+                "units fixture `{}` anchored at the wrong position",
+                f.name
+            );
+        }
+    }
+
+    #[test]
+    fn every_conservation_fixture_triggers_its_code() {
+        use crate::units::check_conservation;
+        for f in conservation_fixtures() {
+            let diags = check_conservation(&f.emitted, &f.consumed, &f.ledgers);
+            assert!(
+                diags.iter().any(|d| d.code == f.expect),
+                "conservation fixture `{}` missing expected {:?}; got {diags:?}",
+                f.name,
+                f.expect
+            );
+            assert!(
+                diags.iter().all(|d| d.span.is_synthetic()),
+                "boundary findings are registry-level, not source-level"
+            );
         }
     }
 

@@ -523,6 +523,7 @@ mod tests {
                 },
                 span: Span::synthetic(),
             }],
+            units: vec![],
         };
         let ctx = AnalysisContext::new()
             .domain("cells")

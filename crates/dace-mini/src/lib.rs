@@ -54,8 +54,10 @@ pub mod parser;
 pub mod sdfg;
 pub mod suite;
 pub mod transforms;
+pub mod units;
 
 pub use analysis::{AnalysisContext, AnalysisError, AnalysisReport, Certification};
+pub use units::{ConservedClass, Unit, UnitDecl};
 pub use ast::Program;
 pub use cost::{predict_dispatch, DispatchPrediction};
 pub use exec::{DataContext, ExecStats, TopologyContext};

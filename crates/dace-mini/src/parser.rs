@@ -4,7 +4,9 @@
 //! Grammar (case-insensitive keywords, `#` line comments):
 //!
 //! ```text
-//! program   := kernel*
+//! program   := (unitdecl | kernel)*
+//! unitdecl  := "unit" IDENT "=" ufactor (("*"|"/") ufactor)* ";"
+//! ufactor   := UNITNAME ("^" "-"? INT)? | "1"
 //! kernel    := "kernel" IDENT "over" IDENT statement* "end"
 //! statement := access "=" expr ";"
 //! access    := IDENT "(" point ("," level)? ")"
@@ -12,11 +14,18 @@
 //! level     := "k" | "k" ("+"|"-") INT | INT
 //! expr      := term (("+"|"-") term)*
 //! term      := factor (("*"|"/") factor)*
-//! factor    := NUMBER | "-" factor | "(" expr ")" | access
+//! factor    := NUMBER | "-" factor | "(" expr ")"
+//!            | INTRINSIC "(" expr ")" | access
 //! ```
+//!
+//! `UNITNAME` is an SI base or derived unit (`kg m s K mol N Pa J W Hz`,
+//! case-insensitive); `INTRINSIC` is one of `sqrt exp log sin cos tanh`.
 
-use crate::ast::{BinOp, Expr, FieldAccess, Kernel, LevelIndex, PointIndex, Program, Statement};
+use crate::ast::{
+    BinOp, Expr, FieldAccess, Intrinsic, Kernel, LevelIndex, PointIndex, Program, Statement,
+};
 use crate::loc::Span;
+use crate::units::{Unit, UnitDecl};
 use std::fmt;
 
 /// Parse error carrying a full source span (line, column, length), so
@@ -55,6 +64,7 @@ enum Tok {
     Minus,
     Star,
     Slash,
+    Caret,
 }
 
 struct Lexer {
@@ -121,6 +131,11 @@ fn lex(src: &str) -> Result<Lexer, ParseError> {
                     chars.next();
                     col += 1;
                     toks.push(single(Tok::Slash));
+                }
+                '^' => {
+                    chars.next();
+                    col += 1;
+                    toks.push(single(Tok::Caret));
                 }
                 c if c.is_ascii_digit() || c == '.' => {
                     let mut s = String::new();
@@ -215,10 +230,79 @@ impl Lexer {
 pub fn parse(src: &str) -> Result<Program, ParseError> {
     let mut lx = lex(src)?;
     let mut kernels = Vec::new();
-    while lx.peek().is_some() {
-        kernels.push(parse_kernel(&mut lx)?);
+    let mut units = Vec::new();
+    while let Some(tok) = lx.peek() {
+        match tok {
+            Tok::Ident(kw) if kw == "unit" => units.push(parse_unit_decl(&mut lx)?),
+            _ => kernels.push(parse_kernel(&mut lx)?),
+        }
     }
-    Ok(Program { kernels })
+    Ok(Program { kernels, units })
+}
+
+/// `unit NAME = ufactor (("*"|"/") ufactor)* ";"` — a physical-unit
+/// declaration for a field, spanned at the field name.
+fn parse_unit_decl(lx: &mut Lexer) -> Result<UnitDecl, ParseError> {
+    match lx.next() {
+        Some(Tok::Ident(kw)) if kw == "unit" => {}
+        other => return lx.err(format!("expected 'unit', found {other:?}")),
+    }
+    let span = lx.span();
+    let field = match lx.next() {
+        Some(Tok::Ident(f)) => f,
+        other => return lx.err(format!("expected field name after 'unit', found {other:?}")),
+    };
+    lx.expect(&Tok::Eq, "'='")?;
+    let mut unit = parse_unit_factor(lx)?;
+    loop {
+        match lx.peek() {
+            Some(Tok::Star) => {
+                lx.next();
+                unit = unit.mul(parse_unit_factor(lx)?);
+            }
+            Some(Tok::Slash) => {
+                lx.next();
+                unit = unit.div(parse_unit_factor(lx)?);
+            }
+            _ => break,
+        }
+    }
+    lx.expect(&Tok::Semi, "';'")?;
+    Ok(UnitDecl { field, unit, span })
+}
+
+fn parse_unit_factor(lx: &mut Lexer) -> Result<Unit, ParseError> {
+    let span = lx.span();
+    let base = match lx.next() {
+        Some(Tok::Num(n)) => {
+            if n != 1.0 {
+                return lx.err(format!("expected unit name or 1, found {n}"));
+            }
+            Unit::dimensionless()
+        }
+        Some(Tok::Ident(name)) => Unit::named(&name).ok_or(ParseError {
+            span,
+            message: format!("unknown unit name '{name}'"),
+        })?,
+        other => return lx.err(format!("expected unit name, found {other:?}")),
+    };
+    if !matches!(lx.peek(), Some(Tok::Caret)) {
+        return Ok(base);
+    }
+    lx.next();
+    let neg = if matches!(lx.peek(), Some(Tok::Minus)) {
+        lx.next();
+        true
+    } else {
+        false
+    };
+    match lx.next() {
+        Some(Tok::Num(n)) if n.fract() == 0.0 => {
+            let n = n as i32;
+            Ok(base.powi(if neg { -n } else { n }))
+        }
+        other => lx.err(format!("expected integer exponent, found {other:?}")),
+    }
 }
 
 fn parse_kernel(lx: &mut Lexer) -> Result<Kernel, ParseError> {
@@ -373,6 +457,18 @@ fn parse_term(lx: &mut Lexer) -> Result<Expr, ParseError> {
 }
 
 fn parse_factor(lx: &mut Lexer) -> Result<Expr, ParseError> {
+    // Intrinsic names shadow field names inside expressions: `sqrt(...)`
+    // is always a call, never an access to a field called `sqrt`.
+    if let Some(Tok::Ident(id)) = lx.peek() {
+        if let Some(intr) = Intrinsic::from_name(id) {
+            let span = lx.span();
+            lx.next();
+            lx.expect(&Tok::LParen, "'(' after intrinsic")?;
+            let arg = parse_expr(lx)?;
+            lx.expect(&Tok::RParen, "')'")?;
+            return Ok(Expr::Call(intr, Box::new(arg), span));
+        }
+    }
     match lx.peek() {
         Some(Tok::Num(_)) => {
             if let Some(Tok::Num(n)) = lx.next() {
@@ -489,6 +585,51 @@ mod tests {
         assert_eq!(acc[0].span.len, "inp(edge(p,0), k)".len() as u32);
         assert_eq!(st.span, st.target.span, "statement anchored at its target");
         assert_eq!(prog.kernels[0].span.line, 1);
+    }
+
+    #[test]
+    fn unit_declarations_parse_with_spans() {
+        let src = "unit vn = m / s;\nunit pres = kg * m^-1 * s^-2;\nunit trc = 1;\nkernel t over cells o(p,k) = vn(p,k); end";
+        let prog = parse(src).unwrap();
+        assert_eq!(prog.units.len(), 3);
+        assert_eq!(prog.units[0].field, "vn");
+        assert_eq!(prog.units[0].unit, Unit::parse("m s^-1").unwrap());
+        assert_eq!(prog.units[0].span.line, 1);
+        assert_eq!(prog.units[0].span.col, 6);
+        assert_eq!(prog.units[0].span.len, 2);
+        assert_eq!(prog.units[1].unit, Unit::parse("Pa").unwrap());
+        assert_eq!(prog.units[2].unit, Unit::parse("1").unwrap());
+        assert_eq!(prog.kernels.len(), 1);
+    }
+
+    #[test]
+    fn unknown_unit_name_is_a_spanned_parse_error() {
+        let err = parse("unit vn = furlong;").unwrap_err();
+        assert!(err.message.contains("unknown unit"), "{err}");
+        assert_eq!(err.span.col, 11);
+    }
+
+    #[test]
+    fn intrinsic_calls_parse_with_the_name_span() {
+        let src = "kernel t over cells\n  o(p,k) = sqrt(a(p,k) * a(p,k)) + exp(-b(p,k));\nend";
+        let prog = parse(src).unwrap();
+        let st = &prog.kernels[0].statements[0];
+        match &st.expr {
+            Expr::Bin(BinOp::Add, lhs, rhs) => {
+                match lhs.as_ref() {
+                    Expr::Call(Intrinsic::Sqrt, _, span) => {
+                        assert_eq!(span.line, 2);
+                        assert_eq!(span.col, 12);
+                        assert_eq!(span.len, 4);
+                    }
+                    other => panic!("lhs should be sqrt call, got {other:?}"),
+                }
+                assert!(matches!(rhs.as_ref(), Expr::Call(Intrinsic::Exp, _, _)));
+            }
+            other => panic!("root should be Add, got {other:?}"),
+        }
+        assert_eq!(st.expr.accesses().len(), 3);
+        assert_eq!(st.expr.flops(), 5, "mul + sqrt + neg + exp + add");
     }
 
     #[test]

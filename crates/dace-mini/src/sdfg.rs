@@ -8,6 +8,7 @@
 
 use crate::ast::{Expr, FieldAccess, Kernel, Program, Statement};
 use crate::loc::Span;
+use crate::units::UnitDecl;
 
 /// Execution schedule of a map (set by transformation passes).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,6 +57,9 @@ pub struct State {
 pub struct Sdfg {
     pub name: String,
     pub states: Vec<State>,
+    /// Physical-unit declarations carried from the source (`unit` lines);
+    /// transformation passes preserve them untouched.
+    pub units: Vec<UnitDecl>,
 }
 
 impl Sdfg {
@@ -85,6 +89,7 @@ impl Sdfg {
         Sdfg {
             name: name.into(),
             states,
+            units: prog.units.clone(),
         }
     }
 
@@ -114,6 +119,7 @@ impl Sdfg {
                     span: s.span,
                 })
                 .collect(),
+            units: self.units.clone(),
         }
     }
 
@@ -188,6 +194,7 @@ pub fn lower_kernel(k: &Kernel) -> Sdfg {
         k.name.clone(),
         &Program {
             kernels: vec![k.clone()],
+            units: vec![],
         },
     )
 }

@@ -17,6 +17,37 @@ use crate::parser::parse;
 /// surrounding computations.
 pub const DYCORE_SRC: &str = r#"
 # --- mini ICON dynamical core, clean sequential form ---------------
+# Physical units of every input field; output units are inferred by
+# the dimensional-analysis pass and checked for consistency.
+unit vn       = m / s;
+unit kin      = 1 / s;
+unit fl1      = m / s;
+unit fl2      = m / s;
+unit fl3      = m / s;
+unit rho_e    = kg / m^3;
+unit th_e     = K;
+unit q1       = 1;
+unit q2       = 1;
+unit q3       = 1;
+unit x        = 1 / s;
+unit y        = 1 / s;
+unit pres     = m^2 / s^2;
+unit kinc     = m^2 / s^2;
+unit trc      = 1;
+unit th       = K;
+unit buoy     = K / m;
+unit geo1     = 1 / m;
+unit geo2     = 1 / m;
+unit geo3     = 1 / m;
+unit w1       = 1;
+unit w2       = 1;
+unit w3       = 1;
+unit cfl      = s / m;
+unit nu       = 1;
+unit invdz    = 1 / m;
+unit inv_dual = 1 / m;
+unit dt_e     = s;
+
 # Cell pass: divergence, kinetic energy (z_ekinh), three tracer flux
 # divergences, two flux products, two Laplacians. Every statement
 # gathers through the same cell->edge / cell->neighbor indices.
@@ -331,6 +362,48 @@ mod tests {
                 rep.errors().collect::<Vec<_>>()
             );
             assert!(rep.all_parallel_safe(), "{:?}", rep.states);
+        }
+    }
+
+    #[test]
+    fn suite_units_certify_clean_at_every_phase() {
+        // The dimensional-analysis pass accepts the suite at source,
+        // after the gh200 pipeline, and after hoisting (where the
+        // hoisted transients must inherit their inferred units).
+        use crate::transforms::gh200_hoisted_pipeline;
+        use crate::units::check_units;
+        let sdfg = Sdfg::from_program("dycore", &dycore_program());
+        let ctx = suite_context();
+        for (phase, graph, pctx) in [
+            ("source", sdfg.clone(), ctx.clone()),
+            ("gh200", gh200_pipeline(&sdfg).0, ctx.clone()),
+            {
+                let (hoisted, report) = gh200_hoisted_pipeline(&sdfg);
+                ("hoisted", hoisted, report.declare(&ctx))
+            },
+        ] {
+            let rep = check_units(&graph, &pctx);
+            assert!(
+                rep.is_clean(),
+                "{phase}: units must certify clean: {:#?}",
+                rep.diagnostics
+            );
+        }
+        // Inference lands on the physically meaningful output units.
+        let rep = check_units(&sdfg, &ctx);
+        for (field, want) in [
+            ("div", "s^-1"),
+            ("mflx", "kg m^-2 s^-1"),
+            ("eflx", "m s^-1 K"),
+            ("grad", "m s^-2"),
+            ("vtend", "m s^-1"),
+            ("wten", "m^-1 K"),
+        ] {
+            assert_eq!(
+                rep.inferred.get(field).map(|u| u.to_string()).as_deref(),
+                Some(want),
+                "inferred unit of {field}"
+            );
         }
     }
 

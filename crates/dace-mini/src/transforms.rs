@@ -32,6 +32,7 @@ pub fn fuse_maps(sdfg: &Sdfg) -> Sdfg {
     Sdfg {
         name: format!("{}_fused", sdfg.name),
         states: out,
+        units: sdfg.units.clone(),
     }
 }
 
@@ -348,6 +349,7 @@ pub fn hoist_gathers(sdfg: &Sdfg, opts: &HoistOptions) -> (Sdfg, HoistReport) {
     let out = Sdfg {
         name: format!("{}_hoisted", sdfg.name),
         states: out_states,
+        units: sdfg.units.clone(),
     };
     report.lookups_after = out.index_lookups_deduped();
     (out, report)
@@ -375,6 +377,9 @@ fn rewrite_gathers(e: &Expr, rewrite: &HashMap<GatherKey, (String, LevelIndex)>)
                 }
             }
             Expr::Access(a.clone())
+        }
+        Expr::Call(intr, x, span) => {
+            Expr::Call(*intr, Box::new(rewrite_gathers(x, rewrite)), *span)
         }
     }
 }

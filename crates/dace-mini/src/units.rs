@@ -1,0 +1,840 @@
+//! Physical-units algebra, inference, and conservation closure.
+//!
+//! The coupled system only makes sense if the fields exchanged between
+//! components are dimensionally consistent: the 40-million-cores coupled
+//! modeling effort (PAPERS.md) reports that cross-component interface
+//! mismatches — wrong units, wrong sign conventions, fluxes emitted but
+//! never consumed — dominated an eight-year debugging effort. This module
+//! catches them *statically*:
+//!
+//! * [`Unit`] — rational exponents over the SI base dimensions
+//!   `[kg, m, s, K, mol]` (rationals because `sqrt` halves exponents);
+//! * [`check_units`] — propagates declared units through every tasklet
+//!   expression of an SDFG: add/sub require equal units (E0601), mul/div
+//!   compose exponents, transcendental intrinsics require dimensionless
+//!   arguments (E0602), and literals unify with whatever they meet — a
+//!   statement whose unit stays fully unconstrained warns W0604.
+//!   Undeclared written fields (e.g. the gather transients the hoisting
+//!   metaprogram introduces) *inherit* their inferred unit, so the same
+//!   declarations certify the source, fused, and hoisted graphs;
+//! * [`check_conservation`] — verifies the coupler boundary against a
+//!   typed flux registry: every emitted flux must be consumed with the
+//!   same unit and sign convention (E0605), and every flux declared to
+//!   carry a conserved quantity must be accumulated into a matching
+//!   `core::budgets` ledger (E0606).
+
+use crate::analysis::{AnalysisContext, DiagCode, Diagnostic, Severity};
+use crate::ast::{BinOp, Expr, Intrinsic};
+use crate::loc::Span;
+use crate::sdfg::Sdfg;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A rational exponent, always kept normalized (gcd 1, positive
+/// denominator), so `Eq`/`Hash` are structural equality of the value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rat {
+    num: i32,
+    den: i32,
+}
+
+const fn gcd(a: i32, b: i32) -> i32 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+// Plain methods, not `std::ops` impls: exponent arithmetic stays an
+// explicit algebra step wherever the checker composes units.
+#[allow(clippy::should_implement_trait)]
+impl Rat {
+    pub const ZERO: Rat = Rat { num: 0, den: 1 };
+
+    pub fn new(num: i32, den: i32) -> Rat {
+        assert!(den != 0, "rational exponent with zero denominator");
+        let g = gcd(num, den).max(1);
+        let sign = if den < 0 { -1 } else { 1 };
+        Rat {
+            num: sign * num / g,
+            den: sign * den / g,
+        }
+    }
+
+    pub fn int(n: i32) -> Rat {
+        Rat { num: n, den: 1 }
+    }
+
+    pub fn add(self, o: Rat) -> Rat {
+        Rat::new(self.num * o.den + o.num * self.den, self.den * o.den)
+    }
+
+    pub fn neg(self) -> Rat {
+        Rat::new(-self.num, self.den)
+    }
+
+    pub fn mul(self, o: Rat) -> Rat {
+        Rat::new(self.num * o.num, self.den * o.den)
+    }
+
+    pub fn is_zero(self) -> bool {
+        self.num == 0
+    }
+}
+
+impl fmt::Display for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+/// Number of SI base dimensions tracked.
+pub const N_DIMS: usize = 5;
+
+/// Canonical names of the base dimensions, in display order.
+pub const DIM_NAMES: [&str; N_DIMS] = ["kg", "m", "s", "K", "mol"];
+
+/// A physical unit: rational exponents over `[kg, m, s, K, mol]`.
+/// `W m^-2` is `kg s^-3`; `sqrt(m^2 s^-2)` is `m s^-1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Unit {
+    exps: [Rat; N_DIMS],
+}
+
+// Same rationale as `Rat`: explicit method names over operator impls.
+#[allow(clippy::should_implement_trait)]
+impl Unit {
+    pub fn dimensionless() -> Unit {
+        Unit {
+            exps: [Rat::ZERO; N_DIMS],
+        }
+    }
+
+    /// The `dim`-th base dimension to the first power.
+    pub fn base(dim: usize) -> Unit {
+        let mut u = Unit::dimensionless();
+        u.exps[dim] = Rat::int(1);
+        u
+    }
+
+    /// Resolve a unit *name* — a base dimension or a derived SI unit.
+    /// Case-insensitive because the DSL lexer lowercases identifiers
+    /// (`K` arrives as `k`).
+    pub fn named(name: &str) -> Option<Unit> {
+        let kg = Unit::base(0);
+        let m = Unit::base(1);
+        let s = Unit::base(2);
+        let kelvin = Unit::base(3);
+        let mol = Unit::base(4);
+        Some(match name.to_ascii_lowercase().as_str() {
+            "1" => Unit::dimensionless(),
+            "kg" => kg,
+            "m" => m,
+            "s" => s,
+            "k" => kelvin,
+            "mol" => mol,
+            // Derived units, expanded to base dimensions.
+            "n" => kg.mul(m).div(s.powi(2)),
+            "pa" => kg.div(m).div(s.powi(2)),
+            "j" => kg.mul(m.powi(2)).div(s.powi(2)),
+            "w" => kg.mul(m.powi(2)).div(s.powi(3)),
+            "hz" => Unit::dimensionless().div(s),
+            _ => return None,
+        })
+    }
+
+    pub fn mul(self, o: Unit) -> Unit {
+        let mut u = self;
+        for i in 0..N_DIMS {
+            u.exps[i] = u.exps[i].add(o.exps[i]);
+        }
+        u
+    }
+
+    pub fn div(self, o: Unit) -> Unit {
+        self.mul(o.inv())
+    }
+
+    pub fn inv(self) -> Unit {
+        let mut u = self;
+        for e in &mut u.exps {
+            *e = e.neg();
+        }
+        u
+    }
+
+    pub fn pow(self, r: Rat) -> Unit {
+        let mut u = self;
+        for e in &mut u.exps {
+            *e = e.mul(r);
+        }
+        u
+    }
+
+    pub fn powi(self, n: i32) -> Unit {
+        self.pow(Rat::int(n))
+    }
+
+    /// `sqrt` halves every exponent — the reason exponents are rational.
+    pub fn sqrt(self) -> Unit {
+        self.pow(Rat::new(1, 2))
+    }
+
+    pub fn is_dimensionless(self) -> bool {
+        self.exps.iter().all(|e| e.is_zero())
+    }
+
+    /// Parse a unit expression: whitespace- or `*`-separated factors,
+    /// each `NAME` or `NAME^EXP` (integer or `p/q` exponent); a `/`
+    /// moves every *following* factor into the denominator, as in
+    /// `kg / m s^2` = `kg m^-1 s^-2`. `1` is the dimensionless unit.
+    pub fn parse(text: &str) -> Result<Unit, String> {
+        let mut unit = Unit::dimensionless();
+        let mut denominator = false;
+        let mut seen = false;
+        for tok in text.split(|c: char| c.is_whitespace() || c == '*').filter(|t| !t.is_empty()) {
+            let mut rest = tok;
+            while !rest.is_empty() {
+                if let Some(r) = rest.strip_prefix('/') {
+                    denominator = true;
+                    rest = r;
+                    continue;
+                }
+                let (part, tail) = take_unit_factor(rest);
+                rest = tail;
+                let (name, exp) = match part.split_once('^') {
+                    None => (part, Rat::int(1)),
+                    Some((n, e)) => (n, parse_exponent(e)?),
+                };
+                let base = Unit::named(name).ok_or_else(|| format!("unknown unit `{name}`"))?;
+                let exp = if denominator { exp.neg() } else { exp };
+                unit = unit.mul(base.pow(exp));
+                seen = true;
+            }
+        }
+        if !seen {
+            return Err("empty unit expression".into());
+        }
+        Ok(unit)
+    }
+}
+
+/// Split one factor (`name` or `name^exp`) off the front of `rest`. A
+/// `/` ends the factor — except a single digit-led `/q` inside an
+/// exponent (`m^1/2`), which is a rational power, not a division.
+fn take_unit_factor(rest: &str) -> (&str, &str) {
+    let bytes = rest.as_bytes();
+    let mut i = 0;
+    let mut seen_caret = false;
+    let mut exp_slash_used = false;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'^' => seen_caret = true,
+            b'/' => {
+                let rational = seen_caret
+                    && !exp_slash_used
+                    && bytes.get(i + 1).is_some_and(|c| c.is_ascii_digit());
+                if !rational {
+                    break;
+                }
+                exp_slash_used = true;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    (&rest[..i], &rest[i..])
+}
+
+fn parse_exponent(text: &str) -> Result<Rat, String> {
+    let bad = || format!("bad exponent `{text}`");
+    match text.split_once('/') {
+        None => Ok(Rat::int(text.parse::<i32>().map_err(|_| bad())?)),
+        Some((p, q)) => Ok(Rat::new(
+            p.parse::<i32>().map_err(|_| bad())?,
+            q.parse::<i32>().map_err(|_| bad())?,
+        )),
+    }
+}
+
+impl fmt::Display for Unit {
+    /// Canonical base-dimension form: `kg m^-1 s^-2`, `m^1/2`, `1` for
+    /// dimensionless. Stable, so diagnostics compare textually.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_dimensionless() {
+            return write!(f, "1");
+        }
+        let mut first = true;
+        for (i, e) in self.exps.iter().enumerate() {
+            if e.is_zero() {
+                continue;
+            }
+            if !first {
+                write!(f, " ")?;
+            }
+            first = false;
+            if *e == Rat::int(1) {
+                write!(f, "{}", DIM_NAMES[i])?;
+            } else {
+                write!(f, "{}^{}", DIM_NAMES[i], e)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A `unit NAME = EXPR;` declaration carried by [`crate::ast::Program`]
+/// and [`Sdfg`], spanned at the field name for diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnitDecl {
+    pub field: String,
+    pub unit: Unit,
+    pub span: Span,
+}
+
+/// Result of [`check_units`] over one SDFG.
+#[derive(Debug, Default)]
+pub struct UnitReport {
+    pub diagnostics: Vec<Diagnostic>,
+    /// Every field with a known unit after inference: declarations plus
+    /// units derived for undeclared written fields (outputs, hoisted
+    /// gather transients).
+    pub inferred: HashMap<String, Unit>,
+}
+
+impl UnitReport {
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity() == Severity::Error)
+    }
+
+    pub fn warnings(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity() == Severity::Warning)
+    }
+
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+}
+
+/// Nearest real span inside an expression (first access or intrinsic
+/// call), used to anchor operand-level diagnostics.
+fn expr_span(e: &Expr) -> Option<Span> {
+    match e {
+        Expr::Num(_) => None,
+        Expr::Access(a) => Some(a.span),
+        Expr::Neg(x) => expr_span(x),
+        Expr::Bin(_, a, b) => expr_span(a).or_else(|| expr_span(b)),
+        Expr::Call(_, _, span) => Some(*span),
+    }
+}
+
+struct Inference<'a> {
+    env: &'a HashMap<String, Unit>,
+    state: &'a str,
+    diags: &'a mut Vec<Diagnostic>,
+}
+
+impl Inference<'_> {
+    fn infer(&mut self, e: &Expr, stmt_span: Span) -> Option<Unit> {
+        match e {
+            // A literal is unconstrained: it unifies with whatever unit
+            // the surrounding expression needs.
+            Expr::Num(_) => None,
+            Expr::Access(a) => self.env.get(&a.field).copied(),
+            Expr::Neg(x) => self.infer(x, stmt_span),
+            Expr::Bin(op, a, b) => {
+                let ua = self.infer(a, stmt_span);
+                let ub = self.infer(b, stmt_span);
+                match op {
+                    BinOp::Add | BinOp::Sub => match (ua, ub) {
+                        (Some(x), Some(y)) if x != y => {
+                            let span = expr_span(b).or_else(|| expr_span(a)).unwrap_or(stmt_span);
+                            self.diags.push(Diagnostic::new(
+                                DiagCode::UnitMismatch,
+                                format!(
+                                    "cannot {} `{x}` and `{y}`: operands of +/- must have equal units",
+                                    if *op == BinOp::Add { "add" } else { "subtract" },
+                                ),
+                                span,
+                                self.state,
+                            ));
+                            Some(x)
+                        }
+                        (x, y) => x.or(y),
+                    },
+                    BinOp::Mul => match (ua, ub) {
+                        (Some(x), Some(y)) => Some(x.mul(y)),
+                        (x, y) => x.or(y),
+                    },
+                    BinOp::Div => match (ua, ub) {
+                        (Some(x), Some(y)) => Some(x.div(y)),
+                        (Some(x), None) => Some(x),
+                        (None, Some(y)) => Some(y.inv()),
+                        (None, None) => None,
+                    },
+                }
+            }
+            Expr::Call(intr, arg, span) => {
+                let ua = self.infer(arg, stmt_span);
+                if *intr == Intrinsic::Sqrt {
+                    // sqrt is dimensionally transparent: halve exponents.
+                    return ua.map(Unit::sqrt);
+                }
+                if let Some(u) = ua {
+                    if !u.is_dimensionless() {
+                        self.diags.push(Diagnostic::new(
+                            DiagCode::DimensionlessRequired,
+                            format!(
+                                "transcendental intrinsic `{}` requires a dimensionless argument, found `{u}`",
+                                intr.name(),
+                            ),
+                            *span,
+                            self.state,
+                        ));
+                    }
+                }
+                Some(Unit::dimensionless())
+            }
+        }
+    }
+}
+
+/// Propagate units through every tasklet of `sdfg` in program order.
+///
+/// The unit environment starts from the context's declarations
+/// (`AnalysisContext::unit`) merged with the SDFG's own source-level
+/// `unit` declarations; written fields without a declaration inherit
+/// their inferred unit (this is how hoisted gather transients get
+/// theirs). Produces E0601/E0602 errors and W0604 warnings.
+pub fn check_units(sdfg: &Sdfg, ctx: &AnalysisContext) -> UnitReport {
+    let mut diags = Vec::new();
+    let mut env = ctx.units.clone();
+    for d in &sdfg.units {
+        if let Some(prev) = env.get(&d.field) {
+            if *prev != d.unit {
+                diags.push(Diagnostic::new(
+                    DiagCode::UnitMismatch,
+                    format!(
+                        "`{}` declared `{}` in source but `{prev}` in the analysis context",
+                        d.field, d.unit
+                    ),
+                    d.span,
+                    "<declarations>",
+                ));
+            }
+        }
+        env.insert(d.field.clone(), d.unit);
+    }
+
+    for state in &sdfg.states {
+        for t in &state.map.tasklets {
+            let mut inf = Inference {
+                env: &env,
+                state: &state.label,
+                diags: &mut diags,
+            };
+            let u = inf.infer(&t.code, t.write.span);
+            match (env.get(&t.write.field).copied(), u) {
+                (Some(declared), Some(inferred)) if declared != inferred => {
+                    diags.push(Diagnostic::new(
+                        DiagCode::UnitMismatch,
+                        format!(
+                            "`{}` has unit `{declared}` but is assigned an expression of unit `{inferred}`",
+                            t.write.field
+                        ),
+                        t.write.span,
+                        &state.label,
+                    ));
+                }
+                (None, Some(inferred)) => {
+                    env.insert(t.write.field.clone(), inferred);
+                }
+                (None, None) => {
+                    diags.push(Diagnostic::new(
+                        DiagCode::UnconstrainedLiteral,
+                        format!(
+                            "unit of `{}` is unconstrained: no declaration and the expression is all literals",
+                            t.write.field
+                        ),
+                        t.write.span,
+                        &state.label,
+                    ));
+                }
+                _ => {}
+            }
+        }
+    }
+    UnitReport {
+        diagnostics: diags,
+        inferred: env,
+    }
+}
+
+// ------------------------------------------------------------------
+// Conservation closure at the coupler boundary
+// ------------------------------------------------------------------
+
+/// Which conserved quantity a coupler-exchanged field carries. `None`
+/// marks state-like fields (SST, ice fraction) and fluxes whose cycle is
+/// deliberately not ledgered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConservedClass {
+    Energy,
+    Mass,
+    Water,
+    Carbon,
+    None,
+}
+
+impl fmt::Display for ConservedClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ConservedClass::Energy => "energy",
+            ConservedClass::Mass => "mass",
+            ConservedClass::Water => "water",
+            ConservedClass::Carbon => "carbon",
+            ConservedClass::None => "none",
+        })
+    }
+}
+
+/// One flux as *declared by its emitter* in the typed registry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FluxSpec {
+    pub name: String,
+    /// Emitting component ("atmosphere", "land", "ocean-bgc").
+    pub emitter: String,
+    /// Unit expression text, parsed by [`Unit::parse`].
+    pub unit: String,
+    pub conserved: ConservedClass,
+    /// Sign convention: `true` = positive values point down/into the
+    /// receiving component.
+    pub positive_down: bool,
+}
+
+/// One flux as *expected by its consumer* on the other side of the
+/// coupler.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FluxConsumer {
+    pub name: String,
+    /// Consuming side ("fast", "slow").
+    pub consumer: String,
+    pub unit: String,
+    pub positive_down: bool,
+}
+
+/// One `core::budgets` accumulation: flux `flux` is added into the
+/// ledger of conserved class `ledger`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LedgerEntry {
+    pub flux: String,
+    pub ledger: ConservedClass,
+}
+
+const COUPLER_STATE: &str = "<coupler>";
+
+fn e0605(msg: String) -> Diagnostic {
+    Diagnostic::new(DiagCode::InterfaceUnitMismatch, msg, Span::synthetic(), COUPLER_STATE)
+}
+
+fn e0606(msg: String) -> Diagnostic {
+    Diagnostic::new(DiagCode::UnclosedConservedFlux, msg, Span::synthetic(), COUPLER_STATE)
+}
+
+/// Verify the coupler boundary: every emitted flux is consumed with a
+/// matching unit and sign convention (E0605), every declared conserved
+/// class is accumulated into a matching budget ledger, and no ledger
+/// accumulates a flux the registry does not declare as conserved (E0606).
+pub fn check_conservation(
+    emitted: &[FluxSpec],
+    consumed: &[FluxConsumer],
+    ledgers: &[LedgerEntry],
+) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+
+    let mut units: HashMap<&str, Unit> = HashMap::new();
+    for f in emitted {
+        match Unit::parse(&f.unit) {
+            Ok(u) => {
+                units.insert(f.name.as_str(), u);
+            }
+            Err(e) => diags.push(e0605(format!(
+                "flux `{}` declares unparseable unit `{}`: {e}",
+                f.name, f.unit
+            ))),
+        }
+    }
+
+    for f in emitted {
+        let Some(&emit_unit) = units.get(f.name.as_str()) else {
+            continue;
+        };
+        let takers: Vec<&FluxConsumer> = consumed.iter().filter(|c| c.name == f.name).collect();
+        if takers.is_empty() {
+            diags.push(e0605(format!(
+                "flux `{}` emitted by {} is never consumed on the other side",
+                f.name, f.emitter
+            )));
+            continue;
+        }
+        for c in takers {
+            match Unit::parse(&c.unit) {
+                Err(e) => diags.push(e0605(format!(
+                    "consumer of `{}` expects unparseable unit `{}`: {e}",
+                    c.name, c.unit
+                ))),
+                Ok(u) if u != emit_unit => diags.push(e0605(format!(
+                    "flux `{}` emitted as `{emit_unit}` but consumed by the {} side as `{u}`",
+                    f.name, c.consumer
+                ))),
+                Ok(_) => {}
+            }
+            if c.positive_down != f.positive_down {
+                diags.push(e0605(format!(
+                    "flux `{}`: emitter and the {} side disagree on the sign convention",
+                    f.name, c.consumer
+                )));
+            }
+        }
+    }
+
+    for c in consumed {
+        if !emitted.iter().any(|f| f.name == c.name) {
+            diags.push(e0605(format!(
+                "the {} side consumes `{}`, which no component declares in the flux registry",
+                c.consumer, c.name
+            )));
+        }
+    }
+
+    for f in emitted {
+        if f.conserved == ConservedClass::None {
+            continue;
+        }
+        if !ledgers.iter().any(|l| l.flux == f.name && l.ledger == f.conserved) {
+            diags.push(e0606(format!(
+                "flux `{}` declares conserved class `{}` but no `core::budgets` ledger accumulates it",
+                f.name, f.conserved
+            )));
+        }
+    }
+    for l in ledgers {
+        match emitted.iter().find(|f| f.name == l.flux) {
+            None => diags.push(e0606(format!(
+                "ledger `{}` accumulates `{}`, which the flux registry does not declare",
+                l.ledger, l.flux
+            ))),
+            Some(f) if f.conserved != l.ledger => diags.push(e0606(format!(
+                "ledger `{}` accumulates `{}`, declared as conserved class `{}`",
+                l.ledger, l.flux, f.conserved
+            ))),
+            Some(_) => {}
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::FieldIo;
+    use crate::parser::parse;
+    use crate::transforms::gh200_hoisted_pipeline;
+
+    #[test]
+    fn unit_algebra_and_canonical_display() {
+        let w_per_m2 = Unit::parse("W m^-2").unwrap();
+        assert_eq!(w_per_m2, Unit::parse("kg s^-3").unwrap());
+        assert_eq!(w_per_m2.to_string(), "kg s^-3");
+        assert_eq!(Unit::parse("m / s").unwrap().to_string(), "m s^-1");
+        assert_eq!(Unit::parse("kg / m s^2").unwrap(), Unit::parse("Pa").unwrap());
+        assert_eq!(Unit::parse("1").unwrap(), Unit::dimensionless());
+        assert_eq!(Unit::parse("m/s").unwrap(), Unit::parse("m s^-1").unwrap());
+        assert!(Unit::parse("furlong").is_err());
+        assert!(Unit::parse("").is_err());
+    }
+
+    #[test]
+    fn sqrt_motivates_rational_exponents() {
+        let kin = Unit::parse("m^2 s^-2").unwrap();
+        assert_eq!(kin.sqrt(), Unit::parse("m / s").unwrap());
+        let odd = Unit::parse("m").unwrap().sqrt();
+        assert_eq!(odd.to_string(), "m^1/2");
+        assert_eq!(odd.mul(odd), Unit::parse("m").unwrap());
+        assert_eq!(Unit::parse("m^1/2").unwrap(), odd);
+    }
+
+    fn ctx() -> AnalysisContext {
+        AnalysisContext::new()
+            .domain("cells")
+            .field("a", "cells", true, FieldIo::Input)
+            .field("b", "cells", true, FieldIo::Input)
+            .field("out", "cells", true, FieldIo::Output)
+            .with_nlev(4)
+            .unit("a", "m / s")
+            .unit("b", "K")
+    }
+
+    fn sdfg_of(src: &str) -> Sdfg {
+        Sdfg::from_program("t", &parse(src).expect("test source parses"))
+    }
+
+    #[test]
+    fn add_of_unequal_units_is_e0601_with_operand_span() {
+        let rep = check_units(&sdfg_of("kernel t over cells\n  out(p,k) = a(p,k) + b(p,k);\nend"), &ctx());
+        let errs: Vec<_> = rep.errors().collect();
+        assert_eq!(errs.len(), 1, "{:?}", rep.diagnostics);
+        assert_eq!(errs[0].code, DiagCode::UnitMismatch);
+        assert_eq!(errs[0].span.line, 2);
+        assert_eq!(errs[0].span.col, 23, "span anchors the offending operand");
+    }
+
+    #[test]
+    fn mul_div_compose_and_literals_unify() {
+        let rep = check_units(&sdfg_of("kernel t over cells\n  out(p,k) = 0.5 * a(p,k) / b(p,k);\nend"), &ctx());
+        assert!(rep.is_clean(), "{:?}", rep.diagnostics);
+        assert_eq!(rep.inferred["out"], Unit::parse("m s^-1 K^-1").unwrap());
+    }
+
+    #[test]
+    fn declared_target_mismatch_is_e0601() {
+        let c = ctx().unit("out", "K");
+        let rep = check_units(&sdfg_of("kernel t over cells\n  out(p,k) = a(p,k) * 2;\nend"), &c);
+        assert_eq!(rep.errors().count(), 1);
+    }
+
+    #[test]
+    fn transcendentals_require_dimensionless_e0602_but_sqrt_composes() {
+        let bad = check_units(&sdfg_of("kernel t over cells\n  out(p,k) = exp(a(p,k));\nend"), &ctx());
+        let errs: Vec<_> = bad.errors().collect();
+        assert_eq!(errs.len(), 1);
+        assert_eq!(errs[0].code, DiagCode::DimensionlessRequired);
+
+        let ok = check_units(&sdfg_of("kernel t over cells\n  out(p,k) = sqrt(a(p,k) * a(p,k));\nend"), &ctx());
+        assert!(ok.is_clean(), "{:?}", ok.diagnostics);
+        assert_eq!(ok.inferred["out"], Unit::parse("m / s").unwrap());
+
+        let ratio = check_units(&sdfg_of("kernel t over cells\n  out(p,k) = exp(a(p,k) / a(p,k));\nend"), &ctx());
+        assert!(ratio.is_clean(), "dimensionless ratio is a legal argument");
+    }
+
+    #[test]
+    fn unconstrained_literal_warns_w0604() {
+        let rep = check_units(&sdfg_of("kernel t over cells\n  out(p,k) = 2.5;\nend"), &ctx());
+        assert_eq!(rep.errors().count(), 0);
+        let warns: Vec<_> = rep.warnings().collect();
+        assert_eq!(warns.len(), 1);
+        assert_eq!(warns[0].code, DiagCode::UnconstrainedLiteral);
+    }
+
+    #[test]
+    fn source_level_declarations_flow_through_the_sdfg() {
+        let src = "unit q = m / s;\nkernel t over cells\n  out(p,k) = q(p,k) * q(p,k);\nend";
+        let c = AnalysisContext::new()
+            .domain("cells")
+            .field("q", "cells", true, FieldIo::Input)
+            .field("out", "cells", true, FieldIo::Output);
+        let rep = check_units(&sdfg_of(src), &c);
+        assert!(rep.is_clean(), "{:?}", rep.diagnostics);
+        assert_eq!(rep.inferred["out"], Unit::parse("m^2 s^-2").unwrap());
+    }
+
+    #[test]
+    fn hoisted_transients_inherit_inferred_units() {
+        let src = r#"
+unit vn_e = m / s;
+unit w = 1;
+kernel t over cells
+  out(p,k) = w(p) * vn_e(edge(p,0),k) + w(p) * vn_e(edge(p,0),k);
+end"#;
+        let c = AnalysisContext::new()
+            .domain("cells")
+            .domain("edges")
+            .relation("edge", "cells", "edges", 3)
+            .field("vn_e", "edges", true, FieldIo::Input)
+            .field("w", "cells", false, FieldIo::Input)
+            .field("out", "cells", true, FieldIo::Output);
+        let sdfg = sdfg_of(src);
+        let (hoisted, hoist) = gh200_hoisted_pipeline(&sdfg);
+        assert!(!hoist.transients.is_empty(), "the repeated gather must hoist");
+        let rep = check_units(&hoisted, &hoist.declare(&c));
+        assert!(rep.is_clean(), "{:?}", rep.diagnostics);
+        for t in &hoist.transients {
+            assert_eq!(
+                rep.inferred[&t.transient],
+                Unit::parse("m / s").unwrap(),
+                "transient `{}` inherits the gathered field's unit",
+                t.transient
+            );
+        }
+    }
+
+    fn spec(name: &str, unit: &str, conserved: ConservedClass) -> FluxSpec {
+        FluxSpec {
+            name: name.into(),
+            emitter: "atmosphere".into(),
+            unit: unit.into(),
+            conserved,
+            positive_down: true,
+        }
+    }
+
+    fn taker(name: &str, unit: &str) -> FluxConsumer {
+        FluxConsumer {
+            name: name.into(),
+            consumer: "slow".into(),
+            unit: unit.into(),
+            positive_down: true,
+        }
+    }
+
+    #[test]
+    fn conservation_closure_accepts_a_closed_boundary() {
+        let emitted = [spec("fw", "m / s", ConservedClass::Water)];
+        let consumed = [taker("fw", "m s^-1")];
+        let ledgers = [LedgerEntry { flux: "fw".into(), ledger: ConservedClass::Water }];
+        assert!(check_conservation(&emitted, &consumed, &ledgers).is_empty());
+    }
+
+    #[test]
+    fn interface_unit_and_sign_mismatches_are_e0605() {
+        let emitted = [spec("heat", "W m^-2", ConservedClass::None)];
+        let wrong_unit = [taker("heat", "K")];
+        let d = check_conservation(&emitted, &wrong_unit, &[]);
+        assert!(d.iter().any(|d| d.code == DiagCode::InterfaceUnitMismatch), "{d:?}");
+
+        let mut flipped = taker("heat", "W m^-2");
+        flipped.positive_down = false;
+        let d = check_conservation(&emitted, &[flipped], &[]);
+        assert!(d.iter().any(|d| d.code == DiagCode::InterfaceUnitMismatch), "{d:?}");
+
+        let d = check_conservation(&emitted, &[], &[]);
+        assert!(d.iter().any(|d| d.code == DiagCode::InterfaceUnitMismatch), "unconsumed flux");
+    }
+
+    #[test]
+    fn unledgered_conserved_class_is_e0606() {
+        let emitted = [spec("heat", "W m^-2", ConservedClass::Energy)];
+        let consumed = [taker("heat", "W m^-2")];
+        let d = check_conservation(&emitted, &consumed, &[]);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].code, DiagCode::UnclosedConservedFlux);
+
+        // A ledger accumulating a flux under the wrong class is also E0606.
+        let ledgers = [LedgerEntry { flux: "heat".into(), ledger: ConservedClass::Water }];
+        let d = check_conservation(&emitted, &consumed, &ledgers);
+        assert!(d.iter().all(|d| d.code == DiagCode::UnclosedConservedFlux), "{d:?}");
+        assert_eq!(d.len(), 2, "unledgered Energy + mismatched Water entry");
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests of the replayable execution graph's
+//! certification guard (ISSUE: static_analysis).
+//!
+//! A recorded schedule froze its task splits under a verdict vector;
+//! replaying it under *any other* vector would execute a schedule whose
+//! legality argument no longer holds. Two properties, over every
+//! ParallelSafe state of the certified dycore and random data seeds:
+//!
+//! 1. **Typed refusal**: demoting any recorded `ParallelSafe` verdict to
+//!    `Sequential` makes `check_certification` refuse with
+//!    `GraphInvalid::CertificationChanged` naming exactly the mutated
+//!    state and both verdicts — never a stale replay, never a panic,
+//!    never the wrong state index.
+//! 2. **Bitwise-idempotent re-record**: the answer to the invalidation
+//!    event is re-recording. Recording under the demoted vector twice
+//!    from identical data yields bitwise-identical `DataContext`s and
+//!    identical stats, bitwise-equal to a record under the original
+//!    vector — demotion changes scheduling, not results — and the fresh
+//!    graph revalidates under the vector it was recorded under.
+
+use dace_mini::analysis::{self, Certification};
+use dace_mini::exec::{self, ExecStats};
+use dace_mini::graph::{ExecGraph, GraphInvalid};
+use dace_mini::transforms;
+use dace_mini::{suite, DataContext, Sdfg, TopologyContext};
+use proptest::prelude::*;
+
+const NLEV: usize = 4;
+const N_CELLS: usize = 64;
+
+fn certified_dycore() -> (Sdfg, analysis::AnalysisReport, Vec<String>) {
+    let prog = suite::dycore_program();
+    let sdfg = Sdfg::from_program("dycore", &prog);
+    let (opt, hoist) = transforms::gh200_hoisted_pipeline(&sdfg);
+    let hctx = hoist.declare(&suite::suite_context());
+    let report = analysis::verify_sdfg(&opt, &hctx);
+    assert!(report.is_clean(), "{:?}", report.errors().collect::<Vec<_>>());
+    (opt, report, hoist.transient_names())
+}
+
+/// Record the way production callers do: compile under the verdicts,
+/// elide the hoisted transients (register-only, no buffers), freeze.
+fn record(
+    opt: &Sdfg,
+    report: &analysis::AnalysisReport,
+    elided: &[String],
+    topo: &TopologyContext,
+    data: &mut DataContext,
+) -> (ExecGraph, ExecStats) {
+    let mut ex = exec::compile_certified(opt, report);
+    ex.elide_transient_stores(elided);
+    ExecGraph::record_compiled("dycore", ex, report, topo, data)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn certification_mutants_refuse_typed_and_rerecord_bitwise(seed in 0u64..1_000_000) {
+        let (opt, report, elided) = certified_dycore();
+        let topo = suite::synthetic_topology(N_CELLS);
+        let d0 = suite::synthetic_data(&topo, NLEV, seed);
+
+        let mut d_rec = d0.clone();
+        let (graph, _) = record(&opt, &report, &elided, &topo, &mut d_rec);
+        graph.check_certification(&report).expect("unchanged verdicts revalidate");
+
+        // Demote a seed-chosen ParallelSafe state to Sequential.
+        let safe: Vec<usize> = report
+            .states
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.cert == Certification::ParallelSafe)
+            .map(|(i, _)| i)
+            .collect();
+        prop_assert!(!safe.is_empty(), "certified dycore must have ParallelSafe states");
+        let victim = safe[(seed as usize) % safe.len()];
+        let mut changed = report.clone();
+        changed.states[victim].cert = Certification::Sequential;
+
+        match graph.check_certification(&changed) {
+            Err(GraphInvalid::CertificationChanged { state, recorded, now, .. }) => {
+                prop_assert_eq!(state, victim, "refusal names the mutated state");
+                prop_assert_eq!(recorded, Certification::ParallelSafe);
+                prop_assert_eq!(now, Certification::Sequential);
+            }
+            other => prop_assert!(false, "expected CertificationChanged, got {:?}", other),
+        }
+
+        // Re-record under the demoted vector, twice, from identical data.
+        let mut d1 = d0.clone();
+        let mut d2 = d0.clone();
+        let (g1, s1) = record(&opt, &changed, &elided, &topo, &mut d1);
+        let (_g2, s2) = record(&opt, &changed, &elided, &topo, &mut d2);
+        prop_assert_eq!(&s1, &s2, "re-record stats idempotent");
+        prop_assert_eq!(&d1, &d2, "re-record bitwise idempotent");
+        prop_assert_eq!(&d1, &d_rec, "demotion changes scheduling, not results");
+
+        // The fresh graphs are valid for the vector they were recorded
+        // under (and only that one), and the demoted node is unfrozen:
+        // it pays a dispatch decision per replay that the original froze.
+        g1.check_certification(&changed).expect("fresh record revalidates");
+        prop_assert!(g1.check_certification(&report).is_err(), "old vector stays refused");
+        prop_assert!(g1.n_frozen() < graph.n_frozen(), "demoted node left unfrozen");
+
+        // Replays agree bitwise across the two vectors, but the demoted
+        // graph pays a dispatch decision per replay for its eager node.
+        let mut graph = graph;
+        let mut g1 = g1;
+        let mut d_orig = d_rec.clone();
+        let r_orig = graph.replay(&topo, &mut d_orig).expect("shapes unchanged");
+        let r_demo = g1.replay(&topo, &mut d1).expect("shapes unchanged");
+        prop_assert_eq!(&d1, &d_orig, "replays agree across verdict vectors");
+        prop_assert!(r_demo.dispatched_tasks > r_orig.dispatched_tasks,
+            "demoted node re-dispatches on every replay");
+    }
+}

@@ -26,26 +26,29 @@ kernel carbon over cells
 end
 "#;
 
-/// Field declarations of [`DSL_SRC`]: `(name, domain, is_3d, io)`.
-pub fn dsl_fields() -> Vec<(&'static str, &'static str, bool, &'static str)> {
+/// Field declarations of [`DSL_SRC`]: `(name, domain, is_3d, io, unit)`.
+/// Water state is tracked as column depth (`m`), carbon pools as area
+/// density (`kg m^-2`); the dimensional-analysis pass proves every
+/// statement consistent under these assignments.
+pub fn dsl_fields() -> Vec<(&'static str, &'static str, bool, &'static str, &'static str)> {
     vec![
-        ("t_soil", "cells", true, "in"),
-        ("forc_t", "cells", true, "in"),
-        ("w_liquid", "cells", true, "in"),
-        ("infil", "cells", true, "in"),
-        ("npp", "cells", true, "in"),
-        ("alloc_frac", "cells", true, "in"),
-        ("pool", "cells", true, "in"),
-        ("turnover", "cells", true, "in"),
-        ("inv_dz_soil", "cells", false, "in"),
-        ("kappa", "cells", false, "in"),
-        ("perc_rate", "cells", false, "in"),
-        ("t_flux", "cells", true, "out"),
-        ("t_soil_n", "cells", true, "out"),
-        ("perc", "cells", true, "out"),
-        ("w_liquid_n", "cells", true, "out"),
-        ("npp_alloc", "cells", true, "out"),
-        ("pool_n", "cells", true, "out"),
+        ("t_soil", "cells", true, "in", "K"),
+        ("forc_t", "cells", true, "in", "K"),
+        ("w_liquid", "cells", true, "in", "m"),
+        ("infil", "cells", true, "in", "m"),
+        ("npp", "cells", true, "in", "kg m^-2"),
+        ("alloc_frac", "cells", true, "in", "1"),
+        ("pool", "cells", true, "in", "kg m^-2"),
+        ("turnover", "cells", true, "in", "1"),
+        ("inv_dz_soil", "cells", false, "in", "m^-1"),
+        ("kappa", "cells", false, "in", "m"),
+        ("perc_rate", "cells", false, "in", "1"),
+        ("t_flux", "cells", true, "out", "K m^-1"),
+        ("t_soil_n", "cells", true, "out", "K"),
+        ("perc", "cells", true, "out", "m"),
+        ("w_liquid_n", "cells", true, "out", "m"),
+        ("npp_alloc", "cells", true, "out", "kg m^-2"),
+        ("pool_n", "cells", true, "out", "kg m^-2"),
     ]
 }
 
@@ -75,7 +78,7 @@ mod tests {
     fn declarations_cover_every_identifier_in_the_source() {
         let declared: Vec<&str> = dsl_fields()
             .iter()
-            .map(|(n, _, _, _)| *n)
+            .map(|(n, _, _, _, _)| *n)
             .chain(dsl_relations().iter().map(|(n, _, _, _)| *n))
             .collect();
         for line in DSL_SRC.lines() {

@@ -33,12 +33,6 @@ pub use params::LandParams;
 pub use pools::CarbonPool;
 pub use state::LandState;
 
-/// Physical range of the hydrology flux land contributes to the coupled
-/// exchange (the freshwater term of the fast side's bundle), as
-/// `(field, min, max)`. Consumed by the coupler's quarantine gate; plain
-/// tuples keep this crate coupler-independent.
-pub fn coupling_flux_bounds() -> &'static [(&'static str, f64, f64)] {
-    // Net freshwater flux into the ocean (m/s of liquid water): 1 m/s
-    // would drown the planet in minutes — any violation is garbage.
-    &[("fw_flux", -1.0, 1.0)]
-}
+// The freshwater-flux bounds formerly exported here live in the typed
+// registry `coupler::fluxreg`, alongside the flux's unit and its
+// Water conservation class.

@@ -15,6 +15,7 @@ use dace_mini::analysis::{fusion_legality, verify_sdfg, AnalysisContext, Certifi
 use dace_mini::cost::{self, BaselineEntry, CostInputs, ProgramCost};
 use dace_mini::parser::parse;
 use dace_mini::transforms::{fuse_maps, gh200_hoisted_pipeline, gh200_pipeline};
+use dace_mini::units::{check_conservation, check_units, FluxConsumer, FluxSpec, LedgerEntry};
 use dace_mini::{suite, Sdfg};
 use machine::Roofline;
 use serde_json::{json, Value};
@@ -39,24 +40,24 @@ fn sizes_from(table: &[(&'static str, usize)], nlev: usize) -> cost::DomainSizes
 }
 
 fn ctx_from_tables(
-    fields: &[(&str, &str, bool, &str)],
+    fields: &[(&str, &str, bool, &str, &str)],
     relations: &[(&str, &str, &str, usize)],
     halo: i32,
 ) -> AnalysisContext {
     let mut ctx = AnalysisContext::new().with_halo(halo);
-    for (_, domain, _, _) in fields {
+    for (_, domain, _, _, _) in fields {
         ctx = ctx.domain(domain);
     }
     for (name, source, target, arity) in relations {
         ctx = ctx.domain(source).domain(target).relation(name, source, target, *arity);
     }
-    for (name, domain, is3d, io) in fields {
+    for (name, domain, is3d, io, unit) in fields {
         let io = match *io {
             "in" => FieldIo::Input,
             "out" => FieldIo::Output,
             _ => FieldIo::Intermediate,
         };
-        ctx = ctx.field(name, domain, *is3d, io);
+        ctx = ctx.field(name, domain, *is3d, io).unit(name, unit);
     }
     ctx
 }
@@ -109,6 +110,15 @@ pub struct LintSummary {
     pub warnings: usize,
     pub states_total: usize,
     pub states_parallel_safe: usize,
+    /// Errors/warnings from the dimensional-analysis phase (also counted
+    /// in `errors`/`warnings`).
+    pub units_errors: usize,
+    pub units_warnings: usize,
+    /// Fields whose unit the inference pass pinned down on the source
+    /// graphs (declared or derived).
+    pub units_inferred: usize,
+    /// Coupler-boundary fluxes checked by the conservation closure.
+    pub fluxes_checked: usize,
     /// Fixture-harness failures (an expected finding went undetected, or
     /// a fixture produced no error at all).
     pub fixture_failures: Vec<String>,
@@ -165,6 +175,29 @@ pub fn run_lint(out: &mut String) -> LintSummary {
             for d in &report.diagnostics {
                 render_diagnostic(out, &target, d);
             }
+
+            // Dimensional analysis at every phase: the transformed
+            // graphs must stay unit-consistent, and hoisted transients
+            // must inherit inferable units.
+            let units = check_units(graph, ctx);
+            let u_err = units.errors().count();
+            let u_warn = units.warnings().count();
+            summary.errors += u_err;
+            summary.warnings += u_warn;
+            summary.units_errors += u_err;
+            summary.units_warnings += u_warn;
+            if phase == "source" {
+                summary.units_inferred += units.inferred.len();
+            }
+            let _ = writeln!(
+                out,
+                "  [  units] {} ({phase}): {} fields inferred, {u_err} errors, {u_warn} warnings",
+                target.name,
+                units.inferred.len(),
+            );
+            for d in &units.diagnostics {
+                render_diagnostic(out, &target, d);
+            }
         }
 
         // Perf findings on the fused (pre-hoist) graph: redundant
@@ -189,16 +222,77 @@ pub fn run_lint(out: &mut String) -> LintSummary {
         }
     }
 
+    run_conservation(out, &mut summary);
     run_fixtures(out, &mut summary);
     summary
 }
+
+/// Assemble the coupler-boundary flux contract from the typed registry
+/// (emitter side, `coupler::fluxreg`) and the driver's consumption
+/// tables (`esm_core::fluxspec`) and run the conservation closure:
+/// every emitted flux consumed with matching unit and sign (E0605),
+/// every conserved class accumulated into a budget ledger (E0606).
+fn run_conservation(out: &mut String, summary: &mut LintSummary) {
+    let emitted: Vec<FluxSpec> = coupler::fluxreg::registry()
+        .iter()
+        .map(|d| FluxSpec {
+            name: d.name.to_string(),
+            emitter: d.emitter.to_string(),
+            unit: d.unit.to_string(),
+            conserved: d.conserved,
+            positive_down: d.positive_down,
+        })
+        .collect();
+    let mut consumed: Vec<FluxConsumer> = Vec::new();
+    for (side, table) in [
+        ("fast", esm_core::fluxspec::consumed_by_fast()),
+        ("slow", esm_core::fluxspec::consumed_by_slow()),
+    ] {
+        consumed.extend(table.into_iter().map(|(name, unit, down)| FluxConsumer {
+            name: name.to_string(),
+            consumer: side.to_string(),
+            unit: unit.to_string(),
+            positive_down: down,
+        }));
+    }
+    let ledgers: Vec<LedgerEntry> = esm_core::fluxspec::ledgered()
+        .into_iter()
+        .map(|(flux, ledger)| LedgerEntry {
+            flux: flux.to_string(),
+            ledger,
+        })
+        .collect();
+
+    summary.fluxes_checked = emitted.len();
+    let diags = check_conservation(&emitted, &consumed, &ledgers);
+    summary.errors += diags.len();
+    summary.units_errors += diags.len();
+    let _ = writeln!(
+        out,
+        "  [coupler] conservation closure: {} fluxes, {} ledgered, {} errors",
+        emitted.len(),
+        ledgers.len(),
+        diags.len(),
+    );
+    for d in &diags {
+        let _ = write!(out, "{}", dace_mini::diag::render(d));
+    }
+}
+
+/// Every fixture the runner must execute: 7 verifier + 2 perf +
+/// 2 fusion + 3 units + 2 conservation. A mismatch means a fixture
+/// family was added (or dropped) without updating the runner, and fails
+/// the lint run — silently skipped fixtures are a dead gate.
+const EXPECTED_FIXTURES: usize = 16;
 
 /// Run the deliberately-broken fixtures: every expected code must be
 /// produced. A fixture that passes the verifier (or refuses with the
 /// wrong code) is an analyzer regression and fails the lint run.
 fn run_fixtures(out: &mut String, summary: &mut LintSummary) {
+    let mut executed = 0usize;
     let _ = writeln!(out, "  negative fixtures:");
     for f in dace_mini::fixtures::verifier_fixtures() {
+        executed += 1;
         let report = verify_sdfg(&f.sdfg, &f.ctx);
         let mut missing = Vec::new();
         for code in &f.expect {
@@ -218,6 +312,7 @@ fn run_fixtures(out: &mut String, summary: &mut LintSummary) {
     }
     let roof = Roofline::gh200_dace();
     for f in dace_mini::fixtures::perf_fixtures() {
+        executed += 1;
         let fused = fuse_maps(&f.sdfg);
         let inputs = CostInputs {
             ctx: &f.ctx,
@@ -246,6 +341,7 @@ fn run_fixtures(out: &mut String, summary: &mut LintSummary) {
         }
     }
     for f in dace_mini::fixtures::fusion_fixtures() {
+        executed += 1;
         let (i, j) = f.pair;
         match fusion_legality(&f.sdfg.states[i], &f.sdfg.states[j]) {
             Err(d) if d.code == f.expect => {
@@ -272,6 +368,68 @@ fn run_fixtures(out: &mut String, summary: &mut LintSummary) {
                 let _ = writeln!(out, "    {:<28} ACCEPTED (analyzer regression)", f.name);
             }
         }
+    }
+    for f in dace_mini::fixtures::units_fixtures() {
+        executed += 1;
+        let report = check_units(&f.sdfg, &f.ctx);
+        let hit = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code == f.expect)
+            .cloned();
+        match hit {
+            Some(d) if (d.span.line, d.span.col) == f.at => {
+                let _ = writeln!(
+                    out,
+                    "    {:<28} flagged as expected ({} at {}:{})",
+                    f.name,
+                    f.expect.code(),
+                    d.span.line,
+                    d.span.col
+                );
+            }
+            Some(d) => {
+                summary.fixture_failures.push(format!(
+                    "{}: {} anchored at {}:{} instead of {}:{}",
+                    f.name,
+                    f.expect.code(),
+                    d.span.line,
+                    d.span.col,
+                    f.at.0,
+                    f.at.1
+                ));
+                let _ = writeln!(out, "    {:<28} WRONG SPAN {}", f.name, d.span);
+            }
+            None => {
+                summary
+                    .fixture_failures
+                    .push(format!("{}: expected {} not reported", f.name, f.expect.code()));
+                let _ = writeln!(out, "    {:<28} MISSED {}", f.name, f.expect.code());
+            }
+        }
+    }
+    for f in dace_mini::fixtures::conservation_fixtures() {
+        executed += 1;
+        let diags = check_conservation(&f.emitted, &f.consumed, &f.ledgers);
+        if diags.iter().any(|d| d.code == f.expect) {
+            let _ = writeln!(
+                out,
+                "    {:<28} flagged as expected ({})",
+                f.name,
+                f.expect.code()
+            );
+        } else {
+            summary
+                .fixture_failures
+                .push(format!("{}: expected {} not reported", f.name, f.expect.code()));
+            let _ = writeln!(out, "    {:<28} MISSED {}", f.name, f.expect.code());
+        }
+    }
+    if executed != EXPECTED_FIXTURES {
+        summary.fixture_failures.push(format!(
+            "fixture runner executed {executed} fixtures, expected {EXPECTED_FIXTURES} \
+             (a fixture family was added or dropped without updating the runner)"
+        ));
     }
 }
 
@@ -418,44 +576,41 @@ pub fn baseline_json(rows: &[CostRow]) -> Value {
     json!({ "targets": targets })
 }
 
-fn extract_str(block: &str, key: &str) -> Option<String> {
-    let pat = format!("\"{key}\":");
-    let rest = block[block.find(&pat)? + pat.len()..].trim_start();
-    let rest = rest.strip_prefix('"')?;
-    Some(rest[..rest.find('"')?].to_string())
-}
-
-fn extract_num(block: &str, key: &str) -> Option<f64> {
-    let pat = format!("\"{key}\":");
-    let rest = block[block.find(&pat)? + pat.len()..].trim_start();
-    let end = rest
-        .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
-        .unwrap_or(rest.len());
-    rest[..end].parse().ok()
-}
-
-/// Parse a baseline file back into entries. The serde_json stand-in has
-/// no parser, so this reads exactly the flat shape [`baseline_json`]
-/// writes: one `{ "name": ..., "lookups_per_point": ...,
-/// "predicted_time_s": ... }` object per target.
-pub fn parse_baseline(text: &str) -> Vec<BaselineEntry> {
-    let mut out = Vec::new();
-    for block in text.split('{').skip(1) {
-        let block = block.split('}').next().unwrap_or("");
-        let (Some(name), Some(lookups), Some(time)) = (
-            extract_str(block, "name"),
-            extract_num(block, "lookups_per_point"),
-            extract_num(block, "predicted_time_s"),
-        ) else {
-            continue;
-        };
-        out.push(BaselineEntry {
-            name,
-            lookups_per_point: lookups as usize,
-            predicted_time_s: time,
-        });
+/// Coerce a JSON number (`U64`/`I64`/`F64`) to `f64`. The shim's writer
+/// prints integral floats without `.0`, so a written `8.0` reparses as
+/// an integer — numeric reads must accept all three variants.
+fn num(v: &Value) -> Option<f64> {
+    match v {
+        Value::U64(n) => Some(*n as f64),
+        Value::I64(n) => Some(*n as f64),
+        Value::F64(x) => Some(*x),
+        _ => None,
     }
-    out
+}
+
+/// Parse a baseline file back into entries, via the shim's real JSON
+/// parser ([`serde_json::from_str`]): the `{ "targets": [ { "name",
+/// "lookups_per_point", "predicted_time_s" } ] }` shape
+/// [`baseline_json`] writes. Malformed text or entries are skipped —
+/// the diff then fails with a missing-entry E0503, which names the fix
+/// (`--write-baseline`).
+pub fn parse_baseline(text: &str) -> Vec<BaselineEntry> {
+    let Ok(root) = serde_json::from_str(text) else {
+        return Vec::new();
+    };
+    let Some(targets) = root.get("targets").and_then(Value::as_array) else {
+        return Vec::new();
+    };
+    targets
+        .iter()
+        .filter_map(|t| {
+            Some(BaselineEntry {
+                name: t.get("name")?.as_str()?.to_string(),
+                lookups_per_point: num(t.get("lookups_per_point")?)? as usize,
+                predicted_time_s: num(t.get("predicted_time_s")?)?,
+            })
+        })
+        .collect()
 }
 
 /// Diff a cost report against the checked-in baseline. Returns the
@@ -531,6 +686,10 @@ pub fn lint_summary_json(summary: &LintSummary) -> Value {
         "warnings": summary.warnings,
         "states_total": summary.states_total,
         "states_parallel_safe": summary.states_parallel_safe,
+        "units_errors": summary.units_errors,
+        "units_warnings": summary.units_warnings,
+        "units_inferred": summary.units_inferred,
+        "fluxes_checked": summary.fluxes_checked,
         "fixture_failures": failures,
         "clean": summary.clean(),
     })
@@ -547,6 +706,40 @@ mod tests {
         assert!(summary.clean(), "lint must pass on the shipped kernels:\n{out}");
         assert_eq!(summary.targets, 3);
         assert!(summary.states_parallel_safe > 0);
+        assert_eq!(summary.units_errors, 0, "{out}");
+        assert_eq!(summary.units_warnings, 0, "{out}");
+        // Every field of every target carries a pinned unit.
+        let total_fields: usize = builtin_targets().iter().map(|t| t.ctx.fields.len()).sum();
+        assert_eq!(summary.units_inferred, total_fields, "{out}");
+        // The whole coupler boundary is under the closure check.
+        assert_eq!(summary.fluxes_checked, coupler::fluxreg::registry().len());
+    }
+
+    #[test]
+    fn a_seeded_unit_bug_fails_the_units_phase() {
+        // Gate sanity: misdeclare one input's unit and the dimensional
+        // analysis must go red on the dycore suite's own declarations.
+        let targets = builtin_targets();
+        let t = &targets[1]; // atmo-dsl: units come from the ctx tables
+        let mut ctx = t.ctx.clone();
+        ctx.units.insert(
+            "mflux".to_string(),
+            dace_mini::Unit::parse("K").unwrap(),
+        );
+        let report = check_units(&t.sdfg, &ctx);
+        assert!(
+            report.errors().count() > 0,
+            "a wrong unit declaration must be detected"
+        );
+    }
+
+    #[test]
+    fn conservation_closure_is_wired_to_the_real_registry() {
+        let mut out = String::new();
+        let mut summary = LintSummary::default();
+        run_conservation(&mut out, &mut summary);
+        assert_eq!(summary.errors, 0, "{out}");
+        assert!(summary.fluxes_checked >= 9, "all coupler fluxes checked");
     }
 
     #[test]

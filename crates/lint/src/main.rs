@@ -17,8 +17,21 @@
 //!   `results/cost_baseline.json` instead of diffing against it.
 //! * `--json` — additionally print the machine-readable summary (lint
 //!   mode) or the full cost report (cost mode) to stdout.
+//! * `--deny-warnings` — lint mode: treat warnings (W0xxx) as gate
+//!   failures. The shipped kernels deliberately carry W0501/W0502 perf
+//!   findings on the pre-hoist graph, so CI uses the default mode; the
+//!   flag exists for suites expected to be warning-free.
+//!
+//! Exit codes are stable: `0` clean, `1` findings (lint errors, fixture
+//! failures, cost regressions, or — under `--deny-warnings` —
+//! warnings), `2` usage errors (unknown or inconsistent flags).
 
 use std::process::ExitCode;
+
+/// Exit code for findings (distinct from usage errors).
+const EXIT_FINDINGS: u8 = 1;
+/// Exit code for usage errors: unknown flags, inconsistent flag sets.
+const EXIT_USAGE: u8 = 2;
 
 const COST_REPORT_PATH: &str = "results/cost_model.json";
 const BASELINE_PATH: &str = "results/cost_baseline.json";
@@ -31,7 +44,7 @@ fn cost_mode(write_baseline: bool, json: bool) -> ExitCode {
         .and_then(|()| std::fs::write(COST_REPORT_PATH, &text))
     {
         eprintln!("esm-lint: cannot write {COST_REPORT_PATH}: {e}");
-        return ExitCode::FAILURE;
+        return ExitCode::from(EXIT_FINDINGS);
     }
     println!("esm-lint: static cost model ({} targets)", rows.len());
     print!("{}", esm_lint::render_cost_table(&rows));
@@ -45,7 +58,7 @@ fn cost_mode(write_baseline: bool, json: bool) -> ExitCode {
             .expect("baseline serializes");
         if let Err(e) = std::fs::write(BASELINE_PATH, base) {
             eprintln!("esm-lint: cannot write {BASELINE_PATH}: {e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_FINDINGS);
         }
         println!("esm-lint: wrote {BASELINE_PATH}");
         return ExitCode::SUCCESS;
@@ -58,7 +71,7 @@ fn cost_mode(write_baseline: bool, json: bool) -> ExitCode {
                 "esm-lint: cannot read {BASELINE_PATH} ({e}); \
                  run with --write-baseline to create it"
             );
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_FINDINGS);
         }
     };
     let (out, failures) = esm_lint::diff_against_baseline(&rows, &baseline);
@@ -68,11 +81,11 @@ fn cost_mode(write_baseline: bool, json: bool) -> ExitCode {
         ExitCode::SUCCESS
     } else {
         eprintln!("esm-lint: cost gate FAIL ({failures} regressions)");
-        ExitCode::FAILURE
+        ExitCode::from(EXIT_FINDINGS)
     }
 }
 
-fn lint_mode(json: bool) -> ExitCode {
+fn lint_mode(json: bool, deny_warnings: bool) -> ExitCode {
     let mut out = String::new();
     out.push_str("esm-lint: static dataflow verification\n");
     let summary = esm_lint::run_lint(&mut out);
@@ -91,15 +104,22 @@ fn lint_mode(json: bool) -> ExitCode {
             .expect("summary serializes");
         println!("{text}");
     }
-    if summary.clean() {
+    let denied = deny_warnings && summary.warnings > 0;
+    if summary.clean() && !denied {
         println!("esm-lint: PASS");
         ExitCode::SUCCESS
     } else {
         for f in &summary.fixture_failures {
             eprintln!("esm-lint: fixture failure: {f}");
         }
+        if denied {
+            eprintln!(
+                "esm-lint: {} warnings denied by --deny-warnings",
+                summary.warnings
+            );
+        }
         eprintln!("esm-lint: FAIL");
-        ExitCode::FAILURE
+        ExitCode::from(EXIT_FINDINGS)
     }
 }
 
@@ -108,27 +128,33 @@ fn main() -> ExitCode {
     let mut cost = false;
     let mut write_baseline = false;
     let mut json = false;
+    let mut deny_warnings = false;
     for a in &args {
         match a.as_str() {
             "--cost-report" => cost = true,
             "--write-baseline" => write_baseline = true,
             "--json" => json = true,
+            "--deny-warnings" => deny_warnings = true,
             other => {
                 eprintln!(
-                    "esm-lint: unknown flag `{other}` \
-                     (expected --cost-report, --write-baseline, --json)"
+                    "esm-lint: unknown flag `{other}` (expected --cost-report, \
+                     --write-baseline, --json, --deny-warnings)"
                 );
-                return ExitCode::FAILURE;
+                return ExitCode::from(EXIT_USAGE);
             }
         }
     }
     if write_baseline && !cost {
         eprintln!("esm-lint: --write-baseline requires --cost-report");
-        return ExitCode::FAILURE;
+        return ExitCode::from(EXIT_USAGE);
+    }
+    if deny_warnings && cost {
+        eprintln!("esm-lint: --deny-warnings applies to lint mode only");
+        return ExitCode::from(EXIT_USAGE);
     }
     if cost {
         cost_mode(write_baseline, json)
     } else {
-        lint_mode(json)
+        lint_mode(json, deny_warnings)
     }
 }

@@ -33,18 +33,6 @@ pub use model::Ocean;
 pub use params::OceanParams;
 pub use state::OceanState;
 
-/// Physical ranges of the fluxes the ocean/ice/BGC group exports at the
-/// coupler boundary, as `(field, min, max)`. Generous envelopes — a
-/// violation means garbage, not an extreme. Consumed by the coupler's
-/// quarantine gate; plain tuples keep this crate coupler-independent.
-pub fn coupling_flux_bounds() -> &'static [(&'static str, f64, f64)] {
-    &[
-        // Sea surface temperature (deg C).
-        ("sst", -10.0, 60.0),
-        // Sea-ice concentration is a fraction by definition.
-        ("ice_conc", 0.0, 1.0),
-        // Air-sea carbon flux (kg C / m^2 per window): global mean is
-        // ~1e-8; 1.0 is already absurd.
-        ("co2_flux_up", -1.0, 1.0),
-    ]
-}
+// The coupling-flux bounds formerly exported here live in the typed
+// registry `coupler::fluxreg`, alongside each flux's unit and conserved
+// class (carbon for `co2_flux_up`).
