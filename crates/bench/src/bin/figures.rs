@@ -6,7 +6,8 @@
 //! ```
 //!
 //! Artifacts: table1 table2 table3 fig2 fig4 dace loc cudagraphs
-//! graph_replay io tau_limits mapping resilience storage cost_roofline.
+//! graph_replay io tau_limits mapping resilience storage sdc
+//! cost_roofline.
 //! Output is printed and written to `results/*.json`.
 
 use esm_bench::figures;
@@ -32,6 +33,7 @@ fn main() {
             "mapping" => Some(figures::mapping()),
             "resilience" => Some(figures::resilience()),
             "storage" => Some(figures::storage()),
+            "sdc" => Some(figures::sdc()),
             "cost_roofline" => Some(figures::cost_roofline()),
             other => {
                 eprintln!("unknown artifact '{other}'");

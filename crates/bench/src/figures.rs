@@ -838,6 +838,108 @@ pub fn cost_roofline() -> Value {
     })
 }
 
+/// SDC artifact (DESIGN.md §14): seeded in-state bit flips of every
+/// class — insidious mantissa, exponent, quiescent-static — driven
+/// through the resilient loop with all three detectors armed, plus a
+/// fault-free control. Every chaotic row must end bitwise identical to
+/// the fault-free run; the control must fire zero detectors.
+pub fn sdc() -> Value {
+    use esm_core::sdc::{SdcMode, StateFaultPlan};
+    use esm_core::{CoupledEsm, EsmConfig, ResilienceConfig};
+    use std::sync::Arc;
+
+    println!("\n== SDC: seeded bit-flip chaos through the detector stack (tiny config) ==");
+    let windows = 6u64;
+    let scratch = |tag: &str| {
+        let d = std::env::temp_dir().join(format!("esm_bench_sdc_{tag}_{}", std::process::id()));
+        std::fs::remove_dir_all(&d).ok();
+        d
+    };
+
+    let mut clean = CoupledEsm::new(EsmConfig::tiny());
+    clean.run_windows(windows as usize, false).unwrap();
+    let clean_snap = clean.snapshot();
+
+    let run = |tag: &str, plan: Option<Arc<StateFaultPlan>>| {
+        let dir = scratch(tag);
+        let rcfg = ResilienceConfig {
+            audit_every: 2,
+            sdc: plan.clone(),
+            ..ResilienceConfig::default()
+        };
+        let mut esm = CoupledEsm::new(EsmConfig::tiny());
+        let report = esm
+            .run_windows_resilient(windows, false, &dir, &rcfg, None)
+            .expect("an injected flip is absorbable");
+        std::fs::remove_dir_all(&dir).ok();
+        let bitwise = esm.snapshot() == clean_snap;
+        let detections = report.sdc_detected_bounds
+            + report.sdc_detected_checksum
+            + report.sdc_detected_audit;
+        println!(
+            "{tag:>14}: {} injected, {} detected (bounds {} / checksum {} / audit {}), \
+             {} audits, {} rollback(s), {} false positive(s), bitwise fault-free: {bitwise}",
+            report.sdc_injected,
+            detections,
+            report.sdc_detected_bounds,
+            report.sdc_detected_checksum,
+            report.sdc_detected_audit,
+            report.audit_replays,
+            report.rollbacks,
+            report.sdc_false_positives,
+        );
+        let injections: Vec<Value> = plan
+            .map(|p| {
+                p.injections()
+                    .iter()
+                    .map(|i| {
+                        json!({
+                            "window": i.window, "buffer": i.buffer, "elem": i.elem,
+                            "bit": i.bit, "quiescent": i.quiescent,
+                            "before_bits": format!("{:#018x}", i.before_bits),
+                            "after_bits": format!("{:#018x}", i.after_bits),
+                        })
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        json!({
+            "injected": report.sdc_injected,
+            "detected_bounds": report.sdc_detected_bounds,
+            "detected_checksum": report.sdc_detected_checksum,
+            "detected_audit": report.sdc_detected_audit,
+            "false_positives": report.sdc_false_positives,
+            "audit_replays": report.audit_replays,
+            "rollbacks": report.rollbacks,
+            "faults_absorbed": report.faults_absorbed,
+            "injections": injections,
+            "bitwise_identical_to_fault_free": bitwise,
+        })
+    };
+
+    let control = run("fault-free", None);
+    let mut rows = Vec::new();
+    for mode in [SdcMode::Mantissa, SdcMode::Exponent, SdcMode::Quiescent] {
+        for seed in [1u64, 2] {
+            let tag = format!("{mode:?}/{seed}").to_ascii_lowercase();
+            let plan = Arc::new(StateFaultPlan::seeded(seed, mode, 1, windows - 2));
+            let row = run(&tag, Some(plan));
+            rows.push(json!({
+                "mode": format!("{mode:?}").to_ascii_lowercase(),
+                "seed": seed,
+                "report": row,
+            }));
+        }
+    }
+
+    json!({
+        "windows": windows,
+        "audit_every": 2,
+        "fault_free_control": control,
+        "chaos": rows,
+    })
+}
+
 pub fn all() -> Vec<(&'static str, Value)> {
     vec![
         ("table1", table1()),
@@ -854,6 +956,7 @@ pub fn all() -> Vec<(&'static str, Value)> {
         ("mapping", mapping()),
         ("resilience", resilience()),
         ("storage", storage()),
+        ("sdc", sdc()),
         ("cost_roofline", cost_roofline()),
     ]
 }

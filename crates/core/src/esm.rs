@@ -570,6 +570,23 @@ impl CoupledEsm {
     /// Restore from a snapshot produced by [`CoupledEsm::snapshot`] on an
     /// identically configured instance.
     pub fn restore(&mut self, s: &iosys::Snapshot) {
+        self.copy_all_vars(s);
+        // The trajectory jumped: a recorded window schedule may not be
+        // trusted across a rollback — the next window re-records.
+        self.replay.invalidate();
+    }
+
+    /// Restore without invalidating the recorded window graph. For the
+    /// audit-replay detector only: the caller guarantees the snapshot
+    /// comes from the *same* trajectory and shape (it re-executes the
+    /// very windows the graph recorded), so the frozen schedule stays
+    /// valid and the re-run draws its buffers from the arena pool
+    /// instead of allocating scratch.
+    pub fn restore_same_shape(&mut self, s: &iosys::Snapshot) {
+        self.copy_all_vars(s);
+    }
+
+    fn copy_all_vars(&mut self, s: &iosys::Snapshot) {
         self.copy_fast_vars(s);
         self.copy_slow_vars(s);
 
@@ -587,9 +604,6 @@ impl CoupledEsm {
         self.atm.state.time_s = scalars[2];
         self.land.state.time_s = scalars[3];
         self.ocean.state.time_s = scalars[4];
-        // The trajectory jumped: a recorded window schedule may not be
-        // trusted across a rollback — the next window re-records.
-        self.replay.invalidate();
     }
 
     /// Restore only the atmosphere+land group from a
@@ -681,6 +695,139 @@ impl CoupledEsm {
         copy2(&mut self.hamocc.sw_down, s.expect("bgc.sw"));
         copy2(&mut self.hamocc.wind, s.expect("bgc.wind"));
         copy2(&mut self.hamocc.pco2_atm, s.expect("bgc.pco2"));
+    }
+
+    /// Snapshot variables an SDC fault plan may flip bits in: every f64
+    /// state buffer. Excluded: `atm.is_water` (a bool mask encoded as
+    /// f64 — a mantissa flip there is not a representable state) and
+    /// `esm.scalars` (scheduling metadata, not model state).
+    pub fn flippable_var_names(&self) -> Vec<String> {
+        self.snapshot()
+            .vars
+            .into_iter()
+            .map(|(n, _)| n)
+            .filter(|n| n != "atm.is_water" && n != "esm.scalars")
+            .collect()
+    }
+
+    /// Mutable access to a named snapshot variable's live buffer (the
+    /// SDC injection point). `None` for unknown names and for the
+    /// non-f64 variables excluded from [`CoupledEsm::flippable_var_names`].
+    pub fn state_var_mut(&mut self, name: &str) -> Option<&mut [f64]> {
+        if let Some(field) = name.strip_prefix("pend_fast.") {
+            return self
+                .pending_to_fast
+                .fields
+                .iter_mut()
+                .find(|(n, _)| *n == field)
+                .map(|(_, d)| d.as_mut_slice());
+        }
+        if let Some(field) = name.strip_prefix("pend_slow.") {
+            return self
+                .pending_to_slow
+                .fields
+                .iter_mut()
+                .find(|(n, _)| *n == field)
+                .map(|(_, d)| d.as_mut_slice());
+        }
+        if let Some(idx) = name.strip_prefix("bgc.tr") {
+            if let Ok(i) = idx.parse::<usize>() {
+                return self.hamocc.tracers.get_mut(i).map(|t| t.as_mut_slice());
+            }
+        }
+        let a = &mut self.atm.state;
+        let l = &mut self.land.state;
+        let o = &mut self.ocean.state;
+        let b = &mut self.hamocc;
+        Some(match name {
+            "atm.delta" => a.delta.as_mut_slice(),
+            "atm.vn" => a.vn.as_mut_slice(),
+            "atm.qv" => a.qv.as_mut_slice(),
+            "atm.qc" => a.qc.as_mut_slice(),
+            "atm.co2" => a.co2.as_mut_slice(),
+            "atm.o3" => a.o3.as_mut_slice(),
+            "atm.precip_acc" => a.precip_acc.as_mut_slice(),
+            "atm.evap_acc" => a.evap_acc.as_mut_slice(),
+            "atm.precip_rate" => a.precip_rate.as_mut_slice(),
+            "atm.evap_rate" => a.evap_rate.as_mut_slice(),
+            "atm.t_surface" => a.t_surface.as_mut_slice(),
+            "atm.co2_flux" => a.co2_surface_flux.as_mut_slice(),
+            "atm.lmf" => a.land_moisture_flux.as_mut_slice(),
+            "land.t_soil" => l.t_soil.as_mut_slice(),
+            "land.w_liquid" => l.w_liquid.as_mut_slice(),
+            "land.w_ice" => l.w_ice.as_mut_slice(),
+            "land.q_organic" => l.q_organic.as_mut_slice(),
+            "land.pools" => &mut l.pools,
+            "land.lai" => &mut l.lai,
+            "land.river_storage" => &mut l.river_storage,
+            "land.nee" => &mut l.nee,
+            "land.et" => &mut l.evapotranspiration,
+            "land.nee_acc" => &mut l.nee_acc,
+            "land.et_acc" => &mut l.et_acc,
+            "land.precip_acc" => &mut l.precip_acc,
+            "land.runoff_acc" => &mut l.runoff_acc,
+            "oce.vn" => o.vn.as_mut_slice(),
+            "oce.temp" => o.temp.as_mut_slice(),
+            "oce.salt" => o.salt.as_mut_slice(),
+            "oce.w" => o.w.as_mut_slice(),
+            "oce.eta" => o.eta.as_mut_slice(),
+            "oce.ice" => o.ice_thick.as_mut_slice(),
+            "oce.wind_stress" => o.wind_stress_n.as_mut_slice(),
+            "oce.heat_flux" => o.heat_flux.as_mut_slice(),
+            "oce.fw_flux" => o.fw_flux.as_mut_slice(),
+            "oce.pco2" => o.pco2_atm.as_mut_slice(),
+            "oce.heat_acc" => o.heat_acc.as_mut_slice(),
+            "oce.salt_acc" => o.salt_acc.as_mut_slice(),
+            "oce.ice_fw_acc" => o.ice_fw_acc.as_mut_slice(),
+            "bgc.sed_p" => b.sediment_p.as_mut_slice(),
+            "bgc.sed_c" => b.sediment_c.as_mut_slice(),
+            "bgc.sed_si" => b.sediment_si.as_mut_slice(),
+            "bgc.co2_flux" => b.co2_flux_up.as_mut_slice(),
+            "bgc.co2_acc" => b.co2_flux_acc.as_mut_slice(),
+            "bgc.sw" => b.sw_down.as_mut_slice(),
+            "bgc.wind" => b.wind.as_mut_slice(),
+            "bgc.pco2" => b.pco2_atm.as_mut_slice(),
+            _ => return None,
+        })
+    }
+
+    /// The static buffers: read by every window, written by none (the
+    /// recorded window graph's write-set proves the analogous DSL fields
+    /// untouched). They are outside the snapshot precisely *because*
+    /// they never change — which also makes them the canonical target
+    /// for silent memory corruption, caught by the quiescence-checksum
+    /// detector ([`crate::sdc::QuiescenceReference`]).
+    pub const QUIESCENT_BUFFERS: [&'static str; 5] = [
+        "static.z_surface",
+        "static.layer_temp",
+        "static.elevation",
+        "static.bathymetry",
+        "static.oce_dz",
+    ];
+
+    /// Read access to a quiescent (static) buffer by registry name.
+    pub fn quiescent_buffer(&self, name: &str) -> Option<&[f64]> {
+        Some(match name {
+            "static.z_surface" => self.atm.z_surface.as_slice(),
+            "static.layer_temp" => &self.atm.params.layer_temp,
+            "static.elevation" => &self.mask.elevation,
+            "static.bathymetry" => &self.mask.bathymetry,
+            "static.oce_dz" => &self.ocean.params.dz,
+            _ => return None,
+        })
+    }
+
+    /// Mutable access to a quiescent buffer (the SDC injection point for
+    /// [`crate::sdc::SdcMode::Quiescent`] and the repair path).
+    pub fn quiescent_buffer_mut(&mut self, name: &str) -> Option<&mut [f64]> {
+        Some(match name {
+            "static.z_surface" => self.atm.z_surface.as_mut_slice(),
+            "static.layer_temp" => &mut self.atm.params.layer_temp,
+            "static.elevation" => &mut self.mask.elevation,
+            "static.bathymetry" => &mut self.mask.bathymetry,
+            "static.oce_dz" => &mut self.ocean.params.dz,
+            _ => return None,
+        })
     }
 }
 

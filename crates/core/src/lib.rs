@@ -19,6 +19,11 @@
 //!   recovery (`run_windows_supervised`): a failed component group
 //!   respawns from its own checkpoint ring and replays while the healthy
 //!   group continues on persisted fluxes;
+//! * [`sdc`] — silent-data-corruption fault domain: seeded in-state
+//!   bit-flip injection ([`sdc::StateFaultPlan`]) and the quiescence
+//!   checksums backing the resilient driver's three SDC detectors
+//!   (per-flux physics guard, CRC over never-written buffers, audit
+//!   replay over the bitwise-deterministic window graph);
 //! * [`budgets`] — cross-component conservation ledgers (carbon, water);
 //! * [`timers`] — per-component wall-clock timing and the temporal
 //!   compression tau.
@@ -31,6 +36,7 @@ pub mod fluxspec;
 pub mod health;
 pub mod replay;
 pub mod resilience;
+pub mod sdc;
 pub mod solar;
 pub mod supervisor;
 pub mod timers;
@@ -41,5 +47,6 @@ pub use esm::CoupledEsm;
 pub use health::{FailureDetector, HealthConfig, HealthError, HealthEvent, HealthEventKind};
 pub use replay::{ReplayConfig, ReplayState, WindowReplayStats, WindowShape};
 pub use resilience::{EsmError, ResilienceConfig, ResilienceReport};
+pub use sdc::{FlipTarget, QuiescenceReference, SdcInjection, SdcMode, StateFaultPlan};
 pub use supervisor::{Side, SupervisorConfig};
 pub use timers::Timers;

@@ -32,6 +32,7 @@
 
 use crate::esm::CoupledEsm;
 use crate::health::{HealthError, HealthEvent};
+use crate::sdc::{self, QuiescenceReference, StateFaultPlan};
 use coupler::{FluxError, QuarantineEvent};
 use iosys::{
     CheckpointRing, FullPolicy, OutputPolicy, OutputRequest, OutputServer, RealFs, Reduction,
@@ -76,6 +77,23 @@ pub struct ResilienceConfig {
     pub diagnostics_every: u64,
     /// Queue depth of the diagnostics output server.
     pub output_queue: usize,
+    /// Enable the SDC detector suite and audit every this many windows
+    /// (`0`: off). When on, every completed window is additionally
+    /// screened by quiescence checksums, an audit replay (re-execute the
+    /// windows since the last verified state via the recorded graph and
+    /// compare bitwise — exact dual-modular redundancy) runs on the
+    /// audit schedule, before every checkpoint write (so the ring only
+    /// ever holds verified states), and on any delta-plausibility
+    /// suspicion.
+    pub audit_every: u64,
+    /// Delta-plausibility threshold: a coupling flux that jumps more
+    /// than this fraction of its declared `fluxreg` span between
+    /// verified states raises *suspicion*, which triggers an audit —
+    /// never a detection by itself, so the exact audit keeps the
+    /// false-positive count structurally zero.
+    pub delta_frac: f64,
+    /// In-state bit-flip injection plan (SDC chaos; see [`crate::sdc`]).
+    pub sdc: Option<Arc<StateFaultPlan>>,
 }
 
 impl Default for ResilienceConfig {
@@ -97,6 +115,9 @@ impl Default for ResilienceConfig {
             checkpoint_retry: RetryPolicy::default(),
             diagnostics_every: 0,
             output_queue: 16,
+            audit_every: 0,
+            delta_frac: 0.9,
+            sdc: None,
         }
     }
 }
@@ -220,6 +241,21 @@ pub struct ResilienceReport {
     pub graph_invalidations: u64,
     /// Recording passes that followed an invalidation.
     pub graph_rerecords: u64,
+    /// In-state bit flips the SDC fault plan actually fired.
+    pub sdc_injected: u64,
+    /// SDC detections by the per-flux physics guard (bounds violation).
+    pub sdc_detected_bounds: u64,
+    /// SDC detections by the quiescence-checksum detector.
+    pub sdc_detected_checksum: u64,
+    /// SDC detections by the audit replay (bitwise DMR mismatch).
+    pub sdc_detected_audit: u64,
+    /// Detections with no outstanding injected flip to explain them.
+    /// The checksum and audit detectors are exact, so chaos tests assert
+    /// this stays zero.
+    pub sdc_false_positives: u64,
+    /// Audit replays performed (scheduled, pre-checkpoint, and
+    /// suspicion-triggered).
+    pub audit_replays: u64,
 }
 
 /// Why one guard round failed (internal; mapped onto report strings and
@@ -243,16 +279,33 @@ impl std::fmt::Display for GuardFail {
     }
 }
 
+/// Per-variable guard bounds: coupling fluxes in the lag state
+/// (`pend_fast.*` / `pend_slow.*`) are screened against their declared
+/// physical range from `coupler::fluxreg`; every other variable keeps
+/// the global `max_abs` scalar as the final backstop.
+fn guard_bounds(name: &str, max_abs: f64) -> (f64, f64) {
+    name.strip_prefix("pend_fast.")
+        .or_else(|| name.strip_prefix("pend_slow."))
+        .and_then(coupler::fluxreg::bounds)
+        .unwrap_or((-max_abs, max_abs))
+}
+
 /// Scan this rank's shard of the snapshot: returns `(flag, var_idx,
 /// value)` where flag is 1.0 if a non-finite or out-of-range value was
-/// found.
-fn scan_shard(vars: &[(String, Vec<f64>)], rank: usize, n_ranks: usize, max_abs: f64) -> [f64; 3] {
+/// found. `bounds` is indexed like `vars`.
+fn scan_shard(
+    vars: &[(String, Vec<f64>)],
+    rank: usize,
+    n_ranks: usize,
+    bounds: &[(f64, f64)],
+) -> [f64; 3] {
     for (i, (_, data)) in vars.iter().enumerate() {
         if i % n_ranks != rank {
             continue;
         }
+        let (lo, hi) = bounds[i];
         for &v in data {
-            if !v.is_finite() || v.abs() > max_abs {
+            if !v.is_finite() || v < lo || v > hi {
                 return [1.0, i as f64, v];
             }
         }
@@ -272,7 +325,11 @@ fn distributed_guard(
     let partial_tag = window * 2;
     let verdict_tag = window * 2 + 1;
     let timeout = rcfg.recv_timeout;
-    let max_abs = rcfg.max_abs;
+    let bounds_vec: Vec<(f64, f64)> = vars
+        .iter()
+        .map(|(name, _)| guard_bounds(name, rcfg.max_abs))
+        .collect();
+    let bounds = &bounds_vec;
 
     let body = move |comm: mpisim::Comm| -> Result<(), GuardFail> {
         let rank = comm.rank();
@@ -283,7 +340,7 @@ fn distributed_guard(
                 return Err(GuardFail::Killed(rank));
             }
         }
-        let mine = scan_shard(vars, rank, n, max_abs);
+        let mine = scan_shard(vars, rank, n, bounds);
         if rank == 0 {
             let mut worst = mine;
             let mut comm_err = None;
@@ -357,6 +414,97 @@ fn distributed_guard(
         Some(e) => Err(e),
         None => Ok(()),
     }
+}
+
+/// One window-level failure: a guard verdict or an SDC detection. All
+/// variants share the rollback-replay path; they differ only in the
+/// report counters they feed and the repair done before rolling back.
+#[derive(Debug, Clone)]
+enum WindowFault {
+    Guard(GuardFail),
+    /// Quiescence CRC mismatch in these static buffers (repaired from
+    /// the pristine reference before the rollback).
+    Checksum { buffers: Vec<&'static str> },
+    /// Audit replay diverged from the primary execution at this var.
+    Audit { var: String },
+}
+
+impl std::fmt::Display for WindowFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WindowFault::Guard(g) => write!(f, "{g}"),
+            WindowFault::Checksum { buffers } => {
+                let what: Vec<String> = buffers
+                    .iter()
+                    .map(|b| {
+                        let side = match sdc::quiescent_side(b) {
+                            crate::supervisor::Side::Fast => "fast",
+                            crate::supervisor::Side::Slow => "slow",
+                        };
+                        format!("{b} ({side} side)")
+                    })
+                    .collect();
+                write!(f, "quiescent checksum mismatch: {}", what.join(", "))
+            }
+            WindowFault::Audit { var } => {
+                write!(f, "audit replay diverged at {var} ({})", side_of_var(var))
+            }
+        }
+    }
+}
+
+/// Which component group owns a snapshot variable (localization in the
+/// report strings).
+fn side_of_var(name: &str) -> &'static str {
+    if name.starts_with("atm.") || name.starts_with("land.") {
+        "fast side"
+    } else if name.starts_with("oce.") || name.starts_with("bgc.") {
+        "slow side"
+    } else {
+        "coupler lag state"
+    }
+}
+
+/// First variable whose raw bits differ between two aligned snapshots.
+/// Bit comparison, not `==`: the detectors' containment contract is
+/// bitwise, and NaN payloads must count as differences.
+fn first_bitwise_mismatch(a: &Snapshot, b: &Snapshot) -> Option<String> {
+    for ((name, x), (_, y)) in a.vars.iter().zip(&b.vars) {
+        if x.len() != y.len()
+            || x.iter().zip(y).any(|(p, q)| p.to_bits() != q.to_bits())
+        {
+            return Some(name.clone());
+        }
+    }
+    None
+}
+
+/// Detector 1b: step-to-step delta plausibility. A coupling flux that
+/// jumps more than `frac` of its declared physical span between
+/// verified states is suspect even when both endpoints are in bounds
+/// (an in-bounds flip in a high mantissa bit looks exactly like this).
+/// Suspicion only *triggers an audit* — the exact check — so it can
+/// never produce a false positive on its own.
+fn delta_suspicion(prev: &Snapshot, cur: &Snapshot, frac: f64) -> Option<String> {
+    if !(frac > 0.0 && frac.is_finite()) {
+        return None;
+    }
+    for ((name, a), (_, b)) in prev.vars.iter().zip(&cur.vars) {
+        let Some(flux) = name
+            .strip_prefix("pend_fast.")
+            .or_else(|| name.strip_prefix("pend_slow."))
+        else {
+            continue;
+        };
+        let Some(span) = coupler::fluxreg::span(flux) else {
+            continue;
+        };
+        let limit = frac * span;
+        if a.len() == b.len() && a.iter().zip(b).any(|(x, y)| (y - x).abs() > limit) {
+            return Some(name.clone());
+        }
+    }
+    None
 }
 
 /// Flip one byte in the first shard file of `generation` (chaos hook).
@@ -438,15 +586,118 @@ impl CoupledEsm {
             }
         }
 
+        // SDC detector state (audit_every > 0). The quiescence reference
+        // and the first verified snapshot are captured before any flip
+        // can fire, so both are pristine by construction.
+        let sdc_on = rcfg.audit_every > 0;
+        let quiescence = sdc_on.then(|| QuiescenceReference::capture(self));
+        let mut verified: Option<Snapshot> = sdc_on.then(|| self.snapshot());
+        // Completed-window count `verified` corresponds to (audit span).
+        let mut verified_at = 0u64;
+        // Injected flips already explained by a detection + rollback.
+        // A rollback restores a verified generation and repairs the
+        // statics, so one detection neutralizes *every* outstanding flip.
+        let mut sdc_attributed = 0u64;
+
         let mut done = 0u64;
         let mut attempts = 0u32;
         while done < n_windows {
             let window = done + 1;
+            if let Some(p) = &rcfg.sdc {
+                sdc::apply_due_flips(self, p, window);
+            }
             self.run_windows(1, concurrent)
                 .map_err(|error| EsmError::Flux { window, error })?;
             let snap = self.snapshot();
-            match distributed_guard(&snap, window, rcfg, plan.as_ref()) {
-                Ok(()) => {
+
+            // Detector 1: distributed physics guard (per-flux bounds +
+            // global backstop), over fault-injectable messages.
+            let mut fault: Option<WindowFault> = distributed_guard(&snap, window, rcfg, plan.as_ref())
+                .err()
+                .map(WindowFault::Guard);
+
+            // Detector 2: quiescence checksums — exact for any flip in a
+            // never-written buffer, which the audit replay cannot see
+            // (both executions would read the same corrupted static).
+            // Repair from the pristine copy first, so the rollback below
+            // resumes on clean statics.
+            if fault.is_none() {
+                if let Some(q) = &quiescence {
+                    let dirty = q.verify(self);
+                    if !dirty.is_empty() {
+                        for name in &dirty {
+                            q.repair(self, name);
+                        }
+                        fault = Some(WindowFault::Checksum { buffers: dirty });
+                    }
+                }
+            }
+
+            // Detector 3: audit replay — exact dual-modular redundancy
+            // over the bitwise-deterministic window graph. Runs on the
+            // audit schedule, before a checkpoint lands (the ring must
+            // only ever hold verified states), and on any
+            // delta-plausibility suspicion. On a pass the re-execution
+            // leaves the live state bitwise equal to `snap`, and `snap`
+            // becomes the next verification baseline.
+            let mut audit_passed = false;
+            if fault.is_none() && sdc_on {
+                if let Some(base) = &verified {
+                    let checkpoint_due =
+                        window.is_multiple_of(rcfg.checkpoint_every) || window == n_windows;
+                    let scheduled = window.is_multiple_of(rcfg.audit_every);
+                    let suspicion = delta_suspicion(base, &snap, rcfg.delta_frac);
+                    if scheduled || checkpoint_due || suspicion.is_some() {
+                        report.audit_replays += 1;
+                        let span = window - verified_at;
+                        self.restore_same_shape(base);
+                        self.run_windows(span as usize, concurrent)
+                            .map_err(|error| EsmError::Flux { window, error })?;
+                        match first_bitwise_mismatch(&self.snapshot(), &snap) {
+                            None => audit_passed = true,
+                            Some(var) => fault = Some(WindowFault::Audit { var }),
+                        }
+                    }
+                }
+            }
+
+            // Attribute detections to the fault plan. A detection with
+            // outstanding injected flips is charged to them (the rollback
+            // neutralizes all of them at once). A checksum or audit
+            // detection *without* one would be a false positive of an
+            // exact detector — counted, and asserted zero in the chaos
+            // tests. An unexplained guard blow-up stays what it always
+            // was: a genuine model failure.
+            if let Some(f) = &fault {
+                let injected = rcfg.sdc.as_ref().map(|p| p.injected()).unwrap_or(0);
+                let outstanding = injected > sdc_attributed;
+                match f {
+                    WindowFault::Guard(GuardFail::BlowUp { .. }) if outstanding => {
+                        report.sdc_detected_bounds += 1;
+                        sdc_attributed = injected;
+                    }
+                    WindowFault::Guard(_) => {}
+                    WindowFault::Checksum { .. } => {
+                        if outstanding {
+                            report.sdc_detected_checksum += 1;
+                            sdc_attributed = injected;
+                        } else {
+                            report.sdc_false_positives += 1;
+                        }
+                    }
+                    WindowFault::Audit { .. } => {
+                        if outstanding {
+                            report.sdc_detected_audit += 1;
+                            sdc_attributed = injected;
+                        } else {
+                            report.sdc_false_positives += 1;
+                        }
+                    }
+                }
+            }
+
+            match fault {
+                None => {
                     done += 1;
                     attempts = 0;
                     if done.is_multiple_of(rcfg.checkpoint_every) || done == n_windows {
@@ -500,23 +751,31 @@ impl CoupledEsm {
                             }
                         }
                     }
+                    if audit_passed {
+                        verified = Some(snap);
+                        verified_at = done;
+                    }
                 }
-                Err(fail) => {
+                Some(fault) => {
                     report.rollbacks += 1;
-                    report.faults_absorbed.push(format!("window {window}: {fail}"));
+                    report.faults_absorbed.push(format!("window {window}: {fault}"));
                     attempts += 1;
                     if attempts > rcfg.max_retries_per_window {
-                        return Err(match fail {
-                            GuardFail::BlowUp { var_idx, value } => EsmError::BlowUp {
-                                window,
-                                var: snap
-                                    .vars
-                                    .get(var_idx)
-                                    .map(|(n, _)| n.clone())
-                                    .unwrap_or_else(|| format!("#{var_idx}")),
-                                value,
-                            },
-                            GuardFail::Comm(error) => EsmError::Comm { window, error },
+                        return Err(match fault {
+                            WindowFault::Guard(GuardFail::BlowUp { var_idx, value }) => {
+                                EsmError::BlowUp {
+                                    window,
+                                    var: snap
+                                        .vars
+                                        .get(var_idx)
+                                        .map(|(n, _)| n.clone())
+                                        .unwrap_or_else(|| format!("#{var_idx}")),
+                                    value,
+                                }
+                            }
+                            WindowFault::Guard(GuardFail::Comm(error)) => {
+                                EsmError::Comm { window, error }
+                            }
                             other => EsmError::TooManyRetries {
                                 window,
                                 attempts,
@@ -535,12 +794,21 @@ impl CoupledEsm {
                     let resumed = self.windows_run() - w0;
                     report.replayed_windows += done - resumed;
                     done = resumed;
+                    // Checkpoint generations are audited before they are
+                    // written, so the restored state is itself verified.
+                    if sdc_on {
+                        verified_at = done;
+                        verified = Some(good);
+                    }
                 }
             }
         }
         report.windows_run = done;
         report.final_generation = newest_gen;
         report.checkpoint_retries = ring.io_retries();
+        if let Some(p) = &rcfg.sdc {
+            report.sdc_injected = p.injected();
+        }
         let graph = self.replay.stats;
         report.graph_recordings = graph.recorded_windows - graph0.recorded_windows;
         report.graph_replays = graph.replayed_windows - graph0.replayed_windows;
@@ -672,6 +940,68 @@ mod tests {
         assert_eq!(recs.len(), 3);
         assert_eq!(recs[2].0, 3.0, "stamped with the window number");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn guard_screens_lag_fluxes_against_their_declared_bounds() {
+        // Satellite regression for the bounds consolidation: coupler lag
+        // state is held to its fluxreg physical range, everything else
+        // keeps the old global scalar as backstop.
+        assert_eq!(guard_bounds("pend_slow.heat_flux", 1e30), (-5000.0, 5000.0));
+        assert_eq!(guard_bounds("pend_fast.ice_conc", 1e30), (0.0, 1.0));
+        assert_eq!(guard_bounds("oce.temp", 1e30), (-1e30, 1e30));
+        assert_eq!(guard_bounds("pend_fast.no_such_flux", 1e30), (-1e30, 1e30));
+
+        let rcfg = quick_rcfg();
+        // 6 kW/m^2 is inside the 1e30 backstop that was the *only* check
+        // before the consolidation, but outside the declared heat-flux
+        // range — the per-flux guard must flag it.
+        let bad = Snapshot {
+            vars: vec![
+                ("oce.temp".to_string(), vec![1.0e29]),
+                ("pend_slow.heat_flux".to_string(), vec![0.0, 6.0e3]),
+            ],
+        };
+        match distributed_guard(&bad, 1, &rcfg, None) {
+            Err(GuardFail::BlowUp { var_idx: 1, value }) => assert_eq!(value, 6.0e3),
+            other => panic!("expected per-flux bounds violation, got {other:?}"),
+        }
+        // Same shape, physically plausible flux: clean. The generic var
+        // at 1e29 pins the old backstop behavior (below max_abs passes).
+        let ok = Snapshot {
+            vars: vec![
+                ("oce.temp".to_string(), vec![1.0e29]),
+                ("pend_slow.heat_flux".to_string(), vec![0.0, 4.0e3]),
+            ],
+        };
+        distributed_guard(&ok, 2, &rcfg, None).unwrap();
+        // And the backstop itself still fires past max_abs.
+        let huge = Snapshot {
+            vars: vec![("oce.temp".to_string(), vec![1.0e31])],
+        };
+        assert!(matches!(
+            distributed_guard(&huge, 3, &rcfg, None),
+            Err(GuardFail::BlowUp { var_idx: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn delta_suspicion_scales_with_the_declared_span() {
+        let mk = |v: f64| Snapshot {
+            vars: vec![
+                ("pend_slow.heat_flux".to_string(), vec![v]),
+                ("oce.temp".to_string(), vec![v * 1e6]),
+            ],
+        };
+        // heat_flux span is 10000; a jump of 9500 exceeds 0.9 * span.
+        assert_eq!(
+            delta_suspicion(&mk(0.0), &mk(9.5e3), 0.9),
+            Some("pend_slow.heat_flux".to_string())
+        );
+        // The same jump is fine at frac = 1.0 (jump < span) — and
+        // non-flux vars never raise suspicion however far they move.
+        assert_eq!(delta_suspicion(&mk(0.0), &mk(9.5e3), 1.0), None);
+        assert_eq!(delta_suspicion(&mk(0.0), &mk(4.0e3), 0.9), None);
     }
 
     #[test]

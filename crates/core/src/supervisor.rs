@@ -124,6 +124,13 @@ pub struct SupervisorConfig {
     pub storage: Option<Arc<dyn Storage>>,
     /// Retry policy for checkpoint-generation writes.
     pub checkpoint_retry: RetryPolicy,
+    /// In-state bit-flip injection plan (SDC chaos; see [`crate::sdc`]).
+    pub sdc_plan: Option<Arc<crate::sdc::StateFaultPlan>>,
+    /// Verify per-side quiescence checksums every window. A corrupted
+    /// static buffer is localized to its owning side, repaired from the
+    /// pristine reference, and the side is recovered exactly like a
+    /// failed rank (poison + ring restore + joint replay).
+    pub quiescence_checks: bool,
 }
 
 impl Default for SupervisorConfig {
@@ -141,6 +148,8 @@ impl Default for SupervisorConfig {
             corrupt_flux: Vec::new(),
             storage: None,
             checkpoint_retry: RetryPolicy::default(),
+            sdc_plan: None,
+            quiescence_checks: false,
         }
     }
 }
@@ -433,9 +442,20 @@ impl CoupledEsm {
         // Generation covering the starting state, so window 0 can recover.
         sup.checkpoint(self, 0);
         let graph0 = self.replay.stats;
+        // Pristine static-buffer checksums, captured before any SDC flip
+        // can fire.
+        let quiescence = scfg
+            .quiescence_checks
+            .then(|| crate::sdc::QuiescenceReference::capture(self));
 
         for w in 0..n {
             let abs = sup.w0 + w;
+
+            // ---- 0. SDC chaos: due in-state bit flips fire before
+            // anything runs this window (plan windows are 1-based).
+            if let Some(p) = &scfg.sdc_plan {
+                crate::sdc::apply_due_flips(self, p, w + 1);
+            }
 
             // ---- 1. due respawns happen before anything else this window.
             for side in SIDES {
@@ -519,6 +539,43 @@ impl CoupledEsm {
                 sup.next_run[i] = w + 1;
             }
 
+            // ---- 4c. quiescence checksums: a flipped bit in a static
+            // buffer is localized to its owning side by the per-side
+            // CRCs, the buffer is repaired from the pristine reference,
+            // and the side is treated like a failed rank — its dynamic
+            // state may already have consumed the corrupt static, so it
+            // is poisoned and jointly recovered from the rings onto the
+            // now-clean statics within the same window.
+            if let Some(q) = &quiescence {
+                for side in SIDES {
+                    let dirty = q.verify_side(self, side);
+                    if dirty.is_empty() {
+                        continue;
+                    }
+                    for name in &dirty {
+                        q.repair(self, name);
+                    }
+                    let i = side.idx();
+                    sup.report.sdc_detected_checksum += 1;
+                    sup.report.faults_absorbed.push(format!(
+                        "window {abs}: quiescent checksum mismatch on {} side: {}",
+                        side.stem(),
+                        dirty.join(", ")
+                    ));
+                    poison(self, side);
+                    sup.respawns[i] += 1;
+                    if sup.respawns[i] > scfg.max_respawns {
+                        return Err(HealthError::RespawnBudgetExhausted {
+                            window: abs,
+                            rank: side.rank(),
+                            respawns: sup.respawns[i],
+                        }
+                        .into());
+                    }
+                    sup.recover(self, side, w + 1)?;
+                }
+            }
+
             // ---- 5. checkpoint — only fully healthy, fully true state.
             let all_true = SIDES.iter().all(|s| {
                 sup.next_run[s.idx()] == w + 1
@@ -576,6 +633,9 @@ impl CoupledEsm {
         events.extend_from_slice(sup.gates[1].events());
         events.sort_by_key(|e| e.window);
         report.quarantine_events = events;
+        if let Some(p) = &scfg.sdc_plan {
+            report.sdc_injected = p.injected();
+        }
         if let Some(plan) = &sup.plan {
             let fr = plan.report();
             report
@@ -772,6 +832,66 @@ mod tests {
         let mut b = tiny();
         b.run_windows(4, false).unwrap();
         assert_states_eq(&a, &b);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fault_free_quiescence_checks_never_fire() {
+        let dir = scratch_dir("sup_sdc_clean");
+        let scfg = SupervisorConfig {
+            quiescence_checks: true,
+            ..quick_scfg()
+        };
+        let mut a = tiny();
+        let report = a.run_windows_supervised(4, &dir, &scfg, None).unwrap();
+        assert_eq!(report.sdc_detected_checksum, 0);
+        assert_eq!(report.sdc_false_positives, 0);
+        assert_eq!(report.respawns, 0);
+        let mut b = tiny();
+        b.run_windows(4, false).unwrap();
+        assert_states_eq(&a, &b);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn quiescent_flip_is_localized_to_its_side_and_recovered_bitwise() {
+        use crate::sdc::{FlipTarget, StateFaultPlan};
+        // Flip a mantissa bit in the ocean layer thicknesses (slow side)
+        // before window 3. The per-side CRC must localize it to the slow
+        // side, repair the static, and recover only that side's rank.
+        let dir = scratch_dir("sup_sdc_flip");
+        let sdc = Arc::new(StateFaultPlan::new().flip(
+            3,
+            FlipTarget::Quiescent("static.oce_dz"),
+            2,
+            14,
+        ));
+        let scfg = SupervisorConfig {
+            quiescence_checks: true,
+            sdc_plan: Some(sdc.clone()),
+            ..quick_scfg()
+        };
+        let mut a = tiny();
+        let report = a.run_windows_supervised(4, &dir, &scfg, None).unwrap();
+        assert_eq!(report.sdc_injected, 1);
+        assert_eq!(report.sdc_detected_checksum, 1);
+        assert_eq!(report.respawns, 1, "only the slow side respawns");
+        let log = sdc.injections();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0].buffer, "static.oce_dz");
+        assert!(
+            report.faults_absorbed.iter().any(|s| s.contains("slow side")),
+            "{:?}",
+            report.faults_absorbed
+        );
+        // Containment: bitwise identical to a fault-free run.
+        let mut b = tiny();
+        b.run_windows(4, false).unwrap();
+        assert_states_eq(&a, &b);
+        assert_eq!(
+            a.ocean.params.dz, b.ocean.params.dz,
+            "static buffer repaired bit-exactly"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

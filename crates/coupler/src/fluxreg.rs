@@ -164,6 +164,21 @@ pub fn decl(name: &str) -> Option<&'static FluxDecl> {
     registry().iter().find(|d| d.name == name)
 }
 
+/// Declared physical bounds of one flux, if registered. The driver's
+/// distributed guard screens the coupler lag state against these
+/// instead of a single global blow-up limit.
+pub fn bounds(name: &str) -> Option<(f64, f64)> {
+    decl(name).map(|d| (d.min, d.max))
+}
+
+/// Width of the declared physical range — the scale of the guard's
+/// step-to-step delta-plausibility check (a flux that jumps a large
+/// fraction of its whole physical range in one coupling window is
+/// suspect even when both endpoints are in bounds).
+pub fn span(name: &str) -> Option<f64> {
+    decl(name).map(|d| d.max - d.min)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -180,6 +195,14 @@ mod tests {
             );
             assert!(d.min < d.max, "{}: empty range", d.name);
         }
+    }
+
+    #[test]
+    fn bounds_and_span_join_the_declaration() {
+        assert_eq!(bounds("sst"), Some((-10.0, 60.0)));
+        assert_eq!(span("sst"), Some(70.0));
+        assert_eq!(bounds("no_such_flux"), None);
+        assert_eq!(span("no_such_flux"), None);
     }
 
     #[test]

@@ -74,6 +74,15 @@ impl ShapeSignature {
         }
     }
 
+    /// Names of every data field recorded in the signature — the buffer
+    /// universe a replayed execution can possibly touch. The SDC write-set
+    /// tests use this to prove a flipped buffer either appears here (and
+    /// is covered by the audit's bitwise compare) or is static and owned
+    /// by the quiescence checksums.
+    pub fn field_names(&self) -> Vec<&str> {
+        self.fields.keys().map(String::as_str).collect()
+    }
+
     /// First difference against another signature, for diagnostics.
     fn diff(&self, now: &ShapeSignature) -> String {
         if self.nlev != now.nlev {

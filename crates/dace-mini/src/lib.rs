@@ -62,4 +62,5 @@ pub use ast::Program;
 pub use cost::{predict_dispatch, DispatchPrediction};
 pub use exec::{DataContext, ExecStats, TopologyContext};
 pub use graph::{ExecGraph, GraphInvalid, ShapeSignature};
+pub use memlet::{field_fates, FieldFate};
 pub use sdfg::Sdfg;

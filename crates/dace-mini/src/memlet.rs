@@ -227,6 +227,76 @@ pub fn sdfg_memlets(sdfg: &Sdfg) -> Vec<StateMemlets> {
     sdfg.states.iter().map(state_memlets).collect()
 }
 
+/// What one execution of a program does to a field's *pre-existing*
+/// contents — the write-set fact the SDC fault domain uses to classify
+/// a bit flip that happened before the execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FieldFate {
+    /// No memlet mentions the field: the execution can neither spread
+    /// nor overwrite a flip. Exactly the buffers the quiescence
+    /// checksums own.
+    Untouched,
+    /// The first access in program order is a full overwrite (identity
+    /// point relation, whole-level coverage) and every read in that
+    /// state provably sees the fresh value: a pre-existing flip is dead
+    /// on arrival — no detector needs to fire.
+    OverwrittenBeforeRead,
+    /// The field's pre-existing contents can reach downstream state:
+    /// a flip must be caught by the audit replay (or be bit-identical
+    /// dead by value, which the audit's bitwise compare also proves).
+    Live,
+}
+
+/// Conservative fate of `field`'s pre-existing contents across the
+/// extracted states, in program order.
+///
+/// Soundness: `OverwrittenBeforeRead` is claimed only when the first
+/// state mentioning the field (a) opens with a write at the identity
+/// point relation covering the whole level extent (`Surface` for 2-D
+/// fields, `k` itself for 3-D), (b) has no write before that one, and
+/// (c) every read of the field in that state comes from a strictly
+/// later tasklet at the *same* full identity relation — within one map
+/// iteration tasklets execute in order, so such reads see the fresh
+/// value at every `(p, k)`. Anything else (accumulations, halo or
+/// fixed-level reads, indirections, partial writes) degrades to
+/// `Live`, never the other way.
+pub fn field_fate(states: &[StateMemlets], field: &str) -> FieldFate {
+    let full = |m: &Memlet| {
+        m.point == PointRel::Identity
+            && matches!(
+                m.level,
+                LevelRel::Surface | LevelRel::Affine { k_coef: 1, offset: 0 }
+            )
+    };
+    for st in states {
+        let reads: Vec<&Memlet> = st.reads_of(field).collect();
+        let writes: Vec<&Memlet> = st.writes_to(field).collect();
+        if reads.is_empty() && writes.is_empty() {
+            continue;
+        }
+        let first_full_write = writes.iter().filter(|w| full(w)).map(|w| w.tasklet).min();
+        return match first_full_write {
+            Some(t0)
+                if writes.iter().all(|w| w.tasklet >= t0)
+                    && reads.iter().all(|r| r.tasklet > t0 && full(r)) =>
+            {
+                FieldFate::OverwrittenBeforeRead
+            }
+            _ => FieldFate::Live,
+        };
+    }
+    FieldFate::Untouched
+}
+
+/// Fate of each named field under one execution of `sdfg`.
+pub fn field_fates(sdfg: &Sdfg, fields: &[&str]) -> Vec<(String, FieldFate)> {
+    let states = sdfg_memlets(sdfg);
+    fields
+        .iter()
+        .map(|f| (f.to_string(), field_fate(&states, f)))
+        .collect()
+}
+
 /// Tasklet writes whose expressions reference the loop level `k` (used
 /// by fusion legality: a level-independent surface write may re-execute
 /// per level without changing its value; a level-dependent one may not).
@@ -360,6 +430,55 @@ mod tests {
         assert_eq!(m.writes_to("z").count(), 1);
         // Spans survive fusion: every memlet still points at its source.
         assert!(m.writes.iter().all(|w| !w.span.is_synthetic()));
+    }
+
+    #[test]
+    fn field_fates_classify_the_sdc_write_set() {
+        let m = memlets_of(
+            r#"
+            kernel t over cells
+              tmp(p,k) = inp(p,k) * 2;
+              out(p,k) = tmp(p,k) + frc(p,k);
+            end
+        "#,
+        );
+        // `tmp` is fully overwritten at the identity relation before its
+        // only read (a later tasklet, same relation): a pre-existing
+        // flip in it is provably dead.
+        assert_eq!(field_fate(&m, "tmp"), FieldFate::OverwrittenBeforeRead);
+        assert_eq!(field_fate(&m, "out"), FieldFate::OverwrittenBeforeRead);
+        // Inputs are read, never written: live.
+        assert_eq!(field_fate(&m, "inp"), FieldFate::Live);
+        assert_eq!(field_fate(&m, "frc"), FieldFate::Live);
+        // Never mentioned at all: the quiescence checksums own it.
+        assert_eq!(field_fate(&m, "orography"), FieldFate::Untouched);
+    }
+
+    #[test]
+    fn field_fates_degrade_to_live_conservatively() {
+        // Accumulation: the write reads its own pre-existing value.
+        let acc = memlets_of("kernel t over cells a(p) = a(p) + q(p,k); end");
+        assert_eq!(field_fate(&acc, "a"), FieldFate::Live);
+        // Scan: the write's own tasklet reads the field at k-1, so some
+        // pre-existing element may be seen before it is overwritten.
+        let scan = memlets_of("kernel t over cells x(p,k) = x(p,k-1) + q(p,k); end");
+        assert_eq!(field_fate(&scan, "x"), FieldFate::Live);
+        // Fixed-level write: only one level overwritten, the rest of the
+        // field's pre-existing contents survive.
+        let part = memlets_of("kernel t over cells z(p,3) = q(p,3); end");
+        assert_eq!(field_fate(&part, "z"), FieldFate::Live);
+        // Read in a *later* state only: the overwrite still dominates.
+        let two = memlets_of(
+            r#"
+            kernel t over cells
+              x(p,k) = q(p,k);
+            end
+            kernel u over cells
+              y(p,k) = x(p,k) * 2;
+            end
+        "#,
+        );
+        assert_eq!(field_fate(&two, "x"), FieldFate::OverwrittenBeforeRead);
     }
 
     #[test]

@@ -213,6 +213,40 @@ fn steady_state_replay_makes_zero_fresh_allocations() {
     assert_eq!(esm.replay.stats.recorded_windows, 1);
 }
 
+/// SDC audit replays draw their scratch from the same frozen arena: a
+/// resilient run with audits on every window — the worst case — makes
+/// no fresh allocation after the pools are primed. The audit's
+/// same-shape restore deliberately does *not* invalidate the recorded
+/// graph, so the re-execution replays through the existing pools.
+#[test]
+fn audit_replays_make_zero_fresh_arena_allocations() {
+    use esm_core::ResilienceConfig;
+    let _guard = WIDTH_LOCK.lock().unwrap();
+    set_width(1);
+    let dir = scratch("audit_arena");
+    let mut esm = CoupledEsm::new(EsmConfig::tiny());
+    // Window 0 records and sizes the arena; window 1 primes the pools.
+    esm.run_windows(2, false).unwrap();
+    let primed = esm.replay.arena_allocations();
+    assert!(primed > 0, "the recording pass allocates the arena");
+    let rcfg = ResilienceConfig {
+        audit_every: 1,
+        ..ResilienceConfig::default()
+    };
+    let report = esm
+        .run_windows_resilient(4, false, &dir, &rcfg, None)
+        .unwrap();
+    assert!(report.audit_replays >= 4, "{}", report.audit_replays);
+    assert_eq!(report.sdc_false_positives, 0, "{:?}", report.faults_absorbed);
+    assert_eq!(report.rollbacks, 0, "{:?}", report.faults_absorbed);
+    assert_eq!(
+        esm.replay.arena_allocations(),
+        primed,
+        "audit restores and re-runs must draw from the frozen pools"
+    );
+    fs::remove_dir_all(&dir).ok();
+}
+
 /// Cost-model acceptance: `predict_dispatch` must match the recorded
 /// dycore graph's measured `ExecStats` *exactly* — eager dispatches,
 /// replay dispatches, and therefore dispatched-tasks-eliminated.

@@ -1,0 +1,202 @@
+//! Property tests for the SDC fault domain (DESIGN.md §14):
+//!
+//! 1. **Quiescence exactness** — any single bit flip, in any element of
+//!    any registered quiescent buffer, is caught and localized by the
+//!    CRC detector, and repair restores the exact prior bits.
+//! 2. **Detection theorem** — an in-bounds mantissa flip in any active
+//!    state buffer is either detected (the audit replay compares the
+//!    trajectory bitwise against an independent re-execution) or
+//!    provably harmless: in both cases the finished run is bitwise
+//!    identical to a fault-free run, with zero false positives.
+//! 3. **Write-set soundness** — the dace-mini `field_fates` export is
+//!    checked against actual execution: a flip in a buffer classified
+//!    `OverwrittenBeforeRead` never changes any output, a flip in a
+//!    `Live` input always does, and an `Untouched` buffer passes
+//!    through execution with its (corrupted) bits unchanged — exactly
+//!    the case the quiescence checksums own.
+
+use dace_mini::{exec, parser, sdfg::Sdfg, suite, FieldFate};
+use esm_core::sdc::{FlipTarget, QuiescenceReference, StateFaultPlan};
+use esm_core::{CoupledEsm, EsmConfig, ResilienceConfig};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Property 1: the CRC detector is exact for single bit flips —
+    /// any buffer, any element, any of the 64 bits.
+    #[test]
+    fn any_quiescent_bit_flip_is_caught_localized_and_repaired(
+        buf_i in 0usize..CoupledEsm::QUIESCENT_BUFFERS.len(),
+        elem in 0u64..1 << 32,
+        bit in 0u8..64,
+    ) {
+        let mut esm = CoupledEsm::new(EsmConfig::tiny());
+        let q = QuiescenceReference::capture(&esm);
+        let name = CoupledEsm::QUIESCENT_BUFFERS[buf_i];
+        let data = esm.quiescent_buffer_mut(name).expect("registered buffer");
+        let i = (elem as usize) % data.len();
+        let before = data[i].to_bits();
+        data[i] = f64::from_bits(before ^ (1u64 << bit));
+        let dirty = q.verify(&esm);
+        prop_assert_eq!(dirty, vec![name], "CRC must localize the flip");
+        prop_assert!(q.repair(&mut esm, name), "repair must find the buffer");
+        prop_assert!(q.verify(&esm).is_empty(), "repair must restore the CRC");
+        prop_assert_eq!(
+            esm.quiescent_buffer(name).unwrap()[i].to_bits(),
+            before,
+            "repair is bit-exact"
+        );
+    }
+}
+
+proptest! {
+    // Each case is two 4-window coupled runs; keep the count modest.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Property 2: the detection theorem. The flip lands in an arbitrary
+    /// active state buffer before window 1; audits run every 2 windows.
+    /// Either some detector fires (and rollback-replay contains it), or
+    /// the flip was overwritten before the first bitwise audit — in
+    /// which case nothing was ever wrong. Both branches must end
+    /// bitwise identical to the fault-free run.
+    #[test]
+    fn any_active_mantissa_flip_is_detected_or_provably_dead(
+        var in 0u64..1 << 32,
+        elem in 0u64..1 << 32,
+        bit in 0u8..32,
+    ) {
+        let dir = std::env::temp_dir().join(format!(
+            "esm_sdcprop_{}_{var}_{elem}_{bit}",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let plan = Arc::new(StateFaultPlan::new().flip(1, FlipTarget::VarIndex(var), elem, bit));
+        let rcfg = ResilienceConfig {
+            audit_every: 2,
+            sdc: Some(plan.clone()),
+            ..ResilienceConfig::default()
+        };
+        let mut esm = CoupledEsm::new(EsmConfig::tiny());
+        let report = esm.run_windows_resilient(4, false, &dir, &rcfg, None).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+
+        prop_assert_eq!(report.sdc_injected, 1, "the planned flip fired");
+        prop_assert_eq!(report.sdc_false_positives, 0);
+        let detections = report.sdc_detected_bounds
+            + report.sdc_detected_checksum
+            + report.sdc_detected_audit;
+        if detections == 0 {
+            prop_assert_eq!(
+                report.rollbacks, 0,
+                "an undetected flip must never have disturbed the run"
+            );
+        }
+        let mut clean = CoupledEsm::new(EsmConfig::tiny());
+        clean.run_windows(4, false).unwrap();
+        prop_assert_eq!(
+            esm.snapshot(), clean.snapshot(),
+            "detected-and-recovered or dead: either way, bitwise fault-free"
+        );
+    }
+}
+
+/// Two-statement kernel whose write-set facts are known exactly: `tmp`
+/// and `out` are fully overwritten before any read, `inp` is a live
+/// input, and `orography` is never mentioned.
+const FATES_SRC: &str = "kernel t over cells\n  \
+     tmp(p,k) = inp(p,k) * 2;\n  \
+     out(p,k) = tmp(p,k) + inp(p,k);\n\
+     end";
+const FATES_NLEV: usize = 3;
+
+fn fates_data(topo: &dace_mini::TopologyContext, seed: u64) -> dace_mini::DataContext {
+    use dace_mini::exec::FieldBuf;
+    let mut d = dace_mini::DataContext::new(FATES_NLEV);
+    let mut state = seed.wrapping_mul(0xD1B54A32D192ED03) | 1;
+    let mut rnd = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64 + 0.5
+    };
+    for name in ["inp", "tmp", "out", "orography"] {
+        let mut f = FieldBuf::zeros(topo.domain_size("cells"), FATES_NLEV);
+        for v in f.data.iter_mut() {
+            // Strictly positive normal values: every mantissa bit of
+            // every element is significant.
+            *v = rnd() + 0.5;
+        }
+        d.add(name, f);
+    }
+    d
+}
+
+fn flip_in(d: &mut dace_mini::DataContext, field: &str, elem: u64, bit: u8) {
+    let f = d.fields.get_mut(field).expect("field exists");
+    let i = (elem as usize) % f.data.len();
+    f.data[i] = f64::from_bits(f.data[i].to_bits() ^ (1u64 << bit));
+}
+
+fn out_bits(d: &dace_mini::DataContext) -> Vec<u64> {
+    d.fields["out"].data.iter().map(|v| v.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Property 3: `field_fates` is sound against actual execution.
+    #[test]
+    fn write_set_fates_are_sound_against_execution(
+        seed in 0u64..1 << 40,
+        elem in 0u64..1 << 32,
+        // Bits 2..52: mantissa flips big enough that `out = 3 * inp`
+        // cannot round the difference away.
+        bit in 2u8..52,
+    ) {
+        let prog = parser::parse(FATES_SRC).unwrap();
+        let sdfg = Sdfg::from_program("t", &prog);
+        let fates = dace_mini::field_fates(&sdfg, &["tmp", "out", "inp", "orography"]);
+        prop_assert_eq!(fates[0].1, FieldFate::OverwrittenBeforeRead);
+        prop_assert_eq!(fates[1].1, FieldFate::OverwrittenBeforeRead);
+        prop_assert_eq!(fates[2].1, FieldFate::Live);
+        prop_assert_eq!(fates[3].1, FieldFate::Untouched);
+
+        let topo = suite::synthetic_topology(24);
+        let mut clean = fates_data(&topo, seed);
+        exec::run_naive(&prog, &topo, &mut clean);
+
+        // OverwrittenBeforeRead: a pre-execution flip in `tmp` is dead —
+        // no detector needs to fire, and the audit's bitwise compare
+        // proves it (both executions produce identical state).
+        let mut dead = fates_data(&topo, seed);
+        flip_in(&mut dead, "tmp", elem, bit);
+        exec::run_naive(&prog, &topo, &mut dead);
+        prop_assert_eq!(out_bits(&dead), out_bits(&clean), "dead flip leaked into out");
+
+        // Live: the same flip in `inp` must change the output — this is
+        // exactly what the audit replay detects bitwise.
+        let mut live = fates_data(&topo, seed);
+        flip_in(&mut live, "inp", elem, bit);
+        exec::run_naive(&prog, &topo, &mut live);
+        prop_assert_ne!(out_bits(&live), out_bits(&clean));
+
+        // Untouched: execution neither spreads nor heals a flip in a
+        // never-mentioned buffer — the corrupted bits pass through
+        // unchanged, and only a checksum (CRC over the raw bits) can
+        // see them. This is the gap the quiescence detector closes.
+        let mut quiet = fates_data(&topo, seed);
+        let crc_before = esm_core::sdc::crc_f64(&quiet.fields["orography"].data);
+        flip_in(&mut quiet, "orography", elem, bit);
+        let corrupted: Vec<u64> =
+            quiet.fields["orography"].data.iter().map(|v| v.to_bits()).collect();
+        let crc_after = esm_core::sdc::crc_f64(&quiet.fields["orography"].data);
+        prop_assert_ne!(crc_before, crc_after);
+        exec::run_naive(&prog, &topo, &mut quiet);
+        let after: Vec<u64> =
+            quiet.fields["orography"].data.iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(after, corrupted, "untouched buffer passes through bit-unchanged");
+        prop_assert_eq!(out_bits(&quiet), out_bits(&clean));
+    }
+}
